@@ -1,0 +1,210 @@
+(* Bechamel benchmarks: one group per table/figure of the paper's evaluation
+   plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe
+
+   Quality numbers — the table contents — come from bin/experiments_main.exe;
+   this harness measures the running-time side: how expensive each heuristic,
+   the exact algorithm and the substrates are on representative paper-sized
+   instances, mirroring the "Average time" rows of Tables II/III and the
+   timing discussion of Sec. V-B. *)
+
+open Bechamel
+open Toolkit
+
+module Gh = Semimatch.Greedy_hyper
+module Gb = Semimatch.Greedy_bipartite
+
+let find_spec name =
+  List.find (fun s -> s.Experiments.Instances.name = name) (Experiments.Instances.paper_grid ())
+
+let find_sp_spec name =
+  List.find
+    (fun s -> s.Experiments.Instances.sp_name = name)
+    (Experiments.Instances.paper_grid_singleproc ())
+
+(* Representative mid-size instances (n = 5120, p = 256): big enough that
+   asymptotics show, small enough that slow variants still fit a quota. *)
+let fg_spec = find_spec "FG-20-1-MP"
+let hl_spec = find_spec "HLF-20-1-MP"
+let fg_unit = Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Unit fg_spec
+let hl_unit = Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Unit hl_spec
+let fg_related =
+  Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Related fg_spec
+let fg_random =
+  Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.default_random fg_spec
+
+(* Smaller instance for the quadratic-ish naive vector variants. *)
+let fg_small =
+  Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Related
+    (find_spec "FG-5-1-MP")
+
+let sp_fewg = Experiments.Instances.generate_singleproc ~seed:0 (find_sp_spec "FG-20-1")
+let sp_hilo = Experiments.Instances.generate_singleproc ~seed:0 (find_sp_spec "HLF-20-1")
+
+let greedy_tests h =
+  List.map
+    (fun algo ->
+      Test.make ~name:(Gh.short_name algo) (Staged.stage (fun () -> Gh.run algo h)))
+    Gh.all
+
+let table1 =
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"generate-FG-20-1-MP"
+        (Staged.stage (fun () ->
+             Experiments.Instances.generate_multiproc ~seed:1 ~weights:Hyper.Weights.Unit fg_spec));
+      Test.make ~name:"generate-HLF-20-1-MP"
+        (Staged.stage (fun () ->
+             Experiments.Instances.generate_multiproc ~seed:1 ~weights:Hyper.Weights.Unit hl_spec));
+      Test.make ~name:"lower-bound-FG-20-1-MP"
+        (Staged.stage (fun () -> Semimatch.Lower_bound.multiproc fg_unit));
+    ]
+
+let table2 =
+  Test.make_grouped ~name:"table2-unweighted"
+    (greedy_tests fg_unit
+    @ [ Test.make ~name:"SGH-hilo" (Staged.stage (fun () -> Gh.run Gh.Sorted_greedy_hyp hl_unit)) ])
+
+let table3 = Test.make_grouped ~name:"table3-related" (greedy_tests fg_related)
+let table_random = Test.make_grouped ~name:"table8-random" (greedy_tests fg_random)
+
+let singleproc =
+  Test.make_grouped ~name:"singleproc"
+    (List.map
+       (fun algo -> Test.make ~name:(Gb.name algo) (Staged.stage (fun () -> Gb.run algo sp_fewg)))
+       Gb.all
+    @ [
+        Test.make ~name:"exact-fewg"
+          (Staged.stage (fun () -> Semimatch.Exact_unit.solve sp_fewg));
+        Test.make ~name:"exact-hilo"
+          (Staged.stage (fun () -> Semimatch.Exact_unit.solve sp_hilo));
+      ])
+
+let fig3 =
+  let trap = Bipartite.Adversarial.sorted_greedy_trap ~k:12 in
+  Test.make_grouped ~name:"fig3-adversarial"
+    [
+      Test.make ~name:"sorted-greedy-k12" (Staged.stage (fun () -> Gb.run Gb.Sorted trap));
+      Test.make ~name:"expected-greedy-k12" (Staged.stage (fun () -> Gb.run Gb.Expected trap));
+      Test.make ~name:"exact-k12" (Staged.stage (fun () -> Semimatch.Exact_unit.solve trap));
+    ]
+
+let ablation_vector =
+  Test.make_grouped ~name:"ablation-vector-variant"
+    [
+      Test.make ~name:"VGH-merged"
+        (Staged.stage (fun () -> Gh.run ~vector_variant:Gh.Merged Gh.Vector_greedy_hyp fg_small));
+      Test.make ~name:"VGH-naive"
+        (Staged.stage (fun () -> Gh.run ~vector_variant:Gh.Naive Gh.Vector_greedy_hyp fg_small));
+      Test.make ~name:"EVG-merged"
+        (Staged.stage (fun () ->
+             Gh.run ~vector_variant:Gh.Merged Gh.Expected_vector_greedy_hyp fg_small));
+      Test.make ~name:"EVG-naive"
+        (Staged.stage (fun () ->
+             Gh.run ~vector_variant:Gh.Naive Gh.Expected_vector_greedy_hyp fg_small));
+    ]
+
+let ablation_exact =
+  (* HLF-20-4 has its optimum well above ceil(n/p), so the incremental scan
+     pays for many infeasible deadlines that the bisection skips. *)
+  let gap_instance = Experiments.Instances.generate_singleproc ~seed:0 (find_sp_spec "HLF-20-4") in
+  Test.make_grouped ~name:"ablation-exact-search"
+    [
+      Test.make ~name:"incremental"
+        (Staged.stage (fun () ->
+             Semimatch.Exact_unit.solve ~strategy:Semimatch.Exact_unit.Incremental gap_instance));
+      Test.make ~name:"bisection"
+        (Staged.stage (fun () ->
+             Semimatch.Exact_unit.solve ~strategy:Semimatch.Exact_unit.Bisection gap_instance));
+      Test.make ~name:"harvey"
+        (Staged.stage (fun () -> Semimatch.Harvey.solve gap_instance));
+    ]
+
+let ablation_engines =
+  let d = Semimatch.Lower_bound.singleproc_unit sp_hilo in
+  let caps = Array.make sp_hilo.Bipartite.Graph.n2 d in
+  Test.make_grouped ~name:"ablation-matching-engines"
+    (List.map
+       (fun engine ->
+         Test.make ~name:(Matching.engine_name engine)
+           (Staged.stage (fun () -> Matching.solve ~engine ~capacities:caps sp_hilo)))
+       Matching.all_engines)
+
+let ablation_local_search =
+  let start = Gh.run Gh.Sorted_greedy_hyp fg_small in
+  Test.make_grouped ~name:"ablation-local-search"
+    [
+      Test.make ~name:"refine-after-SGH"
+        (Staged.stage (fun () -> Semimatch.Local_search.refine fg_small start));
+    ]
+
+let baselines =
+  Test.make_grouped ~name:"baselines"
+    [
+      Test.make ~name:"random-assignment"
+        (Staged.stage (fun () ->
+             Semimatch.Randomized.random_assignment (Randkit.Prng.create ~seed:1) fg_small));
+      Test.make ~name:"random-order-greedy"
+        (Staged.stage (fun () ->
+             Semimatch.Randomized.random_order_greedy (Randkit.Prng.create ~seed:1) fg_small));
+    ]
+
+let simulation =
+  let assignment = Gh.run Gh.Sorted_greedy_hyp fg_small in
+  Test.make_grouped ~name:"simulator"
+    [
+      Test.make ~name:"run-fifo" (Staged.stage (fun () -> Simulator.run fg_small assignment));
+      Test.make ~name:"run-spt"
+        (Staged.stage (fun () -> Simulator.run ~policy:Simulator.Spt fg_small assignment));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"semimatch"
+    [
+      table1;
+      table2;
+      table3;
+      table_random;
+      singleproc;
+      fig3;
+      ablation_vector;
+      ablation_exact;
+      ablation_engines;
+      ablation_local_search;
+      baselines;
+      simulation;
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  Analyze.all ols instance raw
+
+let () =
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  Printf.printf "%-60s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+        else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+        else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else Printf.sprintf "%.3f s" (ns /. 1e9)
+      in
+      Printf.printf "%-60s %15s\n" name pretty)
+    rows

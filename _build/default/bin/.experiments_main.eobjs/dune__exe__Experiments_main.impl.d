@@ -1,0 +1,1 @@
+bin/experiments_main.ml: Arg Cmd Cmdliner Experiments Hyper Manpage Option Printf Term Unix

@@ -1,0 +1,1 @@
+bin/semimatch_cli.ml: Arg Array Bipartite Cmd Cmdliner Hyper List Printf Randkit Semimatch Simulator Term

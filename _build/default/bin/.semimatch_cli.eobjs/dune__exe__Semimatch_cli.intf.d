@@ -1,0 +1,1 @@
+bin/semimatch_cli.mli:

@@ -1,0 +1,244 @@
+(* Command-line front end: generate, inspect and solve MULTIPROC instances
+   stored in the Hyper.Io text format.
+
+     semimatch_cli gen --family fewg --n 1280 --p 256 -o inst.hg
+     semimatch_cli info inst.hg
+     semimatch_cli solve --algorithm evg --refine inst.hg
+     semimatch_cli exact inst.hg       # singleton unit instances only *)
+
+open Cmdliner
+
+module Gh = Semimatch.Greedy_hyper
+
+let family_conv =
+  Arg.enum [ ("fewg", Hyper.Generate.Fewg_manyg); ("hilo", Hyper.Generate.Hilo) ]
+
+let weights_conv =
+  Arg.enum
+    [
+      ("unit", Hyper.Weights.Unit);
+      ("related", Hyper.Weights.Related);
+      ("random", Hyper.Weights.default_random);
+    ]
+
+let algorithm_conv =
+  Arg.enum
+    [
+      ("sgh", Gh.Sorted_greedy_hyp);
+      ("egh", Gh.Expected_greedy_hyp);
+      ("vgh", Gh.Vector_greedy_hyp);
+      ("evg", Gh.Expected_vector_greedy_hyp);
+    ]
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let gen_cmd =
+  let run family n p dv dh g weights seed output =
+    let rng = Randkit.Prng.create ~seed in
+    let h = Hyper.Generate.generate rng ~family ~n ~p ~dv ~dh ~g ~weights in
+    Hyper.Io.save output h;
+    Printf.printf "wrote %s: %d tasks, %d processors, %d hyperedges, %d pins\n" output
+      h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) (Hyper.Graph.num_pins h)
+  in
+  let family =
+    Arg.(value & opt family_conv Hyper.Generate.Fewg_manyg
+         & info [ "family" ] ~docv:"FAM" ~doc:"fewg or hilo")
+  and n = Arg.(value & opt int 1280 & info [ "n"; "tasks" ] ~doc:"number of tasks")
+  and p = Arg.(value & opt int 256 & info [ "p"; "procs" ] ~doc:"number of processors")
+  and dv = Arg.(value & opt int 5 & info [ "dv" ] ~doc:"mean configurations per task")
+  and dh = Arg.(value & opt int 10 & info [ "dh" ] ~doc:"processors-per-configuration parameter")
+  and g = Arg.(value & opt int 32 & info [ "g"; "groups" ] ~doc:"number of groups")
+  and weights =
+    Arg.(value & opt weights_conv Hyper.Weights.Unit
+         & info [ "weights" ] ~docv:"SCHEME" ~doc:"unit, related or random")
+  and seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"random seed")
+  and output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random MULTIPROC instance")
+    Term.(const run $ family $ n $ p $ dv $ dh $ g $ weights $ seed $ output)
+
+let gen_sp_cmd =
+  let run family n p d g seed output =
+    let graph =
+      match family with
+      | Hyper.Generate.Hilo -> Bipartite.Hilo.generate ~n1:n ~n2:p ~g ~d
+      | Hyper.Generate.Fewg_manyg ->
+          let rng = Randkit.Prng.create ~seed in
+          Bipartite.Fewg_manyg.generate rng ~n1:n ~n2:p ~g ~d
+    in
+    let h = Hyper.Graph.of_bipartite graph in
+    Hyper.Io.save output h;
+    Printf.printf "wrote %s: SINGLEPROC-UNIT, %d tasks, %d processors, %d edges\n" output
+      h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h)
+  in
+  let family =
+    Arg.(value & opt family_conv Hyper.Generate.Fewg_manyg
+         & info [ "family" ] ~docv:"FAM" ~doc:"fewg or hilo")
+  and n = Arg.(value & opt int 1280 & info [ "n"; "tasks" ] ~doc:"number of tasks")
+  and p = Arg.(value & opt int 256 & info [ "p"; "procs" ] ~doc:"number of processors")
+  and d = Arg.(value & opt int 10 & info [ "d"; "degree" ] ~doc:"average task degree")
+  and g = Arg.(value & opt int 32 & info [ "g"; "groups" ] ~doc:"number of groups")
+  and seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"random seed")
+  and output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
+  in
+  Cmd.v
+    (Cmd.info "gen-sp" ~doc:"Generate a SINGLEPROC-UNIT instance (solvable exactly)")
+    Term.(const run $ family $ n $ p $ d $ g $ seed $ output)
+
+let info_cmd =
+  let run verbose dot file =
+    let h = Hyper.Io.load file in
+    Printf.printf "%s: %d tasks, %d processors, %d hyperedges, %d pins\n" file h.Hyper.Graph.n1
+      h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) (Hyper.Graph.num_pins h);
+    let mn, mx = Hyper.Graph.min_max_h_size h in
+    Printf.printf "configuration sizes: %d..%d\n" mn mx;
+    Printf.printf "lower bound (Eq. 1): %g\n" (Semimatch.Lower_bound.multiproc h);
+    Printf.printf "refined lower bound: %g\n" (Semimatch.Lower_bound.multiproc_refined h);
+    if verbose then begin
+      print_newline ();
+      print_string (Hyper.Stats.render (Hyper.Stats.compute h))
+    end;
+    match dot with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hyper.Stats.to_dot h);
+        close_out oc;
+        Printf.printf "wrote graphviz rendering to %s\n" path
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print degree/size histograms")
+  and dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"write a graphviz rendering")
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print instance statistics and lower bounds")
+    Term.(const run $ verbose $ dot $ file_arg)
+
+let solve_cmd =
+  let run algorithm refine loads file =
+    let h = Hyper.Io.load file in
+    let a = Gh.run algorithm h in
+    let a, moves =
+      if refine then Semimatch.Local_search.refine h a else (a, 0)
+    in
+    let makespan = Semimatch.Hyp_assignment.makespan h a in
+    let lb = Semimatch.Lower_bound.multiproc h in
+    Printf.printf "algorithm: %s%s\n" (Gh.name algorithm)
+      (if refine then Printf.sprintf " + local search (%d moves)" moves else "");
+    Printf.printf "makespan:  %g\n" makespan;
+    Printf.printf "LB (Eq.1): %g  (ratio %.3f)\n" lb (makespan /. lb);
+    if loads then begin
+      let l = Semimatch.Hyp_assignment.loads h a in
+      Array.iteri (fun u load -> Printf.printf "P%-6d %g\n" u load) l
+    end
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
+         & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"sgh, egh, vgh or evg")
+  and refine = Arg.(value & flag & info [ "refine" ] ~doc:"apply local-search refinement")
+  and loads = Arg.(value & flag & info [ "loads" ] ~doc:"print per-processor loads") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run a greedy heuristic on an instance")
+    Term.(const run $ algorithm $ refine $ loads $ file_arg)
+
+let exact_cmd =
+  let run strategy file =
+    let h = Hyper.Io.load file in
+    let singleton = ref true in
+    for e = 0 to Hyper.Graph.num_hyperedges h - 1 do
+      if Hyper.Graph.h_size h e <> 1 || Hyper.Graph.h_weight h e <> 1.0 then singleton := false
+    done;
+    if not !singleton then begin
+      prerr_endline
+        "exact: instance is not SINGLEPROC-UNIT (needs singleton unit-weight configurations);\n\
+         MULTIPROC is NP-complete - use 'solve' instead.";
+      exit 1
+    end;
+    let edges = ref [] in
+    for e = Hyper.Graph.num_hyperedges h - 1 downto 0 do
+      Hyper.Graph.iter_h_procs h e (fun u -> edges := (Hyper.Graph.h_task h e, u) :: !edges)
+    done;
+    let g =
+      Bipartite.Graph.unit_weights ~n1:h.Hyper.Graph.n1 ~n2:h.Hyper.Graph.n2 ~edges:!edges
+    in
+    let s = Semimatch.Exact_unit.solve ~strategy g in
+    Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
+      s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+      (Semimatch.Exact_unit.strategy_name strategy)
+  in
+  let strategy_conv =
+    Arg.enum
+      [ ("incremental", Semimatch.Exact_unit.Incremental); ("bisection", Semimatch.Exact_unit.Bisection) ]
+  in
+  let strategy =
+    Arg.(value & opt strategy_conv Semimatch.Exact_unit.Incremental
+         & info [ "strategy" ] ~docv:"S" ~doc:"incremental or bisection")
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact optimum for SINGLEPROC-UNIT instances")
+    Term.(const run $ strategy $ file_arg)
+
+let compare_cmd =
+  let run refine file =
+    let h = Hyper.Io.load file in
+    let lb = Semimatch.Lower_bound.multiproc h in
+    Printf.printf "lower bound (Eq. 1): %g\n\n%-30s %12s %8s\n" lb "algorithm" "makespan" "vs LB";
+    List.iter
+      (fun algo ->
+        let a = Gh.run algo h in
+        let a, suffix =
+          if refine then begin
+            let refined, moves = Semimatch.Local_search.refine h a in
+            (refined, Printf.sprintf " (+LS, %d moves)" moves)
+          end
+          else (a, "")
+        in
+        let m = Semimatch.Hyp_assignment.makespan h a in
+        Printf.printf "%-30s %12g %8.3f%s\n" (Gh.name algo) m (m /. lb) suffix)
+      Gh.all
+  in
+  let refine = Arg.(value & flag & info [ "refine" ] ~doc:"also apply local search") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run all four MULTIPROC heuristics on an instance")
+    Term.(const run $ refine $ file_arg)
+
+let simulate_cmd =
+  let run algorithm policy width file =
+    let h = Hyper.Io.load file in
+    let a = Gh.run algorithm h in
+    let policy =
+      match policy with
+      | "fifo" -> Simulator.Fifo
+      | "spt" -> Simulator.Spt
+      | "lpt" -> Simulator.Lpt
+      | other -> (
+          match int_of_string_opt other with
+          | Some seed -> Simulator.Random_order seed
+          | None -> invalid_arg "policy must be fifo, spt, lpt or a seed")
+    in
+    let t = Simulator.run ~policy h a in
+    Printf.printf "algorithm %s, policy %s\n" (Gh.name algorithm) (Simulator.policy_name policy);
+    Printf.printf "makespan %g, average task completion %.3f\n\n" t.Simulator.makespan
+      (Simulator.average_completion t);
+    print_string (Simulator.gantt ~width ~proc_names:(Printf.sprintf "P%d") t)
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
+         & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"sgh, egh, vgh or evg")
+  and policy =
+    Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"P" ~doc:"fifo, spt, lpt or a seed")
+  and width = Arg.(value & opt int 72 & info [ "width" ] ~docv:"W" ~doc:"gantt width") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute a schedule event-by-event and draw a Gantt chart")
+    Term.(const run $ algorithm $ policy $ width $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "semimatch_cli" ~doc:"Semi-matching scheduling under resource constraints"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; simulate_cmd; exact_cmd ]))

@@ -1,0 +1,1 @@
+examples/accelerator_cluster.ml: Array Hyper List Printf Randkit Semimatch

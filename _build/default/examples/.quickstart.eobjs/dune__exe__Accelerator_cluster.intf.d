@@ -1,0 +1,1 @@
+examples/accelerator_cluster.mli:

@@ -1,0 +1,1 @@
+examples/adversarial_worstcase.ml: Bipartite List Printf Semimatch

@@ -1,0 +1,1 @@
+examples/schedule_simulation.ml: Hyper List Printf Randkit Semimatch Simulator

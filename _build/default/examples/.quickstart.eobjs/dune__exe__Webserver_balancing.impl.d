@@ -1,0 +1,1 @@
+examples/webserver_balancing.ml: Array Bipartite List Printf Randkit Semimatch

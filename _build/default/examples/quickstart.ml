@@ -1,0 +1,54 @@
+(* Quickstart: schedule a handful of parallel tasks under resource
+   constraints with the high-level Sched API.
+
+     dune exec examples/quickstart.exe
+
+   A task offers one or more *configurations* — alternative processor sets
+   with an execution time each processor spends.  The solver picks one
+   configuration per task to minimize the makespan (the busiest processor's
+   load); that is exactly the paper's MULTIPROC semi-matching problem. *)
+
+let () =
+  let instance =
+    Sched.instance
+      ~processors:[ "cpu0"; "cpu1"; "cpu2"; "gpu" ]
+      ~tasks:
+        [
+          (* Rendering is fastest on the GPU, but can spread over two CPUs. *)
+          Sched.task "render"
+            [ Sched.config [ "gpu" ] ~time:2.0; Sched.config [ "cpu0"; "cpu1" ] ~time:3.0 ];
+          (* Encoding is CPU-only, any single core. *)
+          Sched.task "encode"
+            [
+              Sched.config [ "cpu0" ] ~time:4.0;
+              Sched.config [ "cpu1" ] ~time:4.0;
+              Sched.config [ "cpu2" ] ~time:4.0;
+            ];
+          (* Analytics can run sequentially or split over all three cores. *)
+          Sched.task "analytics"
+            [
+              Sched.config [ "cpu2" ] ~time:6.0;
+              Sched.config [ "cpu0"; "cpu1"; "cpu2" ] ~time:2.5;
+            ];
+          (* A GPU-only preprocessing kernel. *)
+          Sched.task "preprocess" [ Sched.config [ "gpu" ] ~time:1.5 ];
+        ]
+  in
+  Format.printf "instance: %d tasks on %d processors@.@." (Sched.num_tasks instance)
+    (Sched.num_processors instance);
+  (* Default algorithm: expected-vector-greedy-hyp, the paper's best. *)
+  let schedule = Sched.solve instance in
+  Format.printf "%a@." Sched.pp_schedule schedule;
+  (* Compare every heuristic, with and without local-search refinement. *)
+  Format.printf "@.algorithm comparison:@.";
+  List.iter
+    (fun algorithm ->
+      let s = Sched.solve ~algorithm instance in
+      Format.printf "  %-42s makespan %g@." (Sched.algorithm_name algorithm) s.Sched.makespan)
+    (List.concat_map
+       (fun a -> [ Sched.Greedy a; Sched.Greedy_refined a ])
+       Semimatch.Greedy_hyper.all);
+  (* This instance is tiny, so the NP-complete problem is still enumerable:
+     show the true optimum for reference. *)
+  let opt, _ = Semimatch.Brute_force.multiproc (Sched.hypergraph instance) in
+  Format.printf "  %-42s makespan %g@." "brute-force optimum" opt

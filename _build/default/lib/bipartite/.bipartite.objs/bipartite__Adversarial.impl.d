@@ -1,0 +1,1 @@
+lib/bipartite/adversarial.ml: Graph List

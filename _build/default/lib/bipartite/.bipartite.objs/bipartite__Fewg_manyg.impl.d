@@ -1,0 +1,1 @@
+lib/bipartite/fewg_manyg.ml: Array Graph List Randkit

@@ -1,0 +1,1 @@
+lib/bipartite/graph.ml: Array Buffer Format List Printf

@@ -1,0 +1,1 @@
+lib/bipartite/graph.mli: Format

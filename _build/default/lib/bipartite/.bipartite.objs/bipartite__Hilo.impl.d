@@ -1,0 +1,1 @@
+lib/bipartite/hilo.ml: Array Ds Graph List

@@ -1,0 +1,1 @@
+lib/bipartite/hilo.mli: Graph

@@ -1,0 +1,85 @@
+let fig1 () = Graph.unit_weights ~n1:2 ~n2:2 ~edges:[ (0, 0); (0, 1); (1, 0) ]
+
+(* Fig. 3 layout.  Tasks are numbered level by level (all of level 0 first),
+   matching the paper's processing order; within a task, P_i is listed before
+   P_(i+2^(k-1-l)) so that load ties resolve to the "wrong" low processor. *)
+let sorted_greedy_trap_edges k =
+  if k < 1 then invalid_arg "Adversarial.sorted_greedy_trap: k must be >= 1";
+  let edges = ref [] in
+  let task = ref 0 in
+  for level = 0 to k - 1 do
+    let stride = 1 lsl (k - 1 - level) in
+    for i = 1 to stride do
+      (* Prepended in swapped order so the final [List.rev] lists P_i before
+         P_(i+stride): ties must resolve to the low processor for the trap
+         to close. *)
+      edges := (!task, i - 1 + stride) :: (!task, i - 1) :: !edges;
+      incr task
+    done
+  done;
+  (!task, List.rev !edges)
+
+let sorted_greedy_trap ~k =
+  let n1, edges = sorted_greedy_trap_edges k in
+  Graph.unit_weights ~n1 ~n2:(1 lsl k) ~edges
+
+(* The 8 degree-2 tasks over P1..P8 shared by the two fooling constructions:
+   Fig. 3 with k = 3 plus an extra task on {P3, P4}.  The position of that
+   extra task in the processing order decides expected-greedy's fate — the
+   two traps use different orders, see below. *)
+let level0 = [ (0, 0); (0, 4); (1, 1); (1, 5); (2, 2); (2, 6); (3, 3); (3, 7) ]
+
+let double_sorted_trap () =
+  (* Task order: level 0, then the {P3,P4} task, then T^(1)_1, T^(1)_2,
+     T^(2)_1.  With the extra task early, the expected loads o(·) steer every
+     later degree-2 task to a private processor (expected-greedy reaches the
+     optimum 1), while double-sorted sees only ties — every P1..P8 has
+     in-degree 3 — and still stacks P1 up to 3. *)
+  let upper =
+    [
+      (4, 2); (4, 3); (* {P3 | P4} *)
+      (5, 0); (5, 2); (* T^(1)_1 : P1 | P3 *)
+      (6, 1); (6, 3); (* T^(1)_2 : P2 | P4 *)
+      (7, 0); (7, 1); (* T^(2)_1 : P1 | P2 *)
+    ]
+  in
+  (* T9..T12 (degree 3): a private processor P9..P12 plus two of P5..P8,
+     covering each of P5..P8 twice, which lifts every P1..P8 in-degree to 3. *)
+  let extras =
+    [
+      (8, 8); (8, 4); (8, 5);
+      (9, 9); (9, 6); (9, 7);
+      (10, 10); (10, 4); (10, 6);
+      (11, 11); (11, 5); (11, 7);
+    ]
+  in
+  Graph.unit_weights ~n1:12 ~n2:12 ~edges:(level0 @ upper @ extras)
+
+let expected_greedy_trap () =
+  (* Here the upper tasks keep the Fig. 3 order (T^(1)_1, T^(1)_2, T^(2)_1,
+     then {P3,P4}): combined with the all-equal expected loads 3/2 on
+     P1..P8, expected-greedy resolves every decision by first-edge ties and
+     walks straight into the same makespan-3 stack as double-sorted. *)
+  let upper =
+    [
+      (4, 0); (4, 2); (* T^(1)_1 : P1 | P3 *)
+      (5, 1); (5, 3); (* T^(1)_2 : P2 | P4 *)
+      (6, 0); (6, 1); (* T^(2)_1 : P1 | P2 *)
+      (7, 2); (7, 3); (* {P3 | P4} *)
+    ]
+  in
+  (* T9..T16 (degree 2): private P9..P16 listed second, one of P5..P8 first;
+     each of P5..P8 appears twice, so every P1..P8 has expected load 3/2. *)
+  let extras =
+    [
+      (8, 4); (8, 8);
+      (9, 4); (9, 9);
+      (10, 5); (10, 10);
+      (11, 5); (11, 11);
+      (12, 6); (12, 12);
+      (13, 6); (13, 13);
+      (14, 7); (14, 14);
+      (15, 7); (15, 15);
+    ]
+  in
+  Graph.unit_weights ~n1:16 ~n2:16 ~edges:(level0 @ upper @ extras)

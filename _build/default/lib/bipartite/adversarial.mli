@@ -1,0 +1,31 @@
+(** The paper's hand-crafted worst-case families, used to separate the greedy
+    heuristics from one another (Sec. IV-B and the technical report RR-8089).
+
+    All graphs are unit-weighted.  Task and edge orderings are chosen so that
+    the deterministic tie-breaking of this library's heuristics (first edge
+    with minimum key wins) reproduces exactly the wrong decisions described in
+    the paper. *)
+
+val fig1 : unit -> Graph.t
+(** Paper Fig. 1: T1–{P1,P2}, T2–{P1}.  Optimal makespan 1; basic-greedy
+    processing T1 first reaches 2.  Sorted-greedy fixes it. *)
+
+val sorted_greedy_trap : k:int -> Graph.t
+(** Paper Fig. 3, generalized to any [k >= 1]: 2^k − 1 tasks, 2^k processors;
+    task T^(ℓ)_i (ℓ = 0..k−1, i = 1..2^(k−1−ℓ)) may run on P_i or
+    P_(i+2^(k−1−ℓ)).  Optimal makespan 1; basic-greedy and sorted-greedy
+    reach [k] — i.e., they are arbitrarily far from the optimal. *)
+
+val double_sorted_trap : unit -> Graph.t
+(** Tech-report Fig. 4: [sorted_greedy_trap ~k:3] plus a task on {P3,P4},
+    four degree-3 tasks T9–T12 and four private processors P9–P12 arranged
+    so that P1..P8 all have in-degree 3.  Optimal makespan 1; double-sorted
+    still reaches 3 (its in-degree tie-break sees only ties), while
+    expected-greedy escapes to 1 because the degree-3 tasks tilt the expected
+    loads. *)
+
+val expected_greedy_trap : unit -> Graph.t
+(** Tech-report Fig. 5: 16 tasks and 16 processors, all tasks of out-degree
+    2; T9–T16 pair a private processor (P9–P16) with one of P5–P8 so that
+    P1..P8 all carry expected load 3/2.  Optimal makespan 1; expected-greedy
+    (and double-sorted) reach 3. *)

@@ -1,0 +1,63 @@
+let group_bounds ~n ~g =
+  let base = n / g and rem = n mod g in
+  Array.init (g + 1) (fun j -> (base * j) + min j rem)
+
+(* The V2 candidate pool of a group-j V1 vertex: groups j-1, j, j+1 with
+   wrap-around, as one array of vertex ids.  Groups are listed once even when
+   g < 3 makes them coincide. *)
+let pool_of_group ~b2 ~g j =
+  let wrap x = ((x mod g) + g) mod g in
+  let groups = List.sort_uniq compare [ wrap (j - 1); wrap j; wrap (j + 1) ] in
+  let total = List.fold_left (fun acc j' -> acc + (b2.(j' + 1) - b2.(j'))) 0 groups in
+  let pool = Array.make total 0 in
+  let i = ref 0 in
+  List.iter
+    (fun j' ->
+      for u = b2.(j') to b2.(j' + 1) - 1 do
+        pool.(!i) <- u;
+        incr i
+      done)
+    groups;
+  pool
+
+let draw_degree rng ~d ~pool_size =
+  if d <= pool_size then
+    (* Binomial(pool, d/pool): each candidate kept independently, mean d. *)
+    max 1 (Randkit.Binomial.sample rng ~trials:pool_size ~p:(float_of_int d /. float_of_int pool_size))
+  else
+    (* Pool too small for the requested mean; keep the binomial shape with
+       mean d and fall back to replacement sampling. *)
+    max 1 (Randkit.Binomial.sample rng ~trials:(2 * d) ~p:0.5)
+
+let neighbors_of rng ~pool ~degree =
+  let pool_size = Array.length pool in
+  if degree <= pool_size then begin
+    let picks = Randkit.Prng.sample_without_replacement rng ~k:degree ~n:pool_size in
+    let out = Array.map (fun i -> pool.(i)) picks in
+    Array.sort compare out;
+    out
+  end
+  else begin
+    let picks = Randkit.Prng.sample_with_replacement rng ~k:degree ~n:pool_size in
+    let distinct = List.sort_uniq compare (Array.to_list picks) in
+    Array.of_list (List.map (fun i -> pool.(i)) distinct)
+  end
+
+let adjacency rng ~n1 ~n2 ~g ~d =
+  if g <= 0 || g > n2 then invalid_arg "Fewg_manyg.adjacency: invalid group count";
+  if d <= 0 then invalid_arg "Fewg_manyg.adjacency: d must be positive";
+  let b1 = group_bounds ~n:n1 ~g and b2 = group_bounds ~n:n2 ~g in
+  let adj = Array.make n1 [||] in
+  for j = 0 to g - 1 do
+    let pool = pool_of_group ~b2 ~g j in
+    let pool_size = Array.length pool in
+    for v = b1.(j) to b1.(j + 1) - 1 do
+      let degree = draw_degree rng ~d ~pool_size in
+      adj.(v) <- neighbors_of rng ~pool ~degree
+    done
+  done;
+  adj
+
+let generate rng ~n1 ~n2 ~g ~d =
+  let adj = adjacency rng ~n1 ~n2 ~g ~d in
+  Graph.of_adjacency ~n2 (Array.map (fun a -> Array.to_list a |> List.map (fun u -> (u, 1.0))) adj)

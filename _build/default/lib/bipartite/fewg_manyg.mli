@@ -1,0 +1,20 @@
+(** The FewG/ManyG random bipartite-graph generator (Cherkassky et al. [7],
+    as parameterized in the paper, Sec. V-A.1).
+
+    V1 and V2 are split into [g] balanced groups.  Each V1 vertex of group j
+    first draws a degree from a binomial distribution with mean [d], then
+    picks that many distinct neighbours uniformly from the V2 vertices of
+    groups j−1, j, j+1 (with wrap-around).  When the drawn degree exceeds the
+    candidate pool, neighbours are drawn with replacement and de-duplicated,
+    exactly the paper's fallback rule.  [g = 32] gives the "FewG" family and
+    [g = 128] the "ManyG" family of the experiments.
+
+    Degrees are clamped to at least 1: a task with no allowed processor makes
+    the scheduling instance infeasible, and semi-matchings must cover every
+    task.  (The clamp fires with probability ≤ (1−d/pool)^pool ≈ e^{−d}.) *)
+
+val adjacency : Randkit.Prng.t -> n1:int -> n2:int -> g:int -> d:int -> int array array
+(** Per-V1-vertex sorted arrays of distinct V2 neighbours. *)
+
+val generate : Randkit.Prng.t -> n1:int -> n2:int -> g:int -> d:int -> Graph.t
+(** Unit-weighted graph over [adjacency]. *)

@@ -1,0 +1,36 @@
+(* Balanced block partition of [0..n-1] into g groups: the first [n mod g]
+   groups get one extra vertex. *)
+let group_bounds ~n ~g =
+  let base = n / g and rem = n mod g in
+  Array.init (g + 1) (fun j -> (base * j) + min j rem)
+
+let adjacency ~n1 ~n2 ~g ~d =
+  if g <= 0 || g > n1 || g > n2 then invalid_arg "Hilo.adjacency: invalid group count";
+  if d < 0 then invalid_arg "Hilo.adjacency: negative d";
+  let b1 = group_bounds ~n:n1 ~g and b2 = group_bounds ~n:n2 ~g in
+  let adj = Array.make n1 [||] in
+  for j = 0 to g - 1 do
+    let size2 j' = b2.(j' + 1) - b2.(j') in
+    for v = b1.(j) to b1.(j + 1) - 1 do
+      let i = v - b1.(j) + 1 in
+      let neighbors = Ds.Vec.create () in
+      let connect_to_group j' =
+        let sz = size2 j' in
+        if sz > 0 then begin
+          let hi = min i sz in
+          let lo = max 1 (hi - d) in
+          for k = lo to hi do
+            Ds.Vec.push neighbors (b2.(j') + k - 1)
+          done
+        end
+      in
+      connect_to_group j;
+      if j < g - 1 then connect_to_group (j + 1);
+      adj.(v) <- Ds.Vec.to_array neighbors
+    done
+  done;
+  adj
+
+let generate ~n1 ~n2 ~g ~d =
+  let adj = adjacency ~n1 ~n2 ~g ~d in
+  Graph.of_adjacency ~n2 (Array.map (fun a -> Array.to_list a |> List.map (fun u -> (u, 1.0))) adj)

@@ -1,0 +1,18 @@
+(** The HiLo structured bipartite-graph generator (Cherkassky et al. [7], as
+    parameterized in the paper, Sec. V-A.1).
+
+    Vertices of V1 and V2 are split into [g] groups.  The i-th vertex of V1
+    group j is connected to the V2 vertices of group j with within-group index
+    k = max(1, min(i, p/g) − d) .. min(i, p/g), and, when j < g, to the same
+    index range in group j+1.  The family is deterministic: the "random
+    instances" of HiLo-based MULTIPROC experiments draw their randomness from
+    the binomial first step of the hypergraph generator, not from HiLo
+    itself. *)
+
+val adjacency : n1:int -> n2:int -> g:int -> d:int -> int array array
+(** [adjacency ~n1 ~n2 ~g ~d] gives, for each V1 vertex, the sorted array of
+    its V2 neighbours.  [g] must be positive and at most [min n1 n2]; sizes
+    need not be divisible by [g] (groups are balanced blocks). *)
+
+val generate : n1:int -> n2:int -> g:int -> d:int -> Graph.t
+(** Unit-weighted graph over [adjacency]. *)

@@ -1,0 +1,1 @@
+lib/ds/bucket_queue.mli:

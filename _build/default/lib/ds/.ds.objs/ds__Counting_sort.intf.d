@@ -1,0 +1,1 @@
+lib/ds/counting_sort.mli:

@@ -1,0 +1,1 @@
+lib/ds/indexed_heap.mli:

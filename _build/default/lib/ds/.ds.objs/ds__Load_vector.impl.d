@@ -1,0 +1,1 @@
+lib/ds/load_vector.ml: Array

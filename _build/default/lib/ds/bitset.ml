@@ -1,0 +1,37 @@
+type t = { words : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let reset t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let cardinal t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if mem t i then incr count
+  done;
+  !count
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done

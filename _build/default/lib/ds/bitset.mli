@@ -1,0 +1,20 @@
+(** Fixed-size bitsets over [0 .. n-1], used for hyperedge/processor marking
+    during generation and validation. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val reset : t -> unit
+(** Clear all bits. *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over set bits in increasing order. *)

@@ -1,0 +1,86 @@
+(* Buckets are intrusive doubly linked lists over key slots, so removal by
+   key is O(1) and no allocation happens after the arrays are sized. *)
+
+type t = {
+  mutable heads : int array; (* bucket -> first key or -1 *)
+  prev : int array; (* key -> previous key in its bucket, -1 at head *)
+  next : int array; (* key -> next key, -1 at tail *)
+  prio : int array; (* key -> priority, -1 when absent *)
+  mutable finger : int; (* no occupied bucket below this index *)
+  mutable count : int;
+}
+
+let create ?(initial_buckets = 16) n =
+  if n < 0 then invalid_arg "Bucket_queue.create";
+  {
+    heads = Array.make (max initial_buckets 1) (-1);
+    prev = Array.make (max n 1) (-1);
+    next = Array.make (max n 1) (-1);
+    prio = Array.make (max n 1) (-1);
+    finger = 0;
+    count = 0;
+  }
+
+let mem t key = key >= 0 && key < Array.length t.prio && t.prio.(key) >= 0
+let length t = t.count
+
+let ensure_bucket t p =
+  let cap = Array.length t.heads in
+  if p >= cap then begin
+    let grown = Array.make (max (p + 1) (2 * cap)) (-1) in
+    Array.blit t.heads 0 grown 0 cap;
+    t.heads <- grown
+  end
+
+let link t key p =
+  ensure_bucket t p;
+  let head = t.heads.(p) in
+  t.next.(key) <- head;
+  t.prev.(key) <- -1;
+  if head >= 0 then t.prev.(head) <- key;
+  t.heads.(p) <- key;
+  t.prio.(key) <- p
+
+let unlink t key =
+  let p = t.prio.(key) in
+  let prev = t.prev.(key) and next = t.next.(key) in
+  if prev >= 0 then t.next.(prev) <- next else t.heads.(p) <- next;
+  if next >= 0 then t.prev.(next) <- prev;
+  t.prio.(key) <- -1
+
+let insert t key p =
+  if key < 0 || key >= Array.length t.prio then invalid_arg "Bucket_queue.insert: key out of range";
+  if t.prio.(key) >= 0 then invalid_arg "Bucket_queue.insert: key already present";
+  if p < 0 then invalid_arg "Bucket_queue.insert: negative priority";
+  link t key p;
+  if p < t.finger then t.finger <- p;
+  t.count <- t.count + 1
+
+let increase t key p =
+  if not (mem t key) then invalid_arg "Bucket_queue.increase: key absent";
+  if p < t.prio.(key) then invalid_arg "Bucket_queue.increase: priority may only grow";
+  if p <> t.prio.(key) then begin
+    unlink t key;
+    link t key p
+  end
+
+let priority t key = if mem t key then t.prio.(key) else raise Not_found
+
+let rec advance t =
+  if t.count = 0 then None
+  else if t.finger < Array.length t.heads && t.heads.(t.finger) >= 0 then Some t.finger
+  else begin
+    t.finger <- t.finger + 1;
+    advance t
+  end
+
+let min_priority t = advance t
+
+let pop_min t =
+  match advance t with
+  | None -> None
+  | Some p ->
+      let key = t.heads.(p) in
+      unlink t key;
+      t.count <- t.count - 1;
+      Some (key, p)

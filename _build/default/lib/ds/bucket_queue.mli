@@ -1,0 +1,36 @@
+(** Monotone bucket priority queue over small integer priorities.
+
+    The greedy heuristics on {e unit-weight} instances only ever need
+    "which allowed processor currently has the least (integer) load", and
+    loads only grow — exactly the regime where a bucket queue beats a binary
+    heap: O(1) insert/increase, amortized O(1) extraction thanks to the
+    monotone scan finger.  This is the data-structure counterpart of the
+    paper's bucket-sort remark in Sec. IV-D3. *)
+
+type t
+
+val create : ?initial_buckets:int -> int -> t
+(** [create n] holds keys [0 .. n-1], all absent.  Priorities are
+    non-negative ints; the bucket array grows on demand. *)
+
+val mem : t -> int -> bool
+val length : t -> int
+
+val insert : t -> int -> int -> unit
+(** [insert t key prio].  Raises [Invalid_argument] if present, out of
+    range, or [prio < 0]. *)
+
+val increase : t -> int -> int -> unit
+(** [increase t key prio] raises the priority of a present key.  Decreasing
+    below the current minimum would break monotonicity, so [prio] must be at
+    least the key's current priority; raises [Invalid_argument] otherwise. *)
+
+val priority : t -> int -> int
+(** Raises [Not_found] for absent keys. *)
+
+val min_priority : t -> int option
+(** Smallest priority present, without removal. *)
+
+val pop_min : t -> (int * int) option
+(** Remove and return some minimum-priority binding (most recently linked
+    within the bucket first). *)

@@ -1,0 +1,39 @@
+let permutation ~n ~key ~max_key =
+  if n < 0 || max_key < 0 then invalid_arg "Counting_sort.permutation";
+  let counts = Array.make (max_key + 2) 0 in
+  for i = 0 to n - 1 do
+    let k = key i in
+    if k < 0 || k > max_key then invalid_arg "Counting_sort.permutation: key out of range";
+    counts.(k + 1) <- counts.(k + 1) + 1
+  done;
+  for k = 1 to max_key + 1 do
+    counts.(k) <- counts.(k) + counts.(k - 1)
+  done;
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let k = key i in
+    out.(counts.(k)) <- i;
+    counts.(k) <- counts.(k) + 1
+  done;
+  out
+
+let sort_ints a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let maxv = Array.fold_left max a.(0) a in
+    let minv = Array.fold_left min a.(0) a in
+    if minv < 0 then invalid_arg "Counting_sort.sort_ints: negative value";
+    if maxv <= (4 * n) + 1024 then begin
+      let counts = Array.make (maxv + 1) 0 in
+      Array.iter (fun v -> counts.(v) <- counts.(v) + 1) a;
+      let i = ref 0 in
+      Array.iteri
+        (fun v c ->
+          for _ = 1 to c do
+            a.(!i) <- v;
+            incr i
+          done)
+        counts
+    end
+    else Array.sort compare a
+  end

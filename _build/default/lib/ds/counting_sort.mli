@@ -1,0 +1,14 @@
+(** Stable counting sort for small integer keys.
+
+    Greedy heuristics visit tasks "by non-decreasing out-degree"; degrees are
+    bounded by the number of processors, so counting sort gives the
+    linear-time ordering the paper's complexity analyses assume. *)
+
+val permutation : n:int -> key:(int -> int) -> max_key:int -> int array
+(** [permutation ~n ~key ~max_key] is the stable permutation of
+    [0 .. n-1] ordered by non-decreasing [key].  Every key must lie in
+    [\[0, max_key\]]. *)
+
+val sort_ints : int array -> unit
+(** In-place non-decreasing sort of non-negative integers; counting sort when
+    the range is small relative to the length, comparison sort otherwise. *)

@@ -1,0 +1,144 @@
+type t = {
+  loads : float array;
+  mutable sorted : float array; (* descending multiset of [loads] values *)
+}
+
+let create p =
+  if p < 0 then invalid_arg "Load_vector.create";
+  { loads = Array.make p 0.0; sorted = Array.make p 0.0 }
+
+let size t = Array.length t.loads
+let load t u = t.loads.(u)
+let max_load t = if Array.length t.sorted = 0 then 0.0 else t.sorted.(0)
+
+let desc a b = compare (b : float) a
+
+(* Multisets of old values of [procs] and of their updated values, both
+   descending.  Works for both uniform-w and general-delta updates. *)
+let changed_values t procs amount_of =
+  let k = Array.length procs in
+  let removed = Array.make k 0.0 and added = Array.make k 0.0 in
+  for i = 0 to k - 1 do
+    let old = t.loads.(procs.(i)) in
+    removed.(i) <- old;
+    added.(i) <- old +. amount_of i
+  done;
+  Array.sort desc removed;
+  Array.sort desc added;
+  (removed, added)
+
+(* Rebuild [sorted] in one linear merge: walk the old sorted array skipping
+   one occurrence of each removed value, interleaving the added values. *)
+let remerge t removed added =
+  let p = Array.length t.sorted in
+  let out = Array.make p 0.0 in
+  let i = ref 0 (* base *) and j = ref 0 (* removed *) and k = ref 0 (* added *) in
+  for o = 0 to p - 1 do
+    (* Skip base entries matched by pending removals.  Values are exact
+       copies, so float equality is the right test. *)
+    let rec skip () =
+      if !i < p && !j < Array.length removed && t.sorted.(!i) = removed.(!j) then begin
+        incr i;
+        incr j;
+        skip ()
+      end
+    in
+    skip ();
+    let take_base = !i < p && (!k >= Array.length added || t.sorted.(!i) >= added.(!k)) in
+    if take_base then begin
+      out.(o) <- t.sorted.(!i);
+      incr i
+    end
+    else begin
+      out.(o) <- added.(!k);
+      incr k
+    end
+  done;
+  t.sorted <- out
+
+let apply_delta t ~procs ~amounts =
+  if Array.length procs <> Array.length amounts then
+    invalid_arg "Load_vector.apply_delta: length mismatch";
+  let removed, added = changed_values t procs (fun i -> amounts.(i)) in
+  Array.iteri (fun i u -> t.loads.(u) <- t.loads.(u) +. amounts.(i)) procs;
+  remerge t removed added
+
+let apply t ~procs ~w =
+  let removed, added = changed_values t procs (fun _ -> w) in
+  Array.iter (fun u -> t.loads.(u) <- t.loads.(u) +. w) procs;
+  remerge t removed added
+
+let add t ~proc ~w = apply t ~procs:[| proc |] ~w
+
+let sorted_desc t = Array.copy t.sorted
+
+(* Lazy iterator over the hypothetical vector merge(base \ removed, added). *)
+type cursor = {
+  base : float array;
+  removed : float array;
+  added : float array;
+  mutable bi : int;
+  mutable ri : int;
+  mutable ai : int;
+}
+
+let cursor t (removed, added) = { base = t.sorted; removed; added; bi = 0; ri = 0; ai = 0 }
+
+let cursor_next c =
+  let rec skip () =
+    if
+      c.bi < Array.length c.base
+      && c.ri < Array.length c.removed
+      && c.base.(c.bi) = c.removed.(c.ri)
+    then begin
+      c.bi <- c.bi + 1;
+      c.ri <- c.ri + 1;
+      skip ()
+    end
+  in
+  skip ();
+  let have_base = c.bi < Array.length c.base in
+  let have_added = c.ai < Array.length c.added in
+  if have_base && ((not have_added) || c.base.(c.bi) >= c.added.(c.ai)) then begin
+    let v = c.base.(c.bi) in
+    c.bi <- c.bi + 1;
+    Some v
+  end
+  else if have_added then begin
+    let v = c.added.(c.ai) in
+    c.ai <- c.ai + 1;
+    Some v
+  end
+  else None
+
+let compare_cursors ca cb =
+  let rec walk () =
+    match (cursor_next ca, cursor_next cb) with
+    | None, None -> 0
+    | Some _, None -> 1
+    | None, Some _ -> -1
+    | Some va, Some vb -> if va < vb then -1 else if va > vb then 1 else walk ()
+  in
+  walk ()
+
+let compare_hypothetical t ~a:(procs_a, wa) ~b:(procs_b, wb) =
+  let ca = cursor t (changed_values t procs_a (fun _ -> wa)) in
+  let cb = cursor t (changed_values t procs_b (fun _ -> wb)) in
+  compare_cursors ca cb
+
+let compare_hypothetical_delta t ~a:(procs_a, am_a) ~b:(procs_b, am_b) =
+  let ca = cursor t (changed_values t procs_a (fun i -> am_a.(i))) in
+  let cb = cursor t (changed_values t procs_b (fun i -> am_b.(i))) in
+  compare_cursors ca cb
+
+let hypothetical_sorted t ~procs ~w =
+  let v = Array.copy t.loads in
+  Array.iter (fun u -> v.(u) <- v.(u) +. w) procs;
+  Array.sort desc v;
+  v
+
+let hypothetical_sorted_delta t ~procs ~amounts =
+  let v = Array.copy t.loads in
+  Array.iteri (fun i u -> v.(u) <- v.(u) +. amounts.(i)) procs;
+  Array.sort desc v;
+  v

@@ -1,0 +1,63 @@
+(** Processor load vectors with lexicographic comparison of hypothetical
+    updates — the engine behind the [vector-greedy-hyp] family (paper
+    Sec. IV-D3).
+
+    The structure maintains both per-processor loads and a descending-sorted
+    multiset of load values.  [compare_hypothetical] compares the sorted load
+    vectors that *would* result from realizing two different hyperedges,
+    without materializing either vector: it lazily merges the sorted base with
+    the candidate's changed values, exiting at the first differing position.
+    This is the "list representation" improvement the paper describes but did
+    not implement (their experiments use the naive re-sorting variant, kept
+    here as [hypothetical_sorted] for the ablation bench). *)
+
+type t
+
+val create : int -> t
+(** [create p] has all [p] loads at 0. *)
+
+val size : t -> int
+val load : t -> int -> float
+val max_load : t -> float
+(** 0 when [size t = 0]. *)
+
+val apply : t -> procs:int array -> w:float -> unit
+(** Add [w] to the load of every processor in [procs] (a realized hyperedge).
+    [procs] must not contain duplicates.  O(p + |procs| log |procs|). *)
+
+val add : t -> proc:int -> w:float -> unit
+(** Single-processor convenience wrapper over [apply]. *)
+
+val sorted_desc : t -> float array
+(** Copy of the current load values, descending. *)
+
+val compare_hypothetical :
+  t -> a:int array * float -> b:int array * float -> int
+(** [compare_hypothetical t ~a:(procs_a, wa) ~b:(procs_b, wb)] orders the two
+    hypothetical descending load vectors lexicographically; negative means
+    realizing [a] leads to the lexicographically smaller (better) vector.
+    Neither candidate is applied. *)
+
+val hypothetical_sorted : t -> procs:int array -> w:float -> float array
+(** Fully materialized hypothetical vector (descending), for the naive
+    variant and for tests. *)
+
+(** {2 General per-processor deltas}
+
+    [expected-vector-greedy-hyp] perturbs each processor of a task's
+    neighbourhood by a different signed amount (realize one hyperedge,
+    tentatively discard the others).  A delta is given as parallel arrays
+    [(procs, amounts)]; processors must be distinct within one delta. *)
+
+val apply_delta : t -> procs:int array -> amounts:float array -> unit
+(** Add [amounts.(i)] to the load of [procs.(i)].  Loads may legitimately
+    decrease (discarding expectations); they are not required to stay
+    non-negative. *)
+
+val compare_hypothetical_delta :
+  t -> a:int array * float array -> b:int array * float array -> int
+(** Lexicographic order of the two hypothetical descending vectors under
+    general deltas; negative means [a] is better. *)
+
+val hypothetical_sorted_delta : t -> procs:int array -> amounts:float array -> float array
+(** Materialized counterpart, for the naive variant and for tests. *)

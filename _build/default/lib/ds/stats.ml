@@ -1,0 +1,46 @@
+let check_nonempty name a = if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty input")
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  check_nonempty "median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let median_int a =
+  check_nonempty "median_int" a;
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else b.((n / 2) - 1)
+
+let mean a =
+  check_nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let minimum a =
+  check_nonempty "minimum" a;
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  check_nonempty "maximum" a;
+  Array.fold_left max a.(0) a
+
+let quantile a ~q =
+  check_nonempty "quantile" a;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then b.(lo) else b.(lo) +. ((pos -. float_of_int lo) *. (b.(hi) -. b.(lo)))
+
+let stddev a =
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+  sqrt (acc /. float_of_int (Array.length a))

@@ -1,0 +1,23 @@
+(** Summary statistics for experiment replication.
+
+    The paper reports the {e median} over 10 random instances per parameter
+    set (Sec. V-A); these helpers implement that convention plus the usual
+    companions used in EXPERIMENTS.md. *)
+
+val median : float array -> float
+(** Median with the usual mid-point convention for even lengths.  Raises
+    [Invalid_argument] on empty input.  Does not mutate its argument. *)
+
+val median_int : int array -> int
+(** Integer median; for even lengths returns the lower of the two central
+    values (instance-size statistics are integers in Table I). *)
+
+val mean : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val quantile : float array -> q:float -> float
+(** Linear-interpolation quantile, [q] in [\[0,1\]]. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)

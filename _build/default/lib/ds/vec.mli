@@ -1,0 +1,34 @@
+(** Growable arrays (OCaml 5.1 predates [Stdlib.Dynarray]).
+
+    Used pervasively by the CSR builders, where the number of edges is not
+    known in advance.  Amortized O(1) push; O(1) random access. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty vector. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append one element, growing geometrically when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] raises [Invalid_argument] when [i] is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element, or [None] if empty. *)
+
+val clear : 'a t -> unit
+(** Logical reset; keeps the underlying storage. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array with exactly [length t] elements. *)
+
+val of_array : 'a array -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

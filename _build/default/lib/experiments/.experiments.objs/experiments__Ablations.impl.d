@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Ds Hyper Instances List Matching Printf Randkit Semimatch String Tables Unix

@@ -1,0 +1,1 @@
+lib/experiments/bounds.ml: Array Ds Float Hyper Instances List Printf Semimatch Tables

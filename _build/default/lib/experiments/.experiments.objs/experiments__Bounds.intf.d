@@ -1,0 +1,1 @@
+lib/experiments/bounds.mli: Hyper Instances

@@ -1,0 +1,1 @@
+lib/experiments/hardness.ml: Array Fun List Printf Randkit Semimatch Tables

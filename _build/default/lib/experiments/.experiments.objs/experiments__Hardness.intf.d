@@ -1,0 +1,1 @@
+lib/experiments/hardness.mli: Randkit Semimatch

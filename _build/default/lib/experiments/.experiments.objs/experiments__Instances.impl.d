@@ -1,0 +1,1 @@
+lib/experiments/instances.ml: Bipartite Hashtbl Hyper List Printf Randkit

@@ -1,0 +1,1 @@
+lib/experiments/instances.mli: Bipartite Hyper

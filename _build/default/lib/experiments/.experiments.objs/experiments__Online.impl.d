@@ -1,0 +1,1 @@
+lib/experiments/online.ml: Array Bipartite Ds Instances List Printf Randkit Semimatch Tables

@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Array Ds Hashtbl Hyper List Printf Randkit Semimatch Tables

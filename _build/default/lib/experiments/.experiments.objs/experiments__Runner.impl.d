@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Buffer Ds Hyper Instances List Parpool Printf Semimatch Tables Unix

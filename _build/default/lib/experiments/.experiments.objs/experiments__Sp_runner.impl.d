@@ -1,0 +1,1 @@
+lib/experiments/sp_runner.ml: Array Ds Instances List Parpool Printf Semimatch Tables Unix

@@ -1,0 +1,1 @@
+lib/experiments/sp_runner.mli: Instances Matching Semimatch

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Ds Float Hyper Instances List Printf Semimatch String Tables

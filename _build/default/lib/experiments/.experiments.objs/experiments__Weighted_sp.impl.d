@@ -1,0 +1,1 @@
+lib/experiments/weighted_sp.ml: Array Bipartite Ds List Printf Randkit Semimatch Tables

@@ -1,0 +1,1 @@
+lib/experiments/weighted_sp.mli: Semimatch

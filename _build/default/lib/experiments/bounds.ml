@@ -1,0 +1,65 @@
+module Gh = Semimatch.Greedy_hyper
+
+type row = {
+  name : string;
+  lb : float;
+  lb_refined : float;
+  best_heuristic : float;
+  optimum : float option;
+}
+
+let search_space h =
+  let space = ref 1.0 in
+  for v = 0 to h.Hyper.Graph.n1 - 1 do
+    space := !space *. float_of_int (Hyper.Graph.task_degree h v)
+  done;
+  !space
+
+let run_row ?(seeds = 3) ~weights spec =
+  let replicates =
+    List.init seeds (fun seed -> Instances.generate_multiproc ~seed ~weights spec)
+  in
+  let medians f = Ds.Stats.median (Array.of_list (List.map f replicates)) in
+  let best_heuristic h =
+    List.fold_left (fun acc algo -> Float.min acc (Gh.makespan algo h)) infinity Gh.all
+  in
+  let optimum =
+    if List.for_all (fun h -> search_space h <= 200_000.0) replicates then
+      Some (medians (fun h -> fst (Semimatch.Brute_force.multiproc ~limit:200_000 h)))
+    else None
+  in
+  {
+    name = spec.Instances.name ^ (match weights with Hyper.Weights.Unit -> "" | _ -> "-W");
+    lb = medians Semimatch.Lower_bound.multiproc;
+    lb_refined = medians Semimatch.Lower_bound.multiproc_refined;
+    best_heuristic = medians best_heuristic;
+    optimum;
+  }
+
+let run ?seeds ?(scale = 1) ~weights () =
+  Instances.paper_grid ()
+  |> List.map (Instances.scaled scale)
+  |> List.map (run_row ?seeds ~weights)
+
+let render rows =
+  let header =
+    [ "Instance"; "LB (Eq.1)"; "LB refined"; "best heuristic"; "OPT"; "heur/LB"; "heur/OPT" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Printf.sprintf "%.4g" r.lb;
+          Printf.sprintf "%.4g" r.lb_refined;
+          Printf.sprintf "%.4g" r.best_heuristic;
+          (match r.optimum with Some o -> Printf.sprintf "%.4g" o | None -> "-");
+          Tables.fmt_ratio (r.best_heuristic /. r.lb);
+          (match r.optimum with
+          | Some o -> Tables.fmt_ratio (r.best_heuristic /. o)
+          | None -> "-");
+        ])
+      rows
+  in
+  "Bound quality: how much of the LB-ratio is bound looseness vs heuristic error:\n\n"
+  ^ Tables.render ~header ~rows:body ()

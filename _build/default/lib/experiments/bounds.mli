@@ -1,0 +1,27 @@
+(** Lower-bound quality study.
+
+    The paper warns that its Eq. 1 bound "is very optimistic and may be far
+    from the optimal solution" — visibly so on the HiLo rows whose quality
+    ratios blow up to ≈3 and ≈11 in Tables II/III.  This driver separates
+    heuristic error from bound error: for each instance it reports Eq. 1,
+    the refined bound (max with the heaviest cheapest-configuration weight),
+    the best heuristic makespan, and — on instances small enough — the true
+    optimum from branch and bound, attributing the observed ratio to its two
+    sources. *)
+
+type row = {
+  name : string;
+  lb : float;  (** Eq. 1 *)
+  lb_refined : float;
+  best_heuristic : float;  (** min over SGH/EGH/VGH/EVG makespans *)
+  optimum : float option;  (** exact, when the search space allows *)
+}
+
+val run_row :
+  ?seeds:int -> weights:Hyper.Weights.t -> Instances.multiproc_spec -> row
+(** Medians over [seeds] (default 3) replicates. *)
+
+val run :
+  ?seeds:int -> ?scale:int -> weights:Hyper.Weights.t -> unit -> row list
+
+val render : row list -> string

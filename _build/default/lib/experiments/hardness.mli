@@ -1,0 +1,31 @@
+(** Experimental companion to Theorem 1.
+
+    The reduction from Exact Cover by 3-Sets shows MULTIPROC-UNIT has no
+    (2−ε)-approximation unless P = NP: on reduced yes-instances the optimum
+    is 1, and any polynomial algorithm that always stayed below 2 would solve
+    X3C.  This driver *plants* an exact cover (a random partition of the 3q
+    elements into triples), hides it among random distractor triples, reduces
+    to MULTIPROC-UNIT via {!Semimatch.Reduction.to_multiproc}, and measures
+    how often each greedy heuristic actually finds a makespan-1 schedule —
+    i.e., where practice sits relative to the hardness threshold. *)
+
+type row = {
+  q : int;  (** cover size: 3q elements, q tasks *)
+  distractors : int;  (** non-cover triples added *)
+  trials : int;
+  found_cover : (Semimatch.Greedy_hyper.algorithm * int) list;
+      (** per heuristic: trials on which it achieved makespan 1 *)
+  mean_makespan : (Semimatch.Greedy_hyper.algorithm * float) list;
+}
+
+val plant : Randkit.Prng.t -> q:int -> distractors:int -> Semimatch.Reduction.x3c
+(** A yes-instance of X3C: a hidden random partition into triples plus
+    [distractors] uniform random triples.  Requires [q >= 1]. *)
+
+val run_row : ?trials:int -> ?seed:int -> q:int -> distractors:int -> unit -> row
+(** [trials] (default 50) independent planted instances. *)
+
+val run : ?trials:int -> unit -> row list
+(** A ladder of (q, distractors) difficulty levels. *)
+
+val render : row list -> string

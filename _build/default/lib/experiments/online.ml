@@ -1,0 +1,54 @@
+type row = {
+  label : string;
+  optimum : float;
+  mean_ratio : float;
+  worst_ratio : float;
+  best_ratio : float;
+}
+
+let run_row ?(seeds = 3) ?(orders = 20) spec =
+  if orders <= 0 then invalid_arg "Online.run_row: orders must be positive";
+  let ratios = ref [] in
+  let optima = ref [] in
+  for seed = 0 to seeds - 1 do
+    let g = Instances.generate_singleproc ~seed spec in
+    let opt = float_of_int (Semimatch.Exact_unit.solve g).Semimatch.Exact_unit.makespan in
+    optima := opt :: !optima;
+    let rng = Randkit.Prng.create ~seed:(seed + 7919) in
+    for _ = 1 to orders do
+      let order = Array.init g.Bipartite.Graph.n1 (fun v -> v) in
+      Randkit.Prng.shuffle_in_place rng order;
+      let online = Semimatch.Greedy_bipartite.run_in_order g ~order in
+      ratios := (Semimatch.Bip_assignment.makespan g online /. opt) :: !ratios
+    done
+  done;
+  let ratios = Array.of_list !ratios in
+  {
+    label = spec.Instances.sp_name;
+    optimum = Ds.Stats.median (Array.of_list !optima);
+    mean_ratio = Ds.Stats.mean ratios;
+    worst_ratio = Ds.Stats.maximum ratios;
+    best_ratio = Ds.Stats.minimum ratios;
+  }
+
+let run ?seeds ?orders ?(scale = 1) ?d () =
+  Instances.paper_grid_singleproc ?d ()
+  |> List.map (Instances.scaled_singleproc scale)
+  |> List.map (run_row ?seeds ?orders)
+
+let render rows =
+  let header = [ "Instance"; "OPT"; "mean ratio"; "worst"; "best" ] in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          Printf.sprintf "%.4g" r.optimum;
+          Printf.sprintf "%.3f" r.mean_ratio;
+          Printf.sprintf "%.3f" r.worst_ratio;
+          Printf.sprintf "%.3f" r.best_ratio;
+        ])
+      rows
+  in
+  "Online arrivals: least-loaded placement vs offline optimum (random orders):\n\n"
+  ^ Tables.render ~header ~rows:body ()

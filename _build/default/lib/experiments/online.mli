@@ -1,0 +1,27 @@
+(** Online-arrival study (extension; the paper's related work, Sec. II-C,
+    points to the online machine-eligibility literature).
+
+    Tasks of a SINGLEPROC-UNIT instance arrive one at a time in a random
+    order and must be placed irrevocably on the allowed processor of least
+    resulting load ({!Semimatch.Greedy_bipartite.run_in_order}).  Comparing
+    against the offline optimum over many arrival orders gives an empirical
+    competitive ratio — theory says Θ(log p) in the worst case for
+    restricted assignment; on the paper's generator families it is far
+    tamer. *)
+
+type row = {
+  label : string;
+  optimum : float;  (** offline exact makespan (median over instances) *)
+  mean_ratio : float;  (** online/offline, averaged over arrival orders *)
+  worst_ratio : float;  (** worst arrival order seen *)
+  best_ratio : float;
+}
+
+val run_row :
+  ?seeds:int -> ?orders:int -> Instances.singleproc_spec -> row
+(** [orders] (default 20) arrival permutations per instance replicate. *)
+
+val run : ?seeds:int -> ?orders:int -> ?scale:int -> ?d:int -> unit -> row list
+(** One row per paper SINGLEPROC instance family. *)
+
+val render : row list -> string

@@ -1,0 +1,69 @@
+module Gh = Semimatch.Greedy_hyper
+
+type family = Uniform | Powerlaw of float
+
+let family_label = function
+  | Uniform -> "uniform"
+  | Powerlaw alpha -> Printf.sprintf "zipf(%.1f)" alpha
+
+type row = {
+  label : string;
+  family : family;
+  weights : Hyper.Weights.t;
+  lb : float;
+  ratios : (Gh.algorithm * float) list;
+}
+
+let algorithms = Gh.all
+
+let run_row ?(seeds = 3) ?(n = 1280) ?(p = 256) ?(dv = 5) ?(dh = 10) ~family ~weights () =
+  let generate seed =
+    let rng = Randkit.Prng.create ~seed:(seed + Hashtbl.hash (family_label family)) in
+    match family with
+    | Uniform -> Hyper.Generate.generate_uniform rng ~n ~p ~dv ~dh ~weights
+    | Powerlaw alpha -> Hyper.Generate.generate_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights
+  in
+  let replicates = List.init seeds generate in
+  let lbs = List.map Semimatch.Lower_bound.multiproc replicates in
+  let ratios =
+    List.map
+      (fun algo ->
+        let rs = List.map2 (fun h lb -> Gh.makespan algo h /. lb) replicates lbs in
+        (algo, Ds.Stats.median (Array.of_list rs)))
+      algorithms
+  in
+  {
+    label = Printf.sprintf "%s-%s" (family_label family) (Hyper.Weights.name weights);
+    family;
+    weights;
+    lb = Ds.Stats.median (Array.of_list lbs);
+    ratios;
+  }
+
+let run ?seeds () =
+  List.concat_map
+    (fun family ->
+      List.map
+        (fun weights -> run_row ?seeds ~family ~weights ())
+        [ Hyper.Weights.Unit; Hyper.Weights.Related ])
+    [ Uniform; Powerlaw 0.8; Powerlaw 1.5 ]
+
+let render rows =
+  let header = [ "Family"; "LB" ] @ List.map Gh.short_name algorithms @ [ "best" ] in
+  let body =
+    List.map
+      (fun r ->
+        let best =
+          fst
+            (List.fold_left
+               (fun (ba, bx) (a, x) -> if x < bx then (a, x) else (ba, bx))
+               (List.hd r.ratios |> fun (a, x) -> (a, x))
+               (List.tl r.ratios))
+        in
+        [ r.label; Printf.sprintf "%.4g" r.lb ]
+        @ List.map (fun (_, x) -> Tables.fmt_ratio x) r.ratios
+        @ [ Gh.short_name best ])
+      rows
+  in
+  "Robustness: heuristic quality on off-paper instance families (n=1280, p=256):\n\n"
+  ^ Tables.render ~header ~rows:body ()

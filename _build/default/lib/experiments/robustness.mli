@@ -1,0 +1,31 @@
+(** External-validity study: do the paper's heuristic rankings survive on
+    instance families it never tested?
+
+    Runs the four MULTIPROC heuristics on the two off-paper generators
+    (uniform pin placement and Zipf-skewed pin placement, see
+    {!Hyper.Generate.generate_uniform} / {!Hyper.Generate.generate_powerlaw})
+    under each weight scheme, reporting the same makespan/LB medians as
+    Tables II/III.  Skewed popularity is the interesting stress: the Eq. 1
+    bound ignores contention on the hot processors entirely. *)
+
+type family = Uniform | Powerlaw of float
+
+val family_label : family -> string
+
+type row = {
+  label : string;
+  family : family;
+  weights : Hyper.Weights.t;
+  lb : float;
+  ratios : (Semimatch.Greedy_hyper.algorithm * float) list;
+}
+
+val run_row :
+  ?seeds:int -> ?n:int -> ?p:int -> ?dv:int -> ?dh:int ->
+  family:family -> weights:Hyper.Weights.t -> unit -> row
+(** Defaults: 3 seeds, n = 1280, p = 256, dv = 5, dh = 10. *)
+
+val run : ?seeds:int -> unit -> row list
+(** Uniform and Zipf (α ∈ {0.8, 1.5}) × {unit, related} weight schemes. *)
+
+val render : row list -> string

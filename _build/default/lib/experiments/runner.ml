@@ -1,0 +1,155 @@
+module Gh = Semimatch.Greedy_hyper
+module H = Hyper.Graph
+
+type algo_result = { algo : Gh.algorithm; ratio : float; time_s : float }
+
+type row = {
+  spec : Instances.multiproc_spec;
+  weights : Hyper.Weights.t;
+  lb : float;
+  num_hyperedges : int;
+  num_pins : int;
+  results : algo_result list;
+}
+
+let default_algorithms =
+  [ Gh.Sorted_greedy_hyp; Gh.Vector_greedy_hyp; Gh.Expected_greedy_hyp; Gh.Expected_vector_greedy_hyp ]
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let run_row ?(algorithms = default_algorithms) ?(seeds = 10) ~weights spec =
+  if seeds <= 0 then invalid_arg "Runner.run_row: seeds must be positive";
+  let replicates =
+    List.init seeds (fun seed -> Instances.generate_multiproc ~seed ~weights spec)
+  in
+  let lbs = Array.of_list (List.map Semimatch.Lower_bound.multiproc replicates) in
+  let nhs = Array.of_list (List.map (fun h -> H.num_hyperedges h) replicates) in
+  let pins = Array.of_list (List.map (fun h -> H.num_pins h) replicates) in
+  let results =
+    List.map
+      (fun algo ->
+        let ratios_and_times =
+          List.mapi
+            (fun i h ->
+              let assignment, seconds = time_it (fun () -> Gh.run algo h) in
+              let makespan = Semimatch.Hyp_assignment.makespan h assignment in
+              (makespan /. lbs.(i), seconds))
+            replicates
+        in
+        let ratios = Array.of_list (List.map fst ratios_and_times) in
+        let times = Array.of_list (List.map snd ratios_and_times) in
+        { algo; ratio = Ds.Stats.median ratios; time_s = Ds.Stats.mean times })
+      algorithms
+  in
+  {
+    spec;
+    weights;
+    lb = Ds.Stats.median lbs;
+    num_hyperedges = Ds.Stats.median_int nhs;
+    num_pins = Ds.Stats.median_int pins;
+    results;
+  }
+
+let run ?algorithms ?seeds ?(scale = 1) ?(jobs = 1) ~weights () =
+  Instances.paper_grid ()
+  |> List.map (Instances.scaled scale)
+  |> Parpool.Pool.map_list ~jobs ~f:(run_row ?algorithms ?seeds ~weights)
+
+let weight_suffix = function Hyper.Weights.Unit -> "" | _ -> "-W"
+
+let row_name r = r.spec.Instances.name ^ weight_suffix r.weights
+
+let render_table1 rows =
+  let header = [ "Instance"; "|V1|"; "|V2|"; "|N|"; "sum|h∩V2|" ] in
+  let body =
+    List.map
+      (fun r ->
+        [
+          row_name r;
+          string_of_int r.spec.Instances.n;
+          string_of_int r.spec.Instances.p;
+          string_of_int r.num_hyperedges;
+          string_of_int r.num_pins;
+        ])
+      rows
+  in
+  Tables.render ~header ~rows:body ()
+
+let block_of r =
+  match r.spec.Instances.family with Hyper.Generate.Fewg_manyg -> `Fewg | Hyper.Generate.Hilo -> `Hilo
+
+let render_block rows =
+  match rows with
+  | [] -> ""
+  | first :: _ ->
+      let algos = List.map (fun res -> res.algo) first.results in
+      let header = "Instance" :: "LB" :: List.map Gh.short_name algos in
+      let body =
+        List.map
+          (fun r ->
+            row_name r :: Printf.sprintf "%.4g" r.lb
+            :: List.map (fun res -> Tables.fmt_ratio res.ratio) r.results)
+          rows
+      in
+      let mean_over extract =
+        List.mapi
+          (fun i _ ->
+            Ds.Stats.mean (Array.of_list (List.map (fun r -> extract (List.nth r.results i)) rows)))
+          algos
+      in
+      let footer =
+        [
+          "Average quality" :: "" :: List.map Tables.fmt_ratio (mean_over (fun res -> res.ratio));
+          "Average time (s)" :: "" :: List.map Tables.fmt_time (mean_over (fun res -> res.time_s));
+        ]
+      in
+      Tables.render ~header ~rows:body ~footer ()
+
+let render_quality ~title rows =
+  let fewg = List.filter (fun r -> block_of r = `Fewg) rows in
+  let hilo = List.filter (fun r -> block_of r = `Hilo) rows in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n\n");
+  if fewg <> [] then begin
+    Buffer.add_string buf "FewgManyg instances:\n";
+    Buffer.add_string buf (render_block fewg);
+    Buffer.add_char buf '\n'
+  end;
+  if hilo <> [] then begin
+    Buffer.add_string buf "HiLo instances:\n";
+    Buffer.add_string buf (render_block hilo)
+  end;
+  Buffer.contents buf
+
+let to_csv rows =
+  let header =
+    [ "instance"; "weights"; "n"; "p"; "g"; "dv"; "dh"; "lb"; "num_hyperedges"; "num_pins";
+      "algorithm"; "ratio"; "time_s" ]
+  in
+  let body =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun res ->
+            [
+              r.spec.Instances.name;
+              Hyper.Weights.name r.weights;
+              string_of_int r.spec.Instances.n;
+              string_of_int r.spec.Instances.p;
+              string_of_int r.spec.Instances.g;
+              string_of_int r.spec.Instances.dv;
+              string_of_int r.spec.Instances.dh;
+              Printf.sprintf "%.6g" r.lb;
+              string_of_int r.num_hyperedges;
+              string_of_int r.num_pins;
+              Gh.short_name res.algo;
+              Printf.sprintf "%.6g" res.ratio;
+              Printf.sprintf "%.6g" res.time_s;
+            ])
+          r.results)
+      rows
+  in
+  Tables.csv ~header ~rows:body

@@ -1,0 +1,114 @@
+module Gh = Semimatch.Greedy_hyper
+
+type combo_result = {
+  family : Hyper.Generate.family;
+  g : int;
+  dv : int;
+  dh : int;
+  ratios : (Gh.algorithm * float) list;
+  ranking : Gh.algorithm list;
+}
+
+let algorithms =
+  [ Gh.Sorted_greedy_hyp; Gh.Vector_greedy_hyp; Gh.Expected_greedy_hyp; Gh.Expected_vector_greedy_hyp ]
+
+let run ?(seeds = 3) ?(n = 1280) ?(p = 256) ?(dvs = [ 2; 5; 10 ]) ?(dhs = [ 2; 5; 10 ])
+    ?(gs = [ 32; 128 ]) ~weights () =
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun g ->
+          List.concat_map
+            (fun dv ->
+              List.map
+                (fun dh ->
+                  let spec =
+                    {
+                      Instances.name =
+                        Printf.sprintf "%s-n%d-p%d-g%d-dv%d-dh%d"
+                          (Hyper.Generate.family_name family) n p g dv dh;
+                      family;
+                      n;
+                      p;
+                      dv;
+                      dh;
+                      g;
+                    }
+                  in
+                  let replicates =
+                    List.init seeds (fun seed ->
+                        Instances.generate_multiproc ~seed ~weights spec)
+                  in
+                  let lbs = List.map Semimatch.Lower_bound.multiproc replicates in
+                  let ratios =
+                    List.map
+                      (fun algo ->
+                        let rs =
+                          List.map2
+                            (fun h lb -> Gh.makespan algo h /. lb)
+                            replicates lbs
+                        in
+                        (algo, Ds.Stats.median (Array.of_list rs)))
+                      algorithms
+                  in
+                  let ranking =
+                    List.map fst
+                      (List.stable_sort (fun (_, a) (_, b) -> compare a b) ratios)
+                  in
+                  { family; g; dv; dh; ratios; ranking })
+                dhs)
+            dvs)
+        gs)
+    [ Hyper.Generate.Fewg_manyg; Hyper.Generate.Hilo ]
+
+let render results =
+  let header =
+    [ "family"; "g"; "dv"; "dh" ]
+    @ List.map Gh.short_name algorithms
+    @ [ "ranking (best first)" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Hyper.Generate.family_name r.family;
+          string_of_int r.g;
+          string_of_int r.dv;
+          string_of_int r.dh;
+        ]
+        @ List.map (fun a -> Tables.fmt_ratio (List.assoc a r.ratios)) algorithms
+        @ [ String.concat ">" (List.map Gh.short_name r.ranking) ])
+      results
+  in
+  (* Exact ties between heuristics are common (whole HiLo rows coincide), so
+     judge stability with a tolerance: the heuristics within [epsilon] of a
+     combo's best form its "winning set". *)
+  let epsilon = 0.005 in
+  let winning_set r =
+    let best = List.fold_left (fun acc (_, x) -> Float.min acc x) infinity r.ratios in
+    List.filter_map (fun (a, x) -> if x <= best +. epsilon then Some a else None) r.ratios
+  in
+  let stability family =
+    let of_family = List.filter (fun r -> r.family = family) results in
+    if of_family = [] then ""
+    else begin
+      let always_winning =
+        List.filter
+          (fun a -> List.for_all (fun r -> List.mem a (winning_set r)) of_family)
+          algorithms
+      in
+      match always_winning with
+      | [] ->
+          Printf.sprintf "%s: no single heuristic is (within %.3f of) best on every combo\n"
+            (Hyper.Generate.family_name family) epsilon
+      | winners ->
+          Printf.sprintf "%s: best heuristic STABLE across all combos: %s (ties within %.3f)\n"
+            (Hyper.Generate.family_name family)
+            (String.concat ", " (List.map Gh.short_name winners))
+            epsilon
+    end
+  in
+  Tables.render ~header ~rows ()
+  ^ "\n"
+  ^ stability Hyper.Generate.Fewg_manyg
+  ^ stability Hyper.Generate.Hilo

@@ -1,0 +1,36 @@
+(** Ranking-stability sweep over the generator parameters.
+
+    The paper reports detailed numbers only for dv = 5, dh = 10, claiming
+    that "in all combinations of dv, dh [∈ {2,5,10}²] the ranking of the
+    heuristics according to the mean average quality were the same"
+    (Sec. V-A.2/V-C).  This driver reruns the four MULTIPROC heuristics over
+    the full (family × g × dv × dh) cross product on one (n, p) size and
+    reports the per-combination ranking, so the claim can be checked
+    mechanically. *)
+
+type combo_result = {
+  family : Hyper.Generate.family;
+  g : int;
+  dv : int;
+  dh : int;
+  ratios : (Semimatch.Greedy_hyper.algorithm * float) list;
+      (** median makespan/LB per heuristic *)
+  ranking : Semimatch.Greedy_hyper.algorithm list;  (** best first *)
+}
+
+val run :
+  ?seeds:int ->
+  ?n:int ->
+  ?p:int ->
+  ?dvs:int list ->
+  ?dhs:int list ->
+  ?gs:int list ->
+  weights:Hyper.Weights.t ->
+  unit ->
+  combo_result list
+(** Defaults: 3 seeds, n = 1280, p = 256, dvs = dhs = [2; 5; 10],
+    gs = [32; 128]. *)
+
+val render : combo_result list -> string
+(** Table of ratios plus a summary line stating whether the best heuristic
+    (and the full ranking) is identical across combinations, per family. *)

@@ -1,0 +1,49 @@
+let check_arity ~arity rows =
+  List.iter
+    (fun r -> if List.length r <> arity then invalid_arg "Tables: row arity mismatch")
+    rows
+
+let render ~header ~rows ?(footer = []) () =
+  let arity = List.length header in
+  check_arity ~arity rows;
+  check_arity ~arity footer;
+  let all = header :: (rows @ footer) in
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let emit_row r =
+    Buffer.add_string buf (String.concat "  " (List.mapi pad r));
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 widths + (2 * (arity - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  rule ();
+  List.iter emit_row rows;
+  if footer <> [] then begin
+    rule ();
+    List.iter emit_row footer
+  end;
+  Buffer.contents buf
+
+let escape_csv field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let csv ~header ~rows =
+  check_arity ~arity:(List.length header) rows;
+  let line r = String.concat "," (List.map escape_csv r) in
+  String.concat "\n" (List.map line (header :: rows)) ^ "\n"
+
+let fmt_ratio r = Printf.sprintf "%.2f" r
+let fmt_time t = Printf.sprintf "%.3f" t

@@ -1,0 +1,15 @@
+(** Plain-text table rendering shared by the experiment runners. *)
+
+val render : header:string list -> rows:string list list -> ?footer:string list list -> unit -> string
+(** Left-aligned first column, right-aligned others, column widths fitted;
+    a rule between header, body and footer.  All rows must have the header's
+    arity. *)
+
+val csv : header:string list -> rows:string list list -> string
+(** RFC-4180-ish CSV (fields containing commas or quotes are quoted). *)
+
+val fmt_ratio : float -> string
+(** Two decimals, the paper's quality format. *)
+
+val fmt_time : float -> string
+(** Seconds with three decimals. *)

@@ -1,0 +1,1 @@
+lib/hypergraph/generate.ml: Array Bipartite Float Graph Hashtbl Randkit Weights

@@ -1,0 +1,1 @@
+lib/hypergraph/generate.mli: Graph Randkit Weights

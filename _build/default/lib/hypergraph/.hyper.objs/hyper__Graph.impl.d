@@ -1,0 +1,1 @@
+lib/hypergraph/graph.ml: Array Bipartite Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/hypergraph/graph.mli: Bipartite Format

@@ -1,0 +1,1 @@
+lib/hypergraph/io.ml: Array Buffer Fun Graph In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/stats.ml: Array Buffer Graph Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/hypergraph/weights.ml: Array Graph Printf Randkit

@@ -1,0 +1,1 @@
+lib/hypergraph/weights.mli: Graph Randkit

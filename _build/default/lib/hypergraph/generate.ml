@@ -1,0 +1,112 @@
+type family = Fewg_manyg | Hilo
+
+let family_name = function Fewg_manyg -> "fewg-manyg" | Hilo -> "hilo"
+
+let generate rng ~family ~n ~p ~dv ~dh ~g ~weights =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  (* Step 1: configuration counts, Binomial(2·dv, 1/2) has mean dv. *)
+  let degrees =
+    Array.init n (fun _ -> max 1 (Randkit.Binomial.sample rng ~trials:(2 * dv) ~p:0.5))
+  in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  (* Step 2: hyperedges take the V1 role of a bipartite generator. *)
+  let pins =
+    match family with
+    | Hilo -> Bipartite.Hilo.adjacency ~n1:nh ~n2:p ~g ~d:dh
+    | Fewg_manyg -> Bipartite.Fewg_manyg.adjacency rng ~n1:nh ~n2:p ~g ~d:dh
+  in
+  let hyperedges = ref [] in
+  let next = ref nh in
+  for v = n - 1 downto 0 do
+    for _ = 1 to degrees.(v) do
+      decr next;
+      hyperedges := (v, pins.(!next), 1.0) :: !hyperedges
+    done
+  done;
+  assert (!next = 0);
+  let h = Graph.create ~n1:n ~n2:p ~hyperedges:!hyperedges in
+  Weights.apply ~rng weights h
+
+let degrees_step rng ~n ~dv =
+  Array.init n (fun _ -> max 1 (Randkit.Binomial.sample rng ~trials:(2 * dv) ~p:0.5))
+
+let assemble ~n ~p ~degrees ~pins rng weights =
+  let hyperedges = ref [] in
+  let next = ref (Array.fold_left ( + ) 0 degrees) in
+  for v = n - 1 downto 0 do
+    for _ = 1 to degrees.(v) do
+      decr next;
+      hyperedges := (v, pins.(!next), 1.0) :: !hyperedges
+    done
+  done;
+  let h = Graph.create ~n1:n ~n2:p ~hyperedges:!hyperedges in
+  Weights.apply ~rng weights h
+
+(* Hyperedge sizes Binomial(2·dh, ½) clamped to [1, p]: variable like the
+   paper's families, so the Related weight scheme stays meaningful. *)
+let draw_size rng ~dh ~p = min p (max 1 (Randkit.Binomial.sample rng ~trials:(2 * dh) ~p:0.5))
+
+let generate_uniform rng ~n ~p ~dv ~dh ~weights =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  let degrees = degrees_step rng ~n ~dv in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  let pins =
+    Array.init nh (fun _ ->
+        let size = draw_size rng ~dh ~p in
+        let picks = Randkit.Prng.sample_without_replacement rng ~k:size ~n:p in
+        Array.sort compare picks;
+        picks)
+  in
+  assemble ~n ~p ~degrees ~pins rng weights
+
+(* Zipf sampling by inversion over precomputed cumulative masses. *)
+let zipf_sampler rng ~p ~alpha =
+  if not (alpha > 0.0) then invalid_arg "Hyper.Generate: alpha must be positive";
+  let cumulative = Array.make p 0.0 in
+  let total = ref 0.0 in
+  for u = 0 to p - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (u + 1)) alpha);
+    cumulative.(u) <- !total
+  done;
+  fun () ->
+    let x = Randkit.Prng.float rng !total in
+    (* First index with cumulative >= x. *)
+    let lo = ref 0 and hi = ref (p - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let generate_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  let draw = zipf_sampler rng ~p ~alpha in
+  let degrees = degrees_step rng ~n ~dv in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  let pins =
+    Array.init nh (fun _ ->
+        let size = draw_size rng ~dh ~p in
+        let seen = Hashtbl.create size in
+        while Hashtbl.length seen < size do
+          Hashtbl.replace seen (draw ()) ()
+        done;
+        let procs = Array.of_seq (Hashtbl.to_seq_keys seen) in
+        Array.sort compare procs;
+        procs)
+  in
+  assemble ~n ~p ~degrees ~pins rng weights
+
+let fig2 () =
+  Graph.create ~n1:4 ~n2:3
+    ~hyperedges:
+      [
+        (0, [| 0 |], 1.0);
+        (0, [| 1; 2 |], 1.0);
+        (1, [| 0; 1 |], 1.0);
+        (1, [| 1; 2 |], 1.0);
+        (2, [| 2 |], 1.0);
+        (3, [| 2 |], 1.0);
+      ]

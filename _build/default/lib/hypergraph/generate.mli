@@ -1,0 +1,63 @@
+(** The two-step MULTIPROC instance generator (paper Sec. V-A.2).
+
+    Step 1 draws each task's number of configurations from a binomial
+    distribution with mean [dv] (clamped to ≥ 1 so every task stays
+    schedulable), giving |N| ≈ n·dv hyperedges, each owning a unique task.
+    Step 2 fills the hyperedge→processor side by calling the HiLo or
+    FewgManyg bipartite generator on (|N|, p, g, dh), i.e., hyperedges play
+    the V1 role.  Weights are then set by a {!Weights.t} scheme. *)
+
+type family = Fewg_manyg | Hilo
+
+val family_name : family -> string
+
+val generate :
+  Randkit.Prng.t ->
+  family:family ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  g:int ->
+  weights:Weights.t ->
+  Graph.t
+(** [generate rng ~family ~n ~p ~dv ~dh ~g ~weights] builds one MULTIPROC
+    instance with [n] tasks and [p] processors. *)
+
+val fig2 : unit -> Graph.t
+(** The paper's Fig. 2 toy hypergraph: 4 tasks, 3 processors;
+    S1 = {{P1},{P2,P3}}, S2 = {{P1,P2},{P2,P3}}, S3 = S4 = {{P3}}.
+    Unit weights. *)
+
+(** {2 Off-paper families}
+
+    Two additional random families used by the robustness study
+    (`experiments_main robustness`) to check that the paper's heuristic
+    rankings are not artifacts of the HiLo/FewgManyg structure. *)
+
+val generate_uniform :
+  Randkit.Prng.t ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  weights:Weights.t ->
+  Graph.t
+(** Configuration counts Binomial(2·dv, ½) clamped ≥ 1 (as in {!generate});
+    each hyperedge picks min(dh, p) processors uniformly without replacement
+    from the whole machine set — no group locality at all. *)
+
+val generate_powerlaw :
+  Randkit.Prng.t ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  alpha:float ->
+  weights:Weights.t ->
+  Graph.t
+(** Like {!generate_uniform}, but processors are drawn from a Zipf
+    distribution with exponent [alpha] > 0 (processor 0 most popular),
+    modelling skewed resource demand — a few accelerators everybody wants.
+    Duplicates within a hyperedge are resolved by rejection, so hyperedges
+    keep min(dh, p) distinct processors. *)

@@ -1,0 +1,127 @@
+type t = {
+  n1 : int;
+  n2 : int;
+  task_off : int array;
+  h_off : int array;
+  h_adj : int array;
+  w : float array;
+}
+
+let validate_hyperedge ~n1 ~n2 (task, procs, weight) =
+  if task < 0 || task >= n1 then invalid_arg "Hyper.Graph: task out of range";
+  if not (weight > 0.0) then invalid_arg "Hyper.Graph: weight must be positive";
+  if Array.length procs = 0 then invalid_arg "Hyper.Graph: empty processor set";
+  let seen = Hashtbl.create (Array.length procs) in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= n2 then invalid_arg "Hyper.Graph: processor out of range";
+      if Hashtbl.mem seen u then invalid_arg "Hyper.Graph: duplicate processor in hyperedge";
+      Hashtbl.add seen u ())
+    procs
+
+let create ~n1 ~n2 ~hyperedges =
+  if n1 < 0 || n2 < 0 then invalid_arg "Hyper.Graph.create: negative size";
+  List.iter (validate_hyperedge ~n1 ~n2) hyperedges;
+  let nh = List.length hyperedges in
+  let task_off = Array.make (n1 + 1) 0 in
+  List.iter (fun (v, _, _) -> task_off.(v + 1) <- task_off.(v + 1) + 1) hyperedges;
+  for v = 1 to n1 do
+    task_off.(v) <- task_off.(v) + task_off.(v - 1)
+  done;
+  (* Stable grouping by task: first assign hyperedge slots, then fill pins. *)
+  let cursor = Array.copy task_off in
+  let slot_of = Array.make nh 0 in
+  List.iteri
+    (fun i (v, _, _) ->
+      slot_of.(i) <- cursor.(v);
+      cursor.(v) <- cursor.(v) + 1)
+    hyperedges;
+  let sizes = Array.make nh 0 in
+  let weights = Array.make nh 0.0 in
+  List.iteri
+    (fun i (_, procs, weight) ->
+      sizes.(slot_of.(i)) <- Array.length procs;
+      weights.(slot_of.(i)) <- weight)
+    hyperedges;
+  let h_off = Array.make (nh + 1) 0 in
+  for h = 0 to nh - 1 do
+    h_off.(h + 1) <- h_off.(h) + sizes.(h)
+  done;
+  let h_adj = Array.make h_off.(nh) 0 in
+  List.iteri
+    (fun i (_, procs, _) ->
+      let base = h_off.(slot_of.(i)) in
+      Array.iteri (fun k u -> h_adj.(base + k) <- u) procs)
+    hyperedges;
+  { n1; n2; task_off; h_off; h_adj; w = weights }
+
+let num_hyperedges h = Array.length h.w
+let num_pins h = Array.length h.h_adj
+let task_degree h v = h.task_off.(v + 1) - h.task_off.(v)
+
+let max_task_degree h =
+  let best = ref 0 in
+  for v = 0 to h.n1 - 1 do
+    if task_degree h v > !best then best := task_degree h v
+  done;
+  !best
+
+let iter_task_hyperedges h v f =
+  for e = h.task_off.(v) to h.task_off.(v + 1) - 1 do
+    f e
+  done
+
+let h_task h e =
+  (* Hyperedges are grouped by task: binary search the owning range. *)
+  let lo = ref 0 and hi = ref (h.n1 - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.task_off.(mid + 1) <= e then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let h_size h e = h.h_off.(e + 1) - h.h_off.(e)
+let h_weight h e = h.w.(e)
+
+let iter_h_procs h e f =
+  for i = h.h_off.(e) to h.h_off.(e + 1) - 1 do
+    f h.h_adj.(i)
+  done
+
+let h_procs h e = Array.sub h.h_adj h.h_off.(e) (h_size h e)
+
+let with_weights h weights =
+  if Array.length weights <> num_hyperedges h then
+    invalid_arg "Hyper.Graph.with_weights: length mismatch";
+  Array.iter (fun x -> if not (x > 0.0) then invalid_arg "Hyper.Graph.with_weights: weight must be positive") weights;
+  { h with w = Array.copy weights }
+
+let has_isolated_task h =
+  let rec scan v = v < h.n1 && (task_degree h v = 0 || scan (v + 1)) in
+  scan 0
+
+let of_bipartite g =
+  let module B = Bipartite.Graph in
+  let hyperedges = ref [] in
+  for v = g.B.n1 - 1 downto 0 do
+    let edges =
+      B.fold_neighbors g v ~init:[] ~f:(fun acc ~edge:_ u w -> (v, [| u |], w) :: acc)
+    in
+    hyperedges := List.rev_append edges !hyperedges
+  done;
+  create ~n1:g.B.n1 ~n2:g.B.n2 ~hyperedges:!hyperedges
+
+let min_max_h_size h =
+  let nh = num_hyperedges h in
+  if nh = 0 then invalid_arg "Hyper.Graph.min_max_h_size: no hyperedges";
+  let mn = ref max_int and mx = ref 0 in
+  for e = 0 to nh - 1 do
+    let s = h_size h e in
+    if s < !mn then mn := s;
+    if s > !mx then mx := s
+  done;
+  (!mn, !mx)
+
+let pp ppf h =
+  Format.fprintf ppf "hypergraph: |V1|=%d |V2|=%d |N|=%d pins=%d" h.n1 h.n2 (num_hyperedges h)
+    (num_pins h)

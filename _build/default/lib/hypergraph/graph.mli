@@ -1,0 +1,69 @@
+(** Bipartite hypergraphs H = (V1 ∪ V2, N) for MULTIPROC (paper Sec. II-B).
+
+    Every hyperedge contains exactly one task vertex (V1) and a non-empty set
+    of processor vertices (V2); it models one *configuration* of that task,
+    with weight w_h: the execution time the task adds to {e each} processor
+    of the configuration.  Hyperedges are stored canonically grouped by task,
+    so the hyperedges of task [v] are the contiguous ids
+    [task_off.(v) .. task_off.(v+1) − 1]. *)
+
+type t = private {
+  n1 : int;  (** number of tasks *)
+  n2 : int;  (** number of processors *)
+  task_off : int array;  (** length [n1+1]; hyperedge id ranges per task *)
+  h_off : int array;  (** length [num_hyperedges+1]; pin ranges per hyperedge *)
+  h_adj : int array;  (** processor pins, grouped by hyperedge *)
+  w : float array;  (** hyperedge weights *)
+}
+
+val create : n1:int -> n2:int -> hyperedges:(int * int array * float) list -> t
+(** [create ~n1 ~n2 ~hyperedges] from [(task, processors, weight)] triples.
+    Validates: endpoints in range, weights positive, processor sets non-empty
+    and duplicate-free.  Raises [Invalid_argument] otherwise.  Hyperedges are
+    re-grouped by task; relative order within a task is preserved (heuristic
+    tie-breaking is sensitive to it). *)
+
+val num_hyperedges : t -> int
+val num_pins : t -> int
+(** Σ_h |h ∩ V2| — the size measure reported in Table I. *)
+
+val task_degree : t -> int -> int
+(** Number of configurations of a task (d_v in the paper). *)
+
+val max_task_degree : t -> int
+
+val iter_task_hyperedges : t -> int -> (int -> unit) -> unit
+(** [iter_task_hyperedges h v f] calls [f] on each hyperedge id of task
+    [v]. *)
+
+val h_task : t -> int -> int
+(** Owning task of a hyperedge. *)
+
+val h_size : t -> int -> int
+(** |h ∩ V2|. *)
+
+val h_weight : t -> int -> float
+
+val iter_h_procs : t -> int -> (int -> unit) -> unit
+(** Iterate the processor pins of a hyperedge. *)
+
+val h_procs : t -> int -> int array
+(** Fresh array of the processor pins of a hyperedge. *)
+
+val with_weights : t -> float array -> t
+(** Same structure, new weights (length-checked, positive). *)
+
+val has_isolated_task : t -> bool
+(** True when some task has no configuration (infeasible instance). *)
+
+val of_bipartite : Bipartite.Graph.t -> t
+(** Degenerate embedding: each bipartite edge becomes a singleton-processor
+    hyperedge, so SINGLEPROC is literally the special case the paper
+    describes.  Hypergraph heuristics run unchanged on the result. *)
+
+val min_max_h_size : t -> int * int
+(** Smallest and largest configuration sizes (used by the Related weight
+    scheme).  Raises [Invalid_argument] on hypergraphs without
+    hyperedges. *)
+
+val pp : Format.formatter -> t -> unit

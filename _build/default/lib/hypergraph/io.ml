@@ -1,0 +1,58 @@
+let to_string h =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "hypergraph %d %d\n" h.Graph.n1 h.Graph.n2);
+  for e = 0 to Graph.num_hyperedges h - 1 do
+    Buffer.add_string buf (Printf.sprintf "h %d %g" (Graph.h_task h e) (Graph.h_weight h e));
+    Graph.iter_h_procs h e (fun u -> Buffer.add_string buf (Printf.sprintf " %d" u));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let fail line_no msg = failwith (Printf.sprintf "Hyper.Io: line %d: %s" line_no msg)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let hyperedges = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let line = String.trim line in
+      if line <> "" && not (String.length line > 0 && line.[0] = '#') then begin
+        let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+        match fields with
+        | "hypergraph" :: rest -> (
+            if !header <> None then fail line_no "duplicate header";
+            match List.map int_of_string_opt rest with
+            | [ Some n1; Some n2 ] -> header := Some (n1, n2)
+            | _ -> fail line_no "expected: hypergraph <n1> <n2>")
+        | "h" :: task :: weight :: procs -> (
+            if !header = None then fail line_no "hyperedge before header";
+            match (int_of_string_opt task, float_of_string_opt weight) with
+            | Some task, Some weight ->
+                let procs =
+                  List.map
+                    (fun s ->
+                      match int_of_string_opt s with
+                      | Some u -> u
+                      | None -> fail line_no "bad processor id")
+                    procs
+                in
+                hyperedges := (task, Array.of_list procs, weight) :: !hyperedges
+            | _ -> fail line_no "expected: h <task> <weight> <procs...>")
+        | _ -> fail line_no "unrecognized line"
+      end)
+    lines;
+  match !header with
+  | None -> failwith "Hyper.Io: missing header"
+  | Some (n1, n2) -> Graph.create ~n1 ~n2 ~hyperedges:(List.rev !hyperedges)
+
+let save path h =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string h))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

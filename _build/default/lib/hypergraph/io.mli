@@ -1,0 +1,22 @@
+(** A small text format for MULTIPROC instances, used by the CLI and the
+    examples.
+
+    {v
+    # optional comments
+    hypergraph <n1> <n2>
+    h <task> <weight> <proc> <proc> ...
+    v}
+
+    One [h] line per hyperedge (configuration); tasks and processors are
+    0-based.  Weights are decimal floats.  Hyperedge order is preserved,
+    so heuristic tie-breaking is stable across a round-trip. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on parse errors and
+    [Invalid_argument] on semantic ones (via {!Graph.create}). *)
+
+val save : string -> Graph.t -> unit
+(** [save path h]. *)
+
+val load : string -> Graph.t

@@ -1,0 +1,90 @@
+type histogram = (int * int) list
+
+type t = {
+  num_tasks : int;
+  num_procs : int;
+  num_hyperedges : int;
+  num_pins : int;
+  task_degree_hist : histogram;
+  h_size_hist : histogram;
+  proc_pin_hist : histogram;
+  mean_task_degree : float;
+  mean_h_size : float;
+  weight_min : float;
+  weight_max : float;
+}
+
+let histogram values =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    values;
+  List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
+
+let compute h =
+  let nh = Graph.num_hyperedges h in
+  if nh = 0 then invalid_arg "Hyper.Stats.compute: no hyperedges";
+  let n1 = h.Graph.n1 and n2 = h.Graph.n2 in
+  let task_degrees = Array.init n1 (Graph.task_degree h) in
+  let h_sizes = Array.init nh (Graph.h_size h) in
+  let proc_pins = Array.make n2 0 in
+  for e = 0 to nh - 1 do
+    Graph.iter_h_procs h e (fun u -> proc_pins.(u) <- proc_pins.(u) + 1)
+  done;
+  let weight_min = ref infinity and weight_max = ref neg_infinity in
+  for e = 0 to nh - 1 do
+    let w = Graph.h_weight h e in
+    if w < !weight_min then weight_min := w;
+    if w > !weight_max then weight_max := w
+  done;
+  {
+    num_tasks = n1;
+    num_procs = n2;
+    num_hyperedges = nh;
+    num_pins = Graph.num_pins h;
+    task_degree_hist = histogram task_degrees;
+    h_size_hist = histogram h_sizes;
+    proc_pin_hist = histogram proc_pins;
+    mean_task_degree = float_of_int nh /. float_of_int (max n1 1);
+    mean_h_size = float_of_int (Graph.num_pins h) /. float_of_int nh;
+    weight_min = !weight_min;
+    weight_max = !weight_max;
+  }
+
+let render_hist ppf hist =
+  List.iter (fun (v, c) -> Buffer.add_string ppf (Printf.sprintf "    %6d: %d\n" v c)) hist
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "tasks %d, processors %d, hyperedges %d, pins %d\n" t.num_tasks t.num_procs
+       t.num_hyperedges t.num_pins);
+  Buffer.add_string buf
+    (Printf.sprintf "mean configurations/task %.2f, mean processors/configuration %.2f\n"
+       t.mean_task_degree t.mean_h_size);
+  Buffer.add_string buf (Printf.sprintf "weights in [%g, %g]\n" t.weight_min t.weight_max);
+  Buffer.add_string buf "configurations per task:\n";
+  render_hist buf t.task_degree_hist;
+  Buffer.add_string buf "processors per configuration:\n";
+  render_hist buf t.h_size_hist;
+  Buffer.add_string buf "hyperedges per processor:\n";
+  render_hist buf t.proc_pin_hist;
+  Buffer.contents buf
+
+let to_dot h =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph hypergraph {\n  rankdir=LR;\n";
+  for v = 0 to h.Graph.n1 - 1 do
+    Buffer.add_string buf (Printf.sprintf "  t%d [label=\"T%d\" shape=circle];\n" v (v + 1))
+  done;
+  for u = 0 to h.Graph.n2 - 1 do
+    Buffer.add_string buf (Printf.sprintf "  p%d [label=\"P%d\" shape=box];\n" u (u + 1))
+  done;
+  for e = 0 to Graph.num_hyperedges h - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  h%d [shape=point xlabel=\"w=%g\"];\n" e (Graph.h_weight h e));
+    Buffer.add_string buf (Printf.sprintf "  t%d -- h%d;\n" (Graph.h_task h e) e);
+    Graph.iter_h_procs h e (fun u -> Buffer.add_string buf (Printf.sprintf "  h%d -- p%d;\n" e u))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Instance statistics beyond the Table I counts: degree and size
+    distributions, used by `semimatch_cli info --verbose` and by tests that
+    validate the generators' distributional claims (binomial configuration
+    counts, HiLo pin structure). *)
+
+type histogram = (int * int) list
+(** Sorted [(value, frequency)] pairs. *)
+
+type t = {
+  num_tasks : int;
+  num_procs : int;
+  num_hyperedges : int;
+  num_pins : int;
+  task_degree_hist : histogram;  (** configurations per task *)
+  h_size_hist : histogram;  (** processors per configuration *)
+  proc_pin_hist : histogram;  (** hyperedges touching each processor *)
+  mean_task_degree : float;
+  mean_h_size : float;
+  weight_min : float;
+  weight_max : float;
+}
+
+val compute : Graph.t -> t
+(** Raises [Invalid_argument] on hypergraphs without hyperedges. *)
+
+val render : t -> string
+(** Multi-line human-readable summary. *)
+
+val to_dot : Graph.t -> string
+(** Graphviz rendering of small hypergraphs: tasks as circles, processors as
+    boxes, one point node per hyperedge connecting its task to its
+    processors (the standard bipartite expansion of a hypergraph). *)

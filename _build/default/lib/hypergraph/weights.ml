@@ -1,0 +1,26 @@
+type t = Unit | Related | Random of { lo : int; hi : int }
+
+let default_random = Random { lo = 1; hi = 10 }
+
+let name = function
+  | Unit -> "unit"
+  | Related -> "related"
+  | Random { lo; hi } -> Printf.sprintf "random[%d,%d]" lo hi
+
+let apply ?rng scheme h =
+  let nh = Graph.num_hyperedges h in
+  let weights =
+    match scheme with
+    | Unit -> Array.make nh 1.0
+    | Related ->
+        let mn, mx = Graph.min_max_h_size h in
+        let product = mn * mx in
+        Array.init nh (fun e ->
+            float_of_int ((product + Graph.h_size h e - 1) / Graph.h_size h e))
+    | Random { lo; hi } -> (
+        if lo <= 0 || hi < lo then invalid_arg "Weights.apply: need 0 < lo <= hi";
+        match rng with
+        | None -> invalid_arg "Weights.apply: Random scheme needs ~rng"
+        | Some rng -> Array.init nh (fun _ -> float_of_int (Randkit.Prng.int_in_range rng ~lo ~hi)))
+  in
+  Graph.with_weights h weights

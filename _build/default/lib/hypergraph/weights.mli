@@ -1,0 +1,25 @@
+(** Hyperedge weight schemes used in the MULTIPROC experiments
+    (paper Sec. V-A.2).
+
+    - [Unit]: every weight 1 — the MULTIPROC-UNIT instances of Table II.
+    - [Related]: w_h = ⌈(min_j s_j · max_j s_j) / s_h⌉ where s_h = |h ∩ V2| —
+      "if a task is assigned to more processors, its computation time gets
+      smaller"; the deterministic scheme of Table III.
+    - [Random]: integer weights uniform in [lo, hi] — the double-check data
+      set of the technical report (Table 8 there). *)
+
+type t =
+  | Unit
+  | Related
+  | Random of { lo : int; hi : int }
+
+val default_random : t
+(** [Random {lo = 1; hi = 10}]. *)
+
+val name : t -> string
+(** "unit", "related", "random[lo,hi]". *)
+
+val apply : ?rng:Randkit.Prng.t -> t -> Graph.t -> Graph.t
+(** [apply scheme h] recomputes all hyperedge weights.  [rng] is required for
+    [Random] (raises [Invalid_argument] otherwise) and ignored for the
+    deterministic schemes. *)

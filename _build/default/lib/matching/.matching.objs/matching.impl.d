@@ -1,0 +1,1 @@
+lib/matching/matching.ml: Array Bipartite Dfs_engine Engine_common Hopcroft_karp_engine Push_relabel_engine

@@ -1,0 +1,1 @@
+lib/matching/dfs_engine.ml: Array Bipartite Ds Engine_common

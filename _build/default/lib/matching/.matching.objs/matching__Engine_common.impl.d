@@ -1,0 +1,1 @@
+lib/matching/engine_common.ml: Array Bipartite Ds

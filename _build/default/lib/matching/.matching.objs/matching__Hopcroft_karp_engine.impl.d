@@ -1,0 +1,1 @@
+lib/matching/hopcroft_karp_engine.ml: Array Bipartite Ds Engine_common Queue

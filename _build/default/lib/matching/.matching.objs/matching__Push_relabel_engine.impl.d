@@ -1,0 +1,1 @@
+lib/matching/push_relabel_engine.ml: Array Bipartite Ds Engine_common Queue

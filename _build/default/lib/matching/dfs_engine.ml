@@ -1,0 +1,58 @@
+(* Augmenting-path DFS with a lookahead pass: before descending, each visited
+   row first checks all its neighbours for residual capacity (Duff-Kaya-Uçar
+   style lookahead), which avoids most deep searches on easy instances. *)
+
+module G = Bipartite.Graph
+open Engine_common
+
+let run ?(stats = fresh_stats ()) g ~caps =
+  let st = create g ~caps in
+  greedy_init st;
+  let visited = Array.make g.G.n2 (-1) in
+  let round = ref 0 in
+  let rec augment v =
+    stats.scans <- stats.scans + 1;
+    (* Lookahead: directly claim a processor with spare capacity. *)
+    let direct = ref (-1) in
+    G.iter_neighbors g v (fun u _w -> if !direct < 0 && residual st u > 0 then direct := u);
+    if !direct >= 0 then begin
+      assign st v !direct;
+      stats.augmentations <- stats.augmentations + 1;
+      true
+    end
+    else
+      (* Descend: try to relocate one occupant of a saturated neighbour. *)
+      let rec over_neighbors e =
+        if e >= g.G.off.(v + 1) then false
+        else begin
+          let u = g.G.adj.(e) in
+          if visited.(u) = !round then over_neighbors (e + 1)
+          else begin
+            visited.(u) <- !round;
+            let occupants = Ds.Vec.to_array st.matched_of.(u) in
+            let rec try_occupants i =
+              if i >= Array.length occupants then false
+              else begin
+                let v' = occupants.(i) in
+                if st.mate1.(v') = u && augment v' then begin
+                  (* v' found a new home via the recursive call; take its
+                     slot in u's occupant list. *)
+                  replace_occupant st ~v ~from:u ~victim:v';
+                  true
+                end
+                else try_occupants (i + 1)
+              end
+            in
+            if try_occupants 0 then true else over_neighbors (e + 1)
+          end
+        end
+      in
+      over_neighbors g.G.off.(v)
+  in
+  for v = 0 to g.G.n1 - 1 do
+    if st.mate1.(v) < 0 then begin
+      incr round;
+      ignore (augment v)
+    end
+  done;
+  st.mate1

@@ -1,0 +1,81 @@
+(* Hopcroft–Karp generalized to V2 capacities: a BFS phase layers the rows by
+   alternating distance (a processor with residual capacity terminates the
+   layering), then a layered DFS augments along vertex-disjoint shortest
+   paths.  O(sqrt(V) * E) phases bound carries over from the unit case. *)
+
+module G = Bipartite.Graph
+open Engine_common
+
+let inf = max_int
+
+let run ?(stats = fresh_stats ()) g ~caps =
+  let st = create g ~caps in
+  greedy_init st;
+  let dist = Array.make g.G.n1 inf in
+  let queue = Queue.create () in
+  let bfs () =
+    stats.phases <- stats.phases + 1;
+    Queue.clear queue;
+    Array.fill dist 0 g.G.n1 inf;
+    for v = 0 to g.G.n1 - 1 do
+      if st.mate1.(v) < 0 then begin
+        dist.(v) <- 0;
+        Queue.add v queue
+      end
+    done;
+    let found = ref inf in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if dist.(v) < !found then
+        G.iter_neighbors g v (fun u _w ->
+            if residual st u > 0 then found := min !found (dist.(v) + 1)
+            else
+              Ds.Vec.iter
+                (fun v' ->
+                  if dist.(v') = inf then begin
+                    dist.(v') <- dist.(v) + 1;
+                    Queue.add v' queue
+                  end)
+                st.matched_of.(u))
+    done;
+    !found < inf
+  in
+  let rec dfs v =
+    stats.scans <- stats.scans + 1;
+    let rec over_edges e =
+      if e >= g.G.off.(v + 1) then begin
+        dist.(v) <- inf;
+        false
+      end
+      else begin
+        let u = g.G.adj.(e) in
+        if residual st u > 0 then begin
+          assign st v u;
+          stats.augmentations <- stats.augmentations + 1;
+          true
+        end
+        else begin
+          let occupants = Ds.Vec.to_array st.matched_of.(u) in
+          let rec try_occupants i =
+            if i >= Array.length occupants then false
+            else begin
+              let v' = occupants.(i) in
+              if st.mate1.(v') = u && dist.(v') = dist.(v) + 1 && dfs v' then begin
+                replace_occupant st ~v ~from:u ~victim:v';
+                true
+              end
+              else try_occupants (i + 1)
+            end
+          in
+          if try_occupants 0 then true else over_edges (e + 1)
+        end
+      end
+    in
+    over_edges g.G.off.(v)
+  in
+  while bfs () do
+    for v = 0 to g.G.n1 - 1 do
+      if st.mate1.(v) < 0 then ignore (dfs v)
+    done
+  done;
+  st.mate1

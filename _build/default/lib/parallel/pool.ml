@@ -1,0 +1,42 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b outcome = Value of 'b | Error of exn
+
+let map ?jobs ~f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      let requested = match jobs with Some j -> j | None -> default_jobs () in
+      if requested < 1 then invalid_arg "Pool.map: jobs must be positive"
+      else min requested n
+    in
+    if jobs = 1 then Array.map f items
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec claim () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let outcome = try Value (f items.(i)) with e -> Error e in
+            (* Distinct indices: no two domains ever write the same slot. *)
+            results.(i) <- Some outcome;
+            claim ()
+          end
+        in
+        claim ()
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      Array.map
+        (function
+          | Some (Value v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false)
+        results
+    end
+  end
+
+let map_list ?jobs ~f items = Array.to_list (map ?jobs ~f (Array.of_list items))

@@ -1,0 +1,22 @@
+(** Minimal multicore work pool over OCaml 5 domains.
+
+    Used by the experiment drivers to spread independent instance
+    evaluations across cores.  Work items are claimed from a shared atomic
+    counter, so uneven item costs (e.g. EVG on a p = 4096 instance next to
+    SGH on a tiny one) balance automatically.  With [jobs = 1] everything
+    runs in the calling domain — the default on single-core machines, and
+    the right choice whenever wall-clock timings are being measured. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~f items] applies [f] to every element, preserving order of
+    results.  [f] must be safe to run concurrently on distinct elements
+    (the experiment drivers only share immutable specs).  If any application
+    raises, the first exception (in item order) is re-raised after all
+    domains have joined.  [jobs] defaults to {!default_jobs}; it is clamped
+    to [1 .. Array.length items]. *)
+
+val map_list : ?jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** List convenience wrapper over {!map}. *)

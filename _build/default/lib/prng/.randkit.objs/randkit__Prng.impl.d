@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Array Int Int64 Set

@@ -1,0 +1,36 @@
+(* Binomial(n, p) by inversion of the CDF: walk the probability masses
+   using the recurrence pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+   Numerically safe for the small n (<= tens of thousands) and moderate means
+   used by the generators.  For p > 1/2 we sample the complement to keep the
+   walk short and the masses well-scaled. *)
+
+let sample_direct rng ~trials ~p =
+  if p <= 0.0 then 0
+  else if p >= 1.0 then trials
+  else begin
+    let q = 1.0 -. p in
+    let u = ref (Prng.float rng 1.0) in
+    (* pmf(0) = q^n, computed in log-space to survive large n. *)
+    let log_pmf0 = float_of_int trials *. log q in
+    let pmf = ref (exp log_pmf0) in
+    let k = ref 0 in
+    let ratio = p /. q in
+    while !u > !pmf && !k < trials do
+      u := !u -. !pmf;
+      pmf := !pmf *. float_of_int (trials - !k) /. float_of_int (!k + 1) *. ratio;
+      incr k
+    done;
+    !k
+  end
+
+let sample rng ~trials ~p =
+  if trials < 0 then invalid_arg "Binomial.sample: negative trials";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial.sample: p outside [0,1]";
+  if p > 0.5 then trials - sample_direct rng ~trials ~p:(1.0 -. p)
+  else sample_direct rng ~trials ~p
+
+let sample_mean rng ~mean ~trials =
+  if trials <= 0 then invalid_arg "Binomial.sample_mean: trials must be positive";
+  if mean < 0.0 || mean > float_of_int trials then
+    invalid_arg "Binomial.sample_mean: mean outside [0, trials]";
+  sample rng ~trials ~p:(mean /. float_of_int trials)

@@ -1,0 +1,15 @@
+(** Binomial sampling for the degree distributions of the FewgManyg bipartite
+    generator and the first step of the MULTIPROC hypergraph generator
+    (paper Sec. V-A: vertex degrees are "sampled from a binomial distribution
+    with mean d"). *)
+
+val sample : Prng.t -> trials:int -> p:float -> int
+(** [sample rng ~trials ~p] draws Binomial(trials, p).  Exact inversion for
+    small [trials * p]; BTPE-free normal-approximation-with-correction is
+    deliberately avoided: [trials] in this code base is at most a few
+    thousand, so inversion stays cheap and exact. *)
+
+val sample_mean : Prng.t -> mean:float -> trials:int -> int
+(** [sample_mean rng ~mean ~trials] draws Binomial(trials, mean/trials), the
+    paper's "binomial with mean d" convention.  Requires
+    [0 <= mean <= trials]. *)

@@ -1,0 +1,77 @@
+(** User-facing scheduling API.
+
+    This is the layer a downstream application talks to: named tasks and
+    processors, configurations given as processor-name lists with execution
+    times, algorithm selection, and a readable schedule report.  Underneath,
+    an instance is compiled into the hypergraph of {!Hyper.Graph} and solved
+    with the semi-matching machinery of {!Semimatch}.
+
+    {[
+      let instance =
+        Sched.instance
+          ~processors:[ "cpu0"; "cpu1"; "gpu" ]
+          ~tasks:
+            [
+              Sched.task "render" [ Sched.config [ "gpu" ] ~time:2.0;
+                                    Sched.config [ "cpu0"; "cpu1" ] ~time:3.0 ];
+              Sched.task "encode" [ Sched.config [ "cpu0" ] ~time:4.0 ];
+            ]
+      in
+      let schedule = Sched.solve instance in
+      Format.printf "%a@." Sched.pp_schedule schedule
+    ]} *)
+
+type config
+(** One way to run a task: a set of processors and the execution time each of
+    them spends. *)
+
+type task_spec
+
+type instance
+
+val config : string list -> time:float -> config
+(** [config processors ~time] — processor names must be distinct and
+    non-empty; [time] must be positive.  Violations are reported when the
+    instance is built. *)
+
+val task : string -> config list -> task_spec
+(** [task name configs] — a task with its alternative configurations (at
+    least one required). *)
+
+val instance : processors:string list -> tasks:task_spec list -> instance
+(** Builds and validates an instance.  Raises [Invalid_argument] on duplicate
+    names, unknown processors in configurations, empty configuration lists,
+    or non-positive times. *)
+
+val num_tasks : instance -> int
+val num_processors : instance -> int
+val hypergraph : instance -> Hyper.Graph.t
+(** The compiled hypergraph (tasks and processors in declaration order). *)
+
+(** Algorithm selection: the four MULTIPROC heuristics, optionally refined by
+    local search, or — for instances whose configurations are all sequential
+    with unit time — the exact SINGLEPROC-UNIT algorithm. *)
+type algorithm =
+  | Greedy of Semimatch.Greedy_hyper.algorithm
+  | Greedy_refined of Semimatch.Greedy_hyper.algorithm
+  | Exact_unit_sequential
+
+val default_algorithm : algorithm
+(** [Greedy Expected_vector_greedy_hyp] — the paper's best performer. *)
+
+val algorithm_name : algorithm -> string
+
+type schedule = {
+  makespan : float;
+  assignment : (string * string list * float) list;
+      (** task name, processors used, execution time *)
+  processor_loads : (string * float) list;  (** in declaration order *)
+  lower_bound : float;  (** the paper's Eq. 1 bound for this instance *)
+}
+
+val solve : ?algorithm:algorithm -> instance -> schedule
+(** Raises [Invalid_argument] if [Exact_unit_sequential] is requested on an
+    instance that is not single-processor unit-time. *)
+
+val pp_schedule : Format.formatter -> schedule -> unit
+(** Multi-line human-readable report. *)

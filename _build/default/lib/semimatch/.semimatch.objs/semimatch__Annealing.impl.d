@@ -1,0 +1,1 @@
+lib/semimatch/annealing.ml: Array Float Greedy_hyper Hyp_assignment Hyper Randkit

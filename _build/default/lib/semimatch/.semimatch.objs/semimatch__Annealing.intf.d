@@ -1,0 +1,1 @@
+lib/semimatch/annealing.mli: Hyp_assignment Hyper Randkit

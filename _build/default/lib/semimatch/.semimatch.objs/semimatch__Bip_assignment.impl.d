@@ -1,0 +1,1 @@
+lib/semimatch/bip_assignment.ml: Array Bipartite

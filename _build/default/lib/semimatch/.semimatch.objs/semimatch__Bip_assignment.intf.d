@@ -1,0 +1,1 @@
+lib/semimatch/bip_assignment.mli: Bipartite

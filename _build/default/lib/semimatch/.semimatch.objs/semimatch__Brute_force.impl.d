@@ -1,0 +1,1 @@
+lib/semimatch/brute_force.ml: Array Bip_assignment Hyp_assignment Hyper

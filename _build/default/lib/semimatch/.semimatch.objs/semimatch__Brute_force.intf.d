@@ -1,0 +1,1 @@
+lib/semimatch/brute_force.mli: Bip_assignment Bipartite Hyp_assignment Hyper

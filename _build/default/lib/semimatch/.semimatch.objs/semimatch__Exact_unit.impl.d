@@ -1,0 +1,1 @@
+lib/semimatch/exact_unit.ml: Array Bip_assignment Bipartite Lower_bound Matching

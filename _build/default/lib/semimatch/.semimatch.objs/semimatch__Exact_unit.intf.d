@@ -1,0 +1,1 @@
+lib/semimatch/exact_unit.mli: Bip_assignment Bipartite Matching

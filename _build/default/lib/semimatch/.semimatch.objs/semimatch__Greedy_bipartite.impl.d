@@ -1,0 +1,1 @@
+lib/semimatch/greedy_bipartite.ml: Array Bip_assignment Bipartite Ds Float

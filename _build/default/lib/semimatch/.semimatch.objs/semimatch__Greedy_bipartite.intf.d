@@ -1,0 +1,1 @@
+lib/semimatch/greedy_bipartite.mli: Bip_assignment Bipartite

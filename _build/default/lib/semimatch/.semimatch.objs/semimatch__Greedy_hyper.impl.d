@@ -1,0 +1,1 @@
+lib/semimatch/greedy_hyper.ml: Array Ds Hyp_assignment Hyper

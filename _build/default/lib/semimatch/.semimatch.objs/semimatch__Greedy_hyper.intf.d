@@ -1,0 +1,1 @@
+lib/semimatch/greedy_hyper.mli: Hyp_assignment Hyper

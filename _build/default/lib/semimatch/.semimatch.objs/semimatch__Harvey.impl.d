@@ -1,0 +1,1 @@
+lib/semimatch/harvey.ml: Array Bip_assignment Bipartite Ds Queue

@@ -1,0 +1,1 @@
+lib/semimatch/harvey.mli: Bip_assignment Bipartite

@@ -1,0 +1,1 @@
+lib/semimatch/hyp_assignment.mli: Hyper

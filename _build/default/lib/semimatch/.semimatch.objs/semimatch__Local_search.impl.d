@@ -1,0 +1,1 @@
+lib/semimatch/local_search.ml: Array Bip_assignment Ds Hyp_assignment Hyper

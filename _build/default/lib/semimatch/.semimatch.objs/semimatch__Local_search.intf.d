@@ -1,0 +1,1 @@
+lib/semimatch/local_search.mli: Bip_assignment Bipartite Hyp_assignment Hyper

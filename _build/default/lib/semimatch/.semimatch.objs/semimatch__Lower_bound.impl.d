@@ -1,0 +1,1 @@
+lib/semimatch/lower_bound.ml: Bipartite Float Hyper

@@ -1,0 +1,1 @@
+lib/semimatch/lower_bound.mli: Bipartite Hyper

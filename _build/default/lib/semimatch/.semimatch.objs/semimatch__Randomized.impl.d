@@ -1,0 +1,1 @@
+lib/semimatch/randomized.ml: Array Hyp_assignment Hyper Local_search Randkit

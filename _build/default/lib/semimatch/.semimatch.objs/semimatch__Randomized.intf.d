@@ -1,0 +1,1 @@
+lib/semimatch/randomized.mli: Hyp_assignment Hyper Randkit

@@ -1,0 +1,1 @@
+lib/semimatch/reduction.ml: Array Hyp_assignment Hyper List

@@ -1,0 +1,1 @@
+lib/semimatch/reduction.mli: Hyp_assignment Hyper

@@ -1,0 +1,83 @@
+module H = Hyper.Graph
+
+type params = { iterations : int; initial_temperature : float; cooling : float }
+
+let default_params h =
+  let nh = H.num_hyperedges h in
+  let avg_sq =
+    if nh = 0 then 1.0
+    else begin
+      let total = ref 0.0 in
+      for e = 0 to nh - 1 do
+        let w = H.h_weight h e in
+        total := !total +. (w *. w)
+      done;
+      !total /. float_of_int nh
+    end
+  in
+  { iterations = 20_000; initial_temperature = Float.max 1.0 avg_sq; cooling = 0.9995 }
+
+(* Energy bookkeeping: moving task v from e_old to e_new changes
+   Σ l² only on the touched processors; each update of load l by δ changes
+   the energy by 2lδ + δ². *)
+let refine ?params rng h start =
+  let params = match params with Some p -> p | None -> default_params h in
+  if params.iterations < 0 then invalid_arg "Annealing: negative iteration budget";
+  if not (params.cooling > 0.0 && params.cooling <= 1.0) then
+    invalid_arg "Annealing: cooling must be in (0, 1]";
+  let n1 = h.H.n1 in
+  let choice = Array.copy start.Hyp_assignment.choice in
+  let loads = Hyp_assignment.loads h start in
+  let makespan_of () = Array.fold_left Float.max 0.0 loads in
+  let energy_delta ~e_old ~e_new =
+    (* Apply: -w_old on e_old's procs, +w_new on e_new's; overlapping
+       processors see both. *)
+    let delta = ref 0.0 in
+    let w_old = H.h_weight h e_old and w_new = H.h_weight h e_new in
+    (* First remove, then add; account sequentially for overlap exactness. *)
+    H.iter_h_procs h e_old (fun u ->
+        let l = loads.(u) in
+        delta := !delta -. (2.0 *. l *. w_old) +. (w_old *. w_old);
+        loads.(u) <- l -. w_old);
+    H.iter_h_procs h e_new (fun u ->
+        let l = loads.(u) in
+        delta := !delta +. (2.0 *. l *. w_new) +. (w_new *. w_new);
+        loads.(u) <- l +. w_new);
+    !delta
+  in
+  let undo ~e_old ~e_new =
+    H.iter_h_procs h e_new (fun u -> loads.(u) <- loads.(u) -. H.h_weight h e_new);
+    H.iter_h_procs h e_old (fun u -> loads.(u) <- loads.(u) +. H.h_weight h e_old)
+  in
+  let best_choice = Array.copy choice in
+  let best_makespan = ref (makespan_of ()) in
+  let temperature = ref params.initial_temperature in
+  for _ = 1 to params.iterations do
+    let v = Randkit.Prng.int rng (max n1 1) in
+    if n1 > 0 && H.task_degree h v > 1 then begin
+      let e_old = choice.(v) in
+      let e_new = h.H.task_off.(v) + Randkit.Prng.int rng (H.task_degree h v) in
+      if e_new <> e_old then begin
+        let delta = energy_delta ~e_old ~e_new in
+        let accept =
+          delta <= 0.0
+          || (!temperature > 0.0 && Randkit.Prng.float rng 1.0 < exp (-.delta /. !temperature))
+        in
+        if accept then begin
+          choice.(v) <- e_new;
+          let m = makespan_of () in
+          if m < !best_makespan then begin
+            best_makespan := m;
+            Array.blit choice 0 best_choice 0 n1
+          end
+        end
+        else undo ~e_old ~e_new
+      end
+    end;
+    temperature := !temperature *. params.cooling
+  done;
+  (Hyp_assignment.of_choices h best_choice, !best_makespan)
+
+let solve ?params rng h =
+  let start = Greedy_hyper.run Greedy_hyper.Sorted_greedy_hyp h in
+  refine ?params rng h start

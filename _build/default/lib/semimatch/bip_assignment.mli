@@ -1,0 +1,26 @@
+(** Semi-matchings in bipartite graphs: every task (V1 vertex) is covered by
+    exactly one of its edges (paper Sec. II-A). *)
+
+type t = { edge : int array }
+(** [edge.(v)] is the global edge index chosen for task [v]. *)
+
+val of_edges : Bipartite.Graph.t -> int array -> t
+(** Validates that [edge.(v)] is an edge of [v] (global index inside [v]'s
+    CSR range); raises [Invalid_argument] otherwise. *)
+
+val of_mates : Bipartite.Graph.t -> int array -> t
+(** Build from a processor-per-task array (e.g. a matching's [mate1]); for
+    each task the first edge to the given processor is chosen.  All entries
+    must be valid processors. *)
+
+val processor : Bipartite.Graph.t -> t -> int -> int
+(** Processor executing a task. *)
+
+val loads : Bipartite.Graph.t -> t -> float array
+(** Per-processor load l(u) = Σ weights of chosen edges into u. *)
+
+val makespan : Bipartite.Graph.t -> t -> float
+(** max_u l(u); 0 for an empty task set. *)
+
+val is_valid : Bipartite.Graph.t -> t -> bool
+(** Structural check (coverage and range), for tests. *)

@@ -1,0 +1,61 @@
+module G = Bipartite.Graph
+
+type strategy = Incremental | Bisection
+
+let strategy_name = function Incremental -> "incremental" | Bisection -> "bisection"
+
+type solution = { makespan : int; assignment : Bip_assignment.t; deadlines_tried : int }
+
+let check g =
+  if not (G.is_unit_weighted g) then invalid_arg "Exact_unit: weights must all be 1";
+  if G.has_isolated_task g then invalid_arg "Exact_unit: task with no allowed processor";
+  if g.G.n1 > 0 && g.G.n2 = 0 then invalid_arg "Exact_unit: no processors"
+
+let feasible ?engine g ~d =
+  if d < 0 then invalid_arg "Exact_unit.feasible: negative deadline";
+  let caps = Array.make g.G.n2 d in
+  let result = Matching.solve ?engine ~capacities:caps g in
+  if result.Matching.size = g.G.n1 then Some (Bip_assignment.of_mates g result.Matching.mate1)
+  else None
+
+let solve ?engine ?(strategy = Incremental) g =
+  check g;
+  if g.G.n1 = 0 then
+    { makespan = 0; assignment = Bip_assignment.of_edges g [||]; deadlines_tried = 0 }
+  else begin
+    let tried = ref 0 in
+    let attempt d =
+      incr tried;
+      feasible ?engine g ~d
+    in
+    let lo0 = Lower_bound.singleproc_unit g in
+    match strategy with
+    | Incremental ->
+        let rec search d =
+          match attempt d with
+          | Some assignment -> { makespan = d; assignment; deadlines_tried = !tried }
+          | None -> search (d + 1)
+        in
+        search lo0
+    | Bisection ->
+        (* Invariant: makespan lo-1 infeasible (lo0-1 < LB is), hi feasible. *)
+        let rec bisect lo hi best =
+          if lo >= hi then { makespan = hi; assignment = best; deadlines_tried = !tried }
+          else begin
+            let mid = (lo + hi) / 2 in
+            match attempt mid with
+            | Some assignment -> bisect lo mid assignment
+            | None -> bisect (mid + 1) hi best
+          end
+        in
+        (* n1 is always feasible (stack everything on one allowed processor
+           per task), so start from the first feasible power-of-two probe to
+           avoid paying for huge hi when the optimum is small. *)
+        let rec find_hi d =
+          match attempt d with
+          | Some assignment -> (d, assignment)
+          | None -> find_hi (min g.G.n1 (2 * d))
+        in
+        let hi, best = find_hi (max lo0 1) in
+        bisect lo0 hi best
+  end

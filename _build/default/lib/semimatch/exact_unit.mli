@@ -1,0 +1,32 @@
+(** The exact polynomial-time algorithm for SINGLEPROC-UNIT (paper
+    Sec. IV-A).
+
+    For a trial deadline D, a schedule of makespan ≤ D exists iff the graph
+    G_D — D copies of every processor — admits a matching covering all tasks.
+    We express G_D with processor capacities instead of explicit copies and
+    search for the smallest feasible D.  [Incremental] is the paper's loop
+    (D = LB, LB+1, …); [Bisection] is the improved search the paper mentions
+    but does not implement — the ablation bench compares the two. *)
+
+type strategy = Incremental | Bisection
+
+val strategy_name : strategy -> string
+
+type solution = {
+  makespan : int;  (** the optimal makespan M_opt *)
+  assignment : Bip_assignment.t;
+  deadlines_tried : int;  (** matching computations performed *)
+}
+
+val solve :
+  ?engine:Matching.engine -> ?strategy:strategy -> Bipartite.Graph.t -> solution
+(** [solve g] computes an optimal SINGLEPROC-UNIT schedule.  Requires unit
+    weights and no isolated task; raises [Invalid_argument] otherwise.
+    Defaults: [Hopcroft_karp] engine (fastest here; the paper used
+    push-relabel, also available), [Incremental] strategy starting from the
+    trivial lower bound ⌈n/p⌉. *)
+
+val feasible : ?engine:Matching.engine -> Bipartite.Graph.t -> d:int -> Bip_assignment.t option
+(** [feasible g ~d] is a schedule of makespan ≤ [d] if one exists — the
+    single decision step, exposed for tests and for external search
+    loops. *)

@@ -1,0 +1,130 @@
+module G = Bipartite.Graph
+
+type algorithm = Basic | Sorted | Double_sorted | Expected | Heaviest_first
+
+let all = [ Basic; Sorted; Double_sorted; Expected ]
+let all_weighted = all @ [ Heaviest_first ]
+
+let name = function
+  | Basic -> "basic-greedy"
+  | Sorted -> "sorted-greedy"
+  | Double_sorted -> "double-sorted"
+  | Expected -> "expected-greedy"
+  | Heaviest_first -> "heaviest-first"
+
+let check g = if G.has_isolated_task g then invalid_arg "Greedy_bipartite: task with no allowed processor"
+
+let degree_order g =
+  Ds.Counting_sort.permutation ~n:g.G.n1 ~key:(fun v -> G.degree g v)
+    ~max_key:(max 1 (G.max_degree g))
+
+let input_order g = Array.init g.G.n1 (fun v -> v)
+
+(* LPT-style order: non-increasing cheapest execution time, stable. *)
+let heaviest_order g =
+  let key v =
+    G.fold_neighbors g v ~init:infinity ~f:(fun acc ~edge:_ _u w -> Float.min acc w)
+  in
+  let keys = Array.init g.G.n1 key in
+  let order = input_order g in
+  Array.stable_sort (fun a b -> compare keys.(b) keys.(a)) order;
+  order
+
+(* basic-greedy / sorted-greedy / heaviest-first: least resulting load
+   l(u) + w(e), first edge wins ties.  On unit weights the order coincides
+   with the paper's "least current load". *)
+let run_load_greedy g ~order =
+  let l = Array.make g.G.n2 0.0 in
+  let choice = Array.make g.G.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref (-1) and best_load = ref infinity in
+      G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          if l.(u) +. w < !best_load then begin
+            best := edge;
+            best_load := l.(u) +. w
+          end);
+      choice.(v) <- !best;
+      let u = G.edge_endpoint g !best in
+      l.(u) <- l.(u) +. G.edge_weight g !best)
+    order;
+  choice
+
+(* double-sorted (Algorithm 2): ties on load broken by processor in-degree. *)
+let run_double_sorted g =
+  let l = Array.make g.G.n2 0.0 in
+  let in_deg = G.in_degrees g in
+  let choice = Array.make g.G.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref (-1) and best_load = ref infinity and best_deg = ref max_int in
+      G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          let key = l.(u) +. w in
+          if key < !best_load || (key = !best_load && in_deg.(u) < !best_deg) then begin
+            best := edge;
+            best_load := key;
+            best_deg := in_deg.(u)
+          end);
+      choice.(v) <- !best;
+      let u = G.edge_endpoint g !best in
+      l.(u) <- l.(u) +. G.edge_weight g !best)
+    (degree_order g);
+  choice
+
+(* expected-greedy (Algorithm 3): o(u) holds the load u would receive if all
+   undecided tasks split uniformly over their options. *)
+let run_expected g =
+  let o = Array.make g.G.n2 0.0 in
+  for v = 0 to g.G.n1 - 1 do
+    let dv = float_of_int (G.degree g v) in
+    G.iter_neighbors g v (fun u w -> o.(u) <- o.(u) +. (w /. dv))
+  done;
+  let choice = Array.make g.G.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let dv = float_of_int (G.degree g v) in
+      let best = ref (-1) and best_o = ref infinity in
+      G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          (* Realized expectation o(u) + w − w/d_v; equal to "minimum o(u)"
+             (Algorithm 3) on unit weights, weight-aware otherwise — the
+             same convention as the hypergraph version. *)
+          let key = o.(u) +. w -. (w /. dv) in
+          if key < !best_o then begin
+            best := edge;
+            best_o := key
+          end);
+      choice.(v) <- !best;
+      (* Collapse the probability: the chosen option is realized, all other
+         options of v are discarded. *)
+      let chosen_u = G.edge_endpoint g !best and chosen_w = G.edge_weight g !best in
+      o.(chosen_u) <- o.(chosen_u) +. chosen_w -. (chosen_w /. dv);
+      G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          if edge <> !best then o.(u) <- o.(u) -. (w /. dv)))
+    (degree_order g);
+  choice
+
+let run algorithm g =
+  check g;
+  let choice =
+    match algorithm with
+    | Basic -> run_load_greedy g ~order:(input_order g)
+    | Sorted -> run_load_greedy g ~order:(degree_order g)
+    | Double_sorted -> run_double_sorted g
+    | Expected -> run_expected g
+    | Heaviest_first -> run_load_greedy g ~order:(heaviest_order g)
+  in
+  Bip_assignment.of_edges g choice
+
+let run_in_order g ~order =
+  check g;
+  if Array.length order <> g.G.n1 then invalid_arg "Greedy_bipartite.run_in_order: length mismatch";
+  let seen = Array.make g.G.n1 false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= g.G.n1 || seen.(v) then
+        invalid_arg "Greedy_bipartite.run_in_order: not a permutation";
+      seen.(v) <- true)
+    order;
+  Bip_assignment.of_edges g (run_load_greedy g ~order)
+
+let makespan algorithm g = Bip_assignment.makespan g (run algorithm g)

@@ -1,0 +1,44 @@
+(** The four greedy semi-matching heuristics for SINGLEPROC (paper
+    Sec. IV-B), each O(|E|) after the degree sort.
+
+    All heuristics generalize the paper's unit-weight pseudo-code to weighted
+    edges in the natural way: loads accumulate edge weights, and expected
+    loads accumulate w(v,u)/d_v, mirroring the hypergraph versions
+    (Algorithms 4–5).  On unit weights they coincide exactly with
+    Algorithms 1–3.
+
+    Tie-breaking is deterministic: the first edge (in adjacency order)
+    attaining the minimum key wins, and the degree sort is stable — this is
+    what lets the adversarial constructions of {!Bipartite.Adversarial}
+    reproduce the paper's worst cases verbatim. *)
+
+type algorithm =
+  | Basic  (** Algorithm 1: tasks in input order, least-loaded neighbour *)
+  | Sorted  (** tasks by non-decreasing out-degree *)
+  | Double_sorted  (** Algorithm 2: load ties broken by processor in-degree *)
+  | Expected  (** Algorithm 3: least *expected* load o(u), degree-sorted *)
+  | Heaviest_first
+      (** extension for weighted SINGLEPROC: tasks by non-increasing minimum
+          edge weight (LPT-style, after Graham), then least resulting load —
+          coincides with [Basic] on unit weights *)
+
+val all : algorithm list
+(** The paper's four heuristics, in presentation order ([Heaviest_first] is
+    excluded: it only differs on weighted instances). *)
+
+val all_weighted : algorithm list
+(** All five, for weighted experiments. *)
+
+val name : algorithm -> string
+
+val run : algorithm -> Bipartite.Graph.t -> Bip_assignment.t
+(** Raises [Invalid_argument] on instances with an isolated task. *)
+
+val run_in_order : Bipartite.Graph.t -> order:int array -> Bip_assignment.t
+(** The online setting: tasks committed irrevocably in the given arrival
+    order, each to the allowed processor with least resulting load.  [order]
+    must be a permutation of the tasks; raises [Invalid_argument]
+    otherwise. *)
+
+val makespan : algorithm -> Bipartite.Graph.t -> float
+(** Convenience: makespan of [run]. *)

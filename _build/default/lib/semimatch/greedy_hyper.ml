@@ -1,0 +1,203 @@
+module H = Hyper.Graph
+
+type algorithm =
+  | Sorted_greedy_hyp
+  | Expected_greedy_hyp
+  | Vector_greedy_hyp
+  | Expected_vector_greedy_hyp
+
+type vector_variant = Naive | Merged
+
+let all = [ Sorted_greedy_hyp; Expected_greedy_hyp; Vector_greedy_hyp; Expected_vector_greedy_hyp ]
+
+let name = function
+  | Sorted_greedy_hyp -> "sorted-greedy-hyp"
+  | Expected_greedy_hyp -> "expected-greedy-hyp"
+  | Vector_greedy_hyp -> "vector-greedy-hyp"
+  | Expected_vector_greedy_hyp -> "expected-vector-greedy-hyp"
+
+let short_name = function
+  | Sorted_greedy_hyp -> "SGH"
+  | Expected_greedy_hyp -> "EGH"
+  | Vector_greedy_hyp -> "VGH"
+  | Expected_vector_greedy_hyp -> "EVG"
+
+let check h =
+  if H.has_isolated_task h then invalid_arg "Greedy_hyper: task with no configuration"
+
+let degree_order h =
+  Ds.Counting_sort.permutation ~n:h.H.n1 ~key:(fun v -> H.task_degree h v)
+    ~max_key:(max 1 (H.max_task_degree h))
+
+(* Algorithm 4.  The bottleneck of realizing h is max_{u∈h}(l(u) + w_h);
+   on unit weights this order coincides with the paper's max l(u). *)
+let run_sorted h =
+  let l = Array.make h.H.n2 0.0 in
+  let choice = Array.make h.H.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref (-1) and best_key = ref infinity in
+      H.iter_task_hyperedges h v (fun e ->
+          let w = H.h_weight h e in
+          let bottleneck = ref 0.0 in
+          H.iter_h_procs h e (fun u -> if l.(u) > !bottleneck then bottleneck := l.(u));
+          let key = !bottleneck +. w in
+          if key < !best_key then begin
+            best := e;
+            best_key := key
+          end);
+      choice.(v) <- !best;
+      let w = H.h_weight h !best in
+      H.iter_h_procs h !best (fun u -> l.(u) <- l.(u) +. w))
+    (degree_order h);
+  choice
+
+(* Algorithm 5.  o(u) carries the expected load of u; realizing h converts
+   its expectation w_h/d_v into the full w_h and cancels the siblings'. *)
+let run_expected h =
+  let o = Array.make h.H.n2 0.0 in
+  for v = 0 to h.H.n1 - 1 do
+    let dv = float_of_int (H.task_degree h v) in
+    H.iter_task_hyperedges h v (fun e ->
+        let contribution = H.h_weight h e /. dv in
+        H.iter_h_procs h e (fun u -> o.(u) <- o.(u) +. contribution))
+  done;
+  let choice = Array.make h.H.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let dv = float_of_int (H.task_degree h v) in
+      let best = ref (-1) and best_key = ref infinity in
+      H.iter_task_hyperedges h v (fun e ->
+          (* Expected bottleneck if h were realized: every u ∈ h would carry
+             o(u) + w_h − w_h/d_v.  On unit weights the added term is the
+             same for all of v's options, so this order coincides with
+             Algorithm 5's literal "max o(u) minimum"; on weighted instances
+             it accounts for the candidate's own cost, mirroring the
+             tentative realization that defines EVG (Sec. IV-D4). *)
+          let w = H.h_weight h e in
+          let key = ref 0.0 in
+          H.iter_h_procs h e (fun u -> if o.(u) > !key then key := o.(u));
+          let key = !key +. w -. (w /. dv) in
+          if key < !best_key then begin
+            best := e;
+            best_key := key
+          end);
+      choice.(v) <- !best;
+      let chosen = !best in
+      let w = H.h_weight h chosen in
+      H.iter_h_procs h chosen (fun u -> o.(u) <- o.(u) +. w -. (w /. dv));
+      H.iter_task_hyperedges h v (fun e ->
+          if e <> chosen then begin
+            let w' = H.h_weight h e in
+            H.iter_h_procs h e (fun u -> o.(u) <- o.(u) -. (w' /. dv))
+          end))
+    (degree_order h);
+  choice
+
+(* Uniform-increment candidate comparison for VGH, per variant. *)
+let better_uniform ~variant lv ~cand:(procs, w) ~best:(bprocs, bw) =
+  match variant with
+  | Merged -> Ds.Load_vector.compare_hypothetical lv ~a:(procs, w) ~b:(bprocs, bw) < 0
+  | Naive ->
+      let va = Ds.Load_vector.hypothetical_sorted lv ~procs ~w in
+      let vb = Ds.Load_vector.hypothetical_sorted lv ~procs:bprocs ~w:bw in
+      compare va vb < 0
+
+let run_vector ~variant h =
+  let lv = Ds.Load_vector.create h.H.n2 in
+  let choice = Array.make h.H.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref (-1) and best_cand = ref ([||], 0.0) in
+      H.iter_task_hyperedges h v (fun e ->
+          let cand = (H.h_procs h e, H.h_weight h e) in
+          if !best < 0 || better_uniform ~variant lv ~cand ~best:!best_cand then begin
+            best := e;
+            best_cand := cand
+          end);
+      choice.(v) <- !best;
+      let procs, w = !best_cand in
+      Ds.Load_vector.apply lv ~procs ~w)
+    (degree_order h);
+  choice
+
+let better_delta ~variant lv ~cand ~best =
+  match variant with
+  | Merged -> Ds.Load_vector.compare_hypothetical_delta lv ~a:cand ~b:best < 0
+  | Naive ->
+      let procs_a, am_a = cand and procs_b, am_b = best in
+      let va = Ds.Load_vector.hypothetical_sorted_delta lv ~procs:procs_a ~amounts:am_a in
+      let vb = Ds.Load_vector.hypothetical_sorted_delta lv ~procs:procs_b ~amounts:am_b in
+      compare va vb < 0
+
+(* EVG: the load vector holds *expected* loads.  For task v, every candidate
+   h perturbs the processors in v's whole neighbourhood: −w_h'/d_v for each
+   sibling option h' (tentatively discarded) and additionally +w_h on h's own
+   processors (tentatively realized). *)
+let run_expected_vector ~variant h =
+  let lv = Ds.Load_vector.create h.H.n2 in
+  (* Initial expectations, as in Algorithm 5. *)
+  let o0 = Array.make h.H.n2 0.0 in
+  for v = 0 to h.H.n1 - 1 do
+    let dv = float_of_int (H.task_degree h v) in
+    H.iter_task_hyperedges h v (fun e ->
+        let contribution = H.h_weight h e /. dv in
+        H.iter_h_procs h e (fun u -> o0.(u) <- o0.(u) +. contribution))
+  done;
+  for u = 0 to h.H.n2 - 1 do
+    if o0.(u) <> 0.0 then Ds.Load_vector.add lv ~proc:u ~w:o0.(u)
+  done;
+  (* Scratch space to aggregate per-processor deltas of one task. *)
+  let stamp = Array.make h.H.n2 (-1) in
+  let index_of = Array.make h.H.n2 (-1) in
+  let choice = Array.make h.H.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let dv = float_of_int (H.task_degree h v) in
+      (* Union of processors across v's configurations, with the "discard
+         everything" base delta. *)
+      let union = Ds.Vec.create () in
+      H.iter_task_hyperedges h v (fun e ->
+          H.iter_h_procs h e (fun u ->
+              if stamp.(u) <> v then begin
+                stamp.(u) <- v;
+                index_of.(u) <- Ds.Vec.length union;
+                Ds.Vec.push union u
+              end));
+      let procs = Ds.Vec.to_array union in
+      let base = Array.make (Array.length procs) 0.0 in
+      H.iter_task_hyperedges h v (fun e ->
+          let w' = H.h_weight h e /. dv in
+          H.iter_h_procs h e (fun u -> base.(index_of.(u)) <- base.(index_of.(u)) -. w'));
+      let candidate e =
+        let amounts = Array.copy base in
+        let w = H.h_weight h e in
+        H.iter_h_procs h e (fun u -> amounts.(index_of.(u)) <- amounts.(index_of.(u)) +. w);
+        (procs, amounts)
+      in
+      let best = ref (-1) and best_cand = ref (procs, base) in
+      H.iter_task_hyperedges h v (fun e ->
+          let cand = candidate e in
+          if !best < 0 || better_delta ~variant lv ~cand ~best:!best_cand then begin
+            best := e;
+            best_cand := cand
+          end);
+      choice.(v) <- !best;
+      let bprocs, bamounts = !best_cand in
+      Ds.Load_vector.apply_delta lv ~procs:bprocs ~amounts:bamounts)
+    (degree_order h);
+  choice
+
+let run ?(vector_variant = Merged) algorithm h =
+  check h;
+  let choice =
+    match algorithm with
+    | Sorted_greedy_hyp -> run_sorted h
+    | Expected_greedy_hyp -> run_expected h
+    | Vector_greedy_hyp -> run_vector ~variant:vector_variant h
+    | Expected_vector_greedy_hyp -> run_expected_vector ~variant:vector_variant h
+  in
+  Hyp_assignment.of_choices h choice
+
+let makespan ?vector_variant algorithm h =
+  Hyp_assignment.makespan h (run ?vector_variant algorithm h)

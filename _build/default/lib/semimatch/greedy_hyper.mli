@@ -1,0 +1,47 @@
+(** The four greedy semi-matching heuristics for MULTIPROC (paper
+    Sec. IV-D): the heart of this library.
+
+    All visit tasks by non-decreasing number of configurations (stable
+    counting sort) and break ties by first hyperedge in input order.
+
+    - [Sorted_greedy_hyp] (SGH, Algorithm 4): realize the configuration whose
+      processors end up with the smallest bottleneck load.
+    - [Expected_greedy_hyp] (EGH, Algorithm 5): like SGH but on *expected*
+      loads o(u) = Σ w_h/d_v over undecided options, collapsed as choices
+      are made.
+    - [Vector_greedy_hyp] (VGH): compare whole hypothetical load vectors,
+      sorted descending, lexicographically — minimize the largest load, then
+      the second largest, and so on.
+    - [Expected_vector_greedy_hyp] (EVG): the vector comparison applied to
+      expected loads, tentatively realizing each candidate and tentatively
+      discarding its siblings.
+
+    The vector heuristics come in two variants: [Naive] re-sorts the whole
+    load vector per candidate (O(Σ d_v·|V2| log |V2|), what the paper
+    benchmarked) and [Merged] keeps the vector sorted and lazily merges
+    (O(Σ d_v·|V2|), the improvement the paper describes in Sec. IV-D3 but
+    left unimplemented).  Both return identical assignments; the ablation
+    bench measures the gap. *)
+
+type algorithm =
+  | Sorted_greedy_hyp
+  | Expected_greedy_hyp
+  | Vector_greedy_hyp
+  | Expected_vector_greedy_hyp
+
+type vector_variant = Naive | Merged
+
+val all : algorithm list
+
+val name : algorithm -> string
+(** Full names as in the paper: "sorted-greedy-hyp", …. *)
+
+val short_name : algorithm -> string
+(** Table column labels: "SGH", "VGH", "EGH", "EVG". *)
+
+val run : ?vector_variant:vector_variant -> algorithm -> Hyper.Graph.t -> Hyp_assignment.t
+(** Raises [Invalid_argument] on instances with a configuration-less task.
+    [vector_variant] (default [Merged]) only affects the two vector
+    heuristics' running time, never their output. *)
+
+val makespan : ?vector_variant:vector_variant -> algorithm -> Hyper.Graph.t -> float

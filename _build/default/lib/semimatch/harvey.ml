@@ -1,0 +1,97 @@
+module G = Bipartite.Graph
+
+type solution = { assignment : Bip_assignment.t; makespan : int; total_flow_time : int }
+
+let flow_time loads = Array.fold_left (fun acc l -> acc + (l * (l + 1) / 2)) 0 loads
+
+let check g =
+  if not (G.is_unit_weighted g) then invalid_arg "Harvey: weights must all be 1";
+  if G.has_isolated_task g then invalid_arg "Harvey: task with no allowed processor";
+  if g.G.n1 > 0 && g.G.n2 = 0 then invalid_arg "Harvey: no processors"
+
+type state = {
+  g : G.t;
+  mate : int array; (* task -> chosen edge, -1 while unassigned *)
+  loads : int array;
+  assigned : int Ds.Vec.t array; (* machine -> tasks currently on it *)
+  parent_edge : int array; (* machine -> BFS discovery edge *)
+  visited : int array; (* machine -> last BFS round that reached it *)
+  queue : int Queue.t;
+}
+
+(* BFS over alternating paths from the new task [v0]: task→any allowed
+   machine, machine→each task currently assigned to it.  Returns the
+   reachable machine with minimum current load. *)
+let search st ~round v0 =
+  Queue.clear st.queue;
+  Queue.add v0 st.queue;
+  let best_u = ref (-1) in
+  while not (Queue.is_empty st.queue) do
+    let v = Queue.pop st.queue in
+    G.fold_neighbors st.g v ~init:() ~f:(fun () ~edge u _w ->
+        if st.visited.(u) <> round then begin
+          st.visited.(u) <- round;
+          st.parent_edge.(u) <- edge;
+          if !best_u < 0 || st.loads.(u) < st.loads.(!best_u) then best_u := u;
+          Ds.Vec.iter (fun v' -> Queue.add v' st.queue) st.assigned.(u)
+        end)
+  done;
+  !best_u
+
+let remove_from st u v =
+  let occ = st.assigned.(u) in
+  let n = Ds.Vec.length occ in
+  let rec go i =
+    if Ds.Vec.get occ i = v then begin
+      Ds.Vec.set occ i (Ds.Vec.get occ (n - 1));
+      ignore (Ds.Vec.pop occ)
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* Flip the alternating path ending at [u_best]: the task discovered by
+   parent_edge moves onto the machine, its old machine continues the chain,
+   until the chain reaches the still-unassigned task v0.  Only the terminal
+   machine gains load; every intermediate machine swaps one task for
+   another. *)
+let augment st u_best =
+  st.loads.(u_best) <- st.loads.(u_best) + 1;
+  let rec flip u =
+    let e = st.parent_edge.(u) in
+    let v = G.edge_task st.g e in
+    let previous = st.mate.(v) in
+    st.mate.(v) <- e;
+    Ds.Vec.push st.assigned.(u) v;
+    if previous >= 0 then begin
+      let u_prev = G.edge_endpoint st.g previous in
+      remove_from st u_prev v;
+      flip u_prev
+    end
+  in
+  flip u_best
+
+let solve g =
+  check g;
+  let st =
+    {
+      g;
+      mate = Array.make g.G.n1 (-1);
+      loads = Array.make g.G.n2 0;
+      assigned = Array.init g.G.n2 (fun _ -> Ds.Vec.create ());
+      parent_edge = Array.make g.G.n2 (-1);
+      visited = Array.make g.G.n2 (-1);
+      queue = Queue.create ();
+    }
+  in
+  for v = 0 to g.G.n1 - 1 do
+    let u = search st ~round:v v in
+    assert (u >= 0);
+    augment st u
+  done;
+  let assignment = Bip_assignment.of_edges g st.mate in
+  {
+    assignment;
+    makespan = Array.fold_left max 0 st.loads;
+    total_flow_time = flow_time st.loads;
+  }

@@ -1,0 +1,36 @@
+module H = Hyper.Graph
+
+type t = { choice : int array }
+
+let check h choice =
+  if Array.length choice <> h.H.n1 then invalid_arg "Hyp_assignment: length mismatch";
+  Array.iteri
+    (fun v e ->
+      if e < h.H.task_off.(v) || e >= h.H.task_off.(v + 1) then
+        invalid_arg "Hyp_assignment: chosen hyperedge does not belong to the task")
+    choice
+
+let of_choices h choice =
+  check h choice;
+  { choice = Array.copy choice }
+
+let alloc h t v = H.h_procs h t.choice.(v)
+
+let loads h t =
+  let l = Array.make h.H.n2 0.0 in
+  Array.iter
+    (fun e ->
+      let w = H.h_weight h e in
+      H.iter_h_procs h e (fun u -> l.(u) <- l.(u) +. w))
+    t.choice;
+  l
+
+let makespan h t = Array.fold_left max 0.0 (loads h t)
+
+let total_work h t =
+  Array.fold_left
+    (fun acc e -> acc +. (H.h_weight h e *. float_of_int (H.h_size h e)))
+    0.0 t.choice
+
+let is_valid h t =
+  match check h t.choice with exception Invalid_argument _ -> false | () -> true

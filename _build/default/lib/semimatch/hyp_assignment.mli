@@ -1,0 +1,23 @@
+(** Semi-matchings in hypergraphs: one configuration (hyperedge) realized per
+    task (paper Sec. II-B). *)
+
+type t = { choice : int array }
+(** [choice.(v)] is the hyperedge id realized for task [v]. *)
+
+val of_choices : Hyper.Graph.t -> int array -> t
+(** Validates that [choice.(v)] is a hyperedge of task [v]; raises
+    [Invalid_argument] otherwise. *)
+
+val alloc : Hyper.Graph.t -> t -> int -> int array
+(** alloc(v) = chosen processor set of task [v]. *)
+
+val loads : Hyper.Graph.t -> t -> float array
+(** l(u) = Σ over realized hyperedges containing u of their weight. *)
+
+val makespan : Hyper.Graph.t -> t -> float
+
+val total_work : Hyper.Graph.t -> t -> float
+(** Σ_h realized w_h · |h ∩ V2| — the quantity whose best case drives the
+    paper's lower bound. *)
+
+val is_valid : Hyper.Graph.t -> t -> bool

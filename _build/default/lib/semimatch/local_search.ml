@@ -1,0 +1,73 @@
+module H = Hyper.Graph
+
+(* A move takes task v from hyperedge e_old to e_new.  Its delta touches the
+   processors of both configurations: −w_old on e_old's, +w_new on e_new's,
+   summed per processor when the sets overlap. *)
+let move_delta h ~stamp ~index_of ~v ~e_old ~e_new =
+  let union = Ds.Vec.create () in
+  let touch e =
+    H.iter_h_procs h e (fun u ->
+        if stamp.(u) <> v then begin
+          stamp.(u) <- v;
+          index_of.(u) <- Ds.Vec.length union;
+          Ds.Vec.push union u
+        end)
+  in
+  touch e_old;
+  touch e_new;
+  let procs = Ds.Vec.to_array union in
+  let amounts = Array.make (Array.length procs) 0.0 in
+  let w_old = H.h_weight h e_old and w_new = H.h_weight h e_new in
+  H.iter_h_procs h e_old (fun u -> amounts.(index_of.(u)) <- amounts.(index_of.(u)) -. w_old);
+  H.iter_h_procs h e_new (fun u -> amounts.(index_of.(u)) <- amounts.(index_of.(u)) +. w_new);
+  (procs, amounts)
+
+let refine ?(max_passes = 50) h a =
+  if max_passes < 0 then invalid_arg "Local_search.refine: negative pass budget";
+  let choice = Array.copy a.Hyp_assignment.choice in
+  let lv = Ds.Load_vector.create h.H.n2 in
+  Array.iter
+    (fun e -> Ds.Load_vector.apply lv ~procs:(H.h_procs h e) ~w:(H.h_weight h e))
+    choice;
+  let stamp = Array.make h.H.n2 (-1) and index_of = Array.make h.H.n2 (-1) in
+  let no_move = ([||], [||]) in
+  let moves = ref 0 in
+  let pass () =
+    let improved = ref false in
+    for v = 0 to h.H.n1 - 1 do
+      (* Greedily accept moves while v still improves; the stamp trick needs
+         a fresh marker per evaluation, so reuse task id by re-stamping. *)
+      let e_old = choice.(v) in
+      let best = ref e_old and best_delta = ref no_move in
+      H.iter_task_hyperedges h v (fun e_new ->
+          if e_new <> e_old then begin
+            let cand = move_delta h ~stamp ~index_of ~v ~e_old ~e_new in
+            let reference = if !best = e_old then no_move else !best_delta in
+            if Ds.Load_vector.compare_hypothetical_delta lv ~a:cand ~b:reference < 0 then begin
+              best := e_new;
+              best_delta := cand
+            end;
+            (* Invalidate stamps so the next candidate rebuilds its union. *)
+            Array.iter (fun u -> stamp.(u) <- -1) (fst cand)
+          end);
+      if !best <> e_old then begin
+        let procs, amounts = !best_delta in
+        Ds.Load_vector.apply_delta lv ~procs ~amounts;
+        choice.(v) <- !best;
+        incr moves;
+        improved := true
+      end
+    done;
+    !improved
+  in
+  let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
+  loop max_passes;
+  (Hyp_assignment.of_choices h choice, !moves)
+
+let refine_bipartite ?max_passes g a =
+  let h = H.of_bipartite g in
+  (* The embedding lists one singleton hyperedge per bipartite edge in the
+     same order, so edge ids and hyperedge ids coincide. *)
+  let start = Hyp_assignment.of_choices h a.Bip_assignment.edge in
+  let refined, moves = refine ?max_passes h start in
+  (Bip_assignment.of_edges g refined.Hyp_assignment.choice, moves)

@@ -1,0 +1,46 @@
+module H = Hyper.Graph
+module G = Bipartite.Graph
+
+let cheapest_time h v =
+  if H.task_degree h v = 0 then invalid_arg "Lower_bound: task without configuration";
+  let best = ref infinity in
+  H.iter_task_hyperedges h v (fun e ->
+      let time = H.h_weight h e *. float_of_int (H.h_size h e) in
+      if time < !best then best := time);
+  !best
+
+let multiproc h =
+  if h.H.n2 = 0 then invalid_arg "Lower_bound.multiproc: no processors";
+  let total = ref 0.0 in
+  for v = 0 to h.H.n1 - 1 do
+    total := !total +. cheapest_time h v
+  done;
+  !total /. float_of_int h.H.n2
+
+let multiproc_refined h =
+  let heaviest_cheapest = ref 0.0 in
+  for v = 0 to h.H.n1 - 1 do
+    let best_w = ref infinity in
+    H.iter_task_hyperedges h v (fun e ->
+        let w = H.h_weight h e in
+        if w < !best_w then best_w := w);
+    if H.task_degree h v = 0 then invalid_arg "Lower_bound: task without configuration";
+    if !best_w > !heaviest_cheapest then heaviest_cheapest := !best_w
+  done;
+  Float.max (multiproc h) !heaviest_cheapest
+
+let singleproc g =
+  if g.G.n2 = 0 then invalid_arg "Lower_bound.singleproc: no processors";
+  let total = ref 0.0 and heaviest = ref 0.0 in
+  for v = 0 to g.G.n1 - 1 do
+    if G.degree g v = 0 then invalid_arg "Lower_bound: task without allowed processor";
+    let best = ref infinity in
+    G.iter_neighbors g v (fun _u w -> if w < !best then best := w);
+    total := !total +. !best;
+    if !best > !heaviest then heaviest := !best
+  done;
+  Float.max (!total /. float_of_int g.G.n2) !heaviest
+
+let singleproc_unit g =
+  if g.G.n2 = 0 then invalid_arg "Lower_bound.singleproc_unit: no processors";
+  if g.G.n1 = 0 then 0 else ((g.G.n1 - 1) / g.G.n2) + 1

@@ -1,0 +1,26 @@
+(** Lower bounds on the optimal makespan.
+
+    [multiproc] is exactly the paper's LB (Eq. 1, Sec. IV-C): each task in
+    its globally cheapest configuration (minimum w_h · |h ∩ V2|), the total
+    work spread perfectly evenly over the p processors.  The paper notes the
+    bound is "very optimistic"; Tables II/III report heuristic makespans as
+    ratios to it.
+
+    [multiproc_refined] additionally observes that some processor receives at
+    least the full weight of every task's cheapest-by-weight configuration —
+    a valid bound the paper does not use; EXPERIMENTS.md reports both. *)
+
+val multiproc : Hyper.Graph.t -> float
+(** LB = (1/p) Σ_i min_{h ∋ T_i} w_h·|h∩V2|.  Raises [Invalid_argument] on
+    infeasible instances (a task with no configuration). *)
+
+val multiproc_refined : Hyper.Graph.t -> float
+(** max(LB, max_i min_{h ∋ T_i} w_h). *)
+
+val singleproc : Bipartite.Graph.t -> float
+(** The bipartite specialization: (1/p) Σ_i min-weight edge of T_i, combined
+    with max_i of the same minima. *)
+
+val singleproc_unit : Bipartite.Graph.t -> int
+(** ⌈n/p⌉ for unit weights — the trivial starting deadline of the exact
+    SINGLEPROC-UNIT algorithm. *)

@@ -1,0 +1,52 @@
+module H = Hyper.Graph
+
+let check h =
+  if H.has_isolated_task h then invalid_arg "Randomized: task with no configuration"
+
+let random_assignment rng h =
+  check h;
+  let choice =
+    Array.init h.H.n1 (fun v ->
+        h.H.task_off.(v) + Randkit.Prng.int rng (H.task_degree h v))
+  in
+  Hyp_assignment.of_choices h choice
+
+let random_order_greedy rng h =
+  check h;
+  let order = Array.init h.H.n1 (fun v -> v) in
+  Randkit.Prng.shuffle_in_place rng order;
+  let l = Array.make h.H.n2 0.0 in
+  let choice = Array.make h.H.n1 (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref (-1) and best_key = ref infinity in
+      H.iter_task_hyperedges h v (fun e ->
+          let w = H.h_weight h e in
+          let bottleneck = ref 0.0 in
+          H.iter_h_procs h e (fun u -> if l.(u) > !bottleneck then bottleneck := l.(u));
+          let key = !bottleneck +. w in
+          if key < !best_key then begin
+            best := e;
+            best_key := key
+          end);
+      choice.(v) <- !best;
+      let w = H.h_weight h !best in
+      H.iter_h_procs h !best (fun u -> l.(u) <- l.(u) +. w))
+    order;
+  Hyp_assignment.of_choices h choice
+
+let restarts ?(refine = false) ~rounds rng h construct =
+  if rounds <= 0 then invalid_arg "Randomized.restarts: rounds must be positive";
+  check h;
+  let best = ref None in
+  for _ = 1 to rounds do
+    let candidate = construct (Randkit.Prng.split rng) h in
+    let candidate =
+      if refine then fst (Local_search.refine h candidate) else candidate
+    in
+    let makespan = Hyp_assignment.makespan h candidate in
+    match !best with
+    | Some (_, m) when m <= makespan -> ()
+    | _ -> best := Some (candidate, makespan)
+  done;
+  match !best with Some result -> result | None -> assert false

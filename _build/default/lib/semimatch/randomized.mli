@@ -1,0 +1,33 @@
+(** Randomized baselines and restart wrappers.
+
+    The paper's heuristics are deterministic; these baselines quantify how
+    much of their quality comes from informed decisions versus sheer luck:
+
+    - [random_assignment]: every task picks a configuration uniformly at
+      random — the floor any heuristic must clear.
+    - [random_order_greedy]: the greedy rule of SGH but visiting tasks in a
+      random order instead of by degree — isolates the value of the
+      degree sort.
+    - [restarts]: run a randomized construction k times, keep the best
+      makespan; optionally refine each candidate with local search
+      (a GRASP-style wrapper, an extension in the spirit of the paper's
+      future-work section). *)
+
+val random_assignment : Randkit.Prng.t -> Hyper.Graph.t -> Hyp_assignment.t
+(** Uniform configuration per task.  Raises [Invalid_argument] on
+    configuration-less tasks. *)
+
+val random_order_greedy : Randkit.Prng.t -> Hyper.Graph.t -> Hyp_assignment.t
+(** SGH's bottleneck rule over a uniformly shuffled task order. *)
+
+val restarts :
+  ?refine:bool ->
+  rounds:int ->
+  Randkit.Prng.t ->
+  Hyper.Graph.t ->
+  (Randkit.Prng.t -> Hyper.Graph.t -> Hyp_assignment.t) ->
+  Hyp_assignment.t * float
+(** [restarts ~rounds rng h construct] runs [construct] [rounds] times with
+    independent streams split from [rng] and returns the best assignment with
+    its makespan.  [refine] (default false) applies {!Local_search.refine} to
+    each candidate first.  [rounds] must be positive. *)

@@ -1,0 +1,66 @@
+type x3c = { q : int; triples : (int * int * int) list }
+
+let check { q; triples } =
+  if q < 0 then invalid_arg "Reduction: negative q";
+  let n = 3 * q in
+  List.iter
+    (fun (a, b, c) ->
+      if a = b || b = c || a = c then invalid_arg "Reduction: triple with repeated element";
+      List.iter
+        (fun x -> if x < 0 || x >= n then invalid_arg "Reduction: element out of range")
+        [ a; b; c ])
+    triples;
+  if q > 0 && triples = [] then invalid_arg "Reduction: empty collection"
+
+let to_multiproc ({ q; triples } as inst) =
+  check inst;
+  let hyperedges = ref [] in
+  for v = q - 1 downto 0 do
+    List.iter (fun (a, b, c) -> hyperedges := (v, [| a; b; c |], 1.0) :: !hyperedges) (List.rev triples)
+  done;
+  Hyper.Graph.create ~n1:q ~n2:(3 * q) ~hyperedges:!hyperedges
+
+let has_exact_cover ({ q; triples } as inst) =
+  check inst;
+  let n = 3 * q in
+  let covered = Array.make n false in
+  let triples = Array.of_list triples in
+  (* Backtracking: always branch on the smallest uncovered element; only
+     triples containing it can cover it. *)
+  let rec solve covered_count =
+    if covered_count = n then true
+    else begin
+      let e = ref 0 in
+      while covered.(!e) do
+        incr e
+      done;
+      let elem = !e in
+      let try_triple (a, b, c) =
+        if (a = elem || b = elem || c = elem) && (not covered.(a)) && (not covered.(b)) && not covered.(c)
+        then begin
+          covered.(a) <- true;
+          covered.(b) <- true;
+          covered.(c) <- true;
+          let ok = solve (covered_count + 3) in
+          covered.(a) <- false;
+          covered.(b) <- false;
+          covered.(c) <- false;
+          ok
+        end
+        else false
+      in
+      Array.exists try_triple triples
+    end
+  in
+  q = 0 || solve 0
+
+let cover_of_schedule { q; triples } h a =
+  if Hyp_assignment.makespan h a > 1.0 then None
+  else begin
+    let triples = Array.of_list triples in
+    Some
+      (List.init q (fun v ->
+           (* Hyperedges of task v are its |C| triples in order. *)
+           let e = a.Hyp_assignment.choice.(v) - h.Hyper.Graph.task_off.(v) in
+           triples.(e)))
+  end

@@ -1,0 +1,27 @@
+(** The Theorem-1 reduction: Exact Cover by 3-Sets ≤p MULTIPROC-UNIT
+    (paper Sec. III).
+
+    An X3C instance has a ground set X of 3q elements and a collection C of
+    3-element subsets; it is a yes-instance iff some C' ⊆ C covers every
+    element exactly once.  The reduction builds a MULTIPROC-UNIT instance
+    with the elements as processors and q tasks, each offered every triple of
+    C as a configuration: an exact cover exists iff a schedule of makespan 1
+    does.  Used by the test suite to validate the heuristics and the
+    brute-force solver against each other on both yes- and no-instances. *)
+
+type x3c = { q : int; triples : (int * int * int) list }
+(** Ground set is [0 .. 3q−1]; triples must have three distinct in-range
+    members. *)
+
+val to_multiproc : x3c -> Hyper.Graph.t
+(** The reduced instance: q tasks, 3q processors, |C| configurations per
+    task, unit weights.  Raises [Invalid_argument] on malformed input
+    (including an empty collection with q > 0). *)
+
+val has_exact_cover : x3c -> bool
+(** Exponential-time reference decision procedure (backtracking over
+    triples), for small test instances. *)
+
+val cover_of_schedule : x3c -> Hyper.Graph.t -> Hyp_assignment.t -> (int * int * int) list option
+(** Extract an exact cover from a makespan-1 schedule of the reduced
+    instance; [None] when the schedule's makespan exceeds 1. *)

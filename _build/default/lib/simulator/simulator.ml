@@ -1,0 +1,111 @@
+module H = Hyper.Graph
+
+type policy = Fifo | Spt | Lpt | Random_order of int
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Spt -> "spt"
+  | Lpt -> "lpt"
+  | Random_order seed -> Printf.sprintf "random[%d]" seed
+
+type part_event = { task : int; proc : int; start : float; finish : float }
+
+type trace = {
+  events : part_event list;
+  task_completion : float array;
+  proc_busy : float array;
+  makespan : float;
+}
+
+type part = { p_task : int; p_len : float }
+
+let order_queue policy parts =
+  match policy with
+  | Fifo -> parts (* already in task order by construction *)
+  | Spt ->
+      let a = Array.of_list parts in
+      Array.stable_sort (fun x y -> compare x.p_len y.p_len) a;
+      Array.to_list a
+  | Lpt ->
+      let a = Array.of_list parts in
+      Array.stable_sort (fun x y -> compare y.p_len x.p_len) a;
+      Array.to_list a
+  | Random_order seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let a = Array.of_list parts in
+      Randkit.Prng.shuffle_in_place rng a;
+      Array.to_list a
+
+let run ?(policy = Fifo) h a =
+  let n1 = h.H.n1 and n2 = h.H.n2 in
+  (* Build per-processor part queues from the realized configurations. *)
+  let queues = Array.make n2 [] in
+  for v = n1 - 1 downto 0 do
+    let e = a.Semimatch.Hyp_assignment.choice.(v) in
+    let w = H.h_weight h e in
+    H.iter_h_procs h e (fun u -> queues.(u) <- { p_task = v; p_len = w } :: queues.(u))
+  done;
+  let queues = Array.map (fun q -> ref (order_queue policy q)) queues in
+  (* Discrete-event loop: the heap holds each busy processor keyed by the
+     finish time of its running part; popping the earliest finish emits the
+     event and starts the processor's next part. *)
+  let heap = Ds.Indexed_heap.create (max n2 1) in
+  let running = Array.make n2 { p_task = -1; p_len = 0.0 } in
+  let started = Array.make n2 0.0 in
+  let start_next u now =
+    match !(queues.(u)) with
+    | [] -> ()
+    | part :: rest ->
+        queues.(u) := rest;
+        running.(u) <- part;
+        started.(u) <- now;
+        Ds.Indexed_heap.insert heap u (now +. part.p_len)
+  in
+  for u = 0 to n2 - 1 do
+    start_next u 0.0
+  done;
+  let events = ref [] in
+  let task_completion = Array.make n1 0.0 in
+  let proc_busy = Array.make n2 0.0 in
+  let makespan = ref 0.0 in
+  let rec loop () =
+    match Ds.Indexed_heap.pop_min heap with
+    | None -> ()
+    | Some (u, finish) ->
+        let part = running.(u) in
+        events := { task = part.p_task; proc = u; start = started.(u); finish } :: !events;
+        proc_busy.(u) <- proc_busy.(u) +. part.p_len;
+        if finish > task_completion.(part.p_task) then task_completion.(part.p_task) <- finish;
+        if finish > !makespan then makespan := finish;
+        start_next u finish;
+        loop ()
+  in
+  loop ();
+  let events = List.sort (fun a b -> compare (a.start, a.proc) (b.start, b.proc)) !events in
+  { events; task_completion; proc_busy; makespan = !makespan }
+
+let average_completion trace =
+  let n = Array.length trace.task_completion in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 trace.task_completion /. float_of_int n
+
+let gantt ?(width = 72) ~proc_names trace =
+  if width <= 0 then invalid_arg "Simulator.gantt: width must be positive";
+  let n2 = Array.length trace.proc_busy in
+  let horizon = if trace.makespan > 0.0 then trace.makespan else 1.0 in
+  let buf = Buffer.create 1024 in
+  let cell_of_time = float_of_int width /. horizon in
+  let rows = Array.init n2 (fun _ -> Bytes.make width '.') in
+  List.iter
+    (fun e ->
+      let first = int_of_float (e.start *. cell_of_time) in
+      let last = min (width - 1) (int_of_float (e.finish *. cell_of_time) - 1) in
+      let glyph = "0123456789abcdef".[e.task land 0xf] in
+      for c = min first (width - 1) to max (min first (width - 1)) last do
+        Bytes.set rows.(e.proc) c glyph
+      done)
+    trace.events;
+  Buffer.add_string buf (Printf.sprintf "time 0 .. %g (one column = %g)\n" horizon (horizon /. float_of_int width));
+  Array.iteri
+    (fun u row -> Buffer.add_string buf (Printf.sprintf "%-10s |%s|\n" (proc_names u) (Bytes.to_string row)))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Bipartite Hyper List QCheck QCheck_alcotest Randkit Semimatch

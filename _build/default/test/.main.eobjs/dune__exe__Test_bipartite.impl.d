@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Array Bipartite List Matching Printf Randkit Semimatch String

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Fun Hyper In_channel List Printf Semimatch String Sys Unix

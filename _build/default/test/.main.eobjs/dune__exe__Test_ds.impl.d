@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Ds Fun Hashtbl List QCheck QCheck_alcotest Randkit

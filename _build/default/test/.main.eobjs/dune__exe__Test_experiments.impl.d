@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bipartite Experiments Hyper List Randkit Semimatch String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Bipartite Experiments Hyper List Semimatch

@@ -1,0 +1,1 @@
+test/test_harvey.ml: Alcotest Array Bipartite List Printf QCheck QCheck_alcotest Randkit Semimatch

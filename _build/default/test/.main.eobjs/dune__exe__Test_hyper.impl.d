@@ -1,0 +1,1 @@
+test/test_hyper.ml: Alcotest Array Bipartite Float Hyper List Randkit String

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Bipartite Hyper List Printf QCheck QCheck_alcotest Randkit Sched Semimatch

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Hyper QCheck QCheck_alcotest Randkit String Sys

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Bipartite List Matching Printf QCheck QCheck_alcotest Randkit

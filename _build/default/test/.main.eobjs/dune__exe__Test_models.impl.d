@@ -1,0 +1,1 @@
+test/test_models.ml: Array Ds Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_randomized.ml: Alcotest Hyper List QCheck QCheck_alcotest Randkit Semimatch

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float Format Hyper List Sched Semimatch String

@@ -1,0 +1,1 @@
+test/test_semimatch.ml: Alcotest Array Bipartite Fun Hyper List Matching Printf QCheck QCheck_alcotest Randkit Semimatch

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Float Hashtbl Hyper List Printf QCheck QCheck_alcotest Randkit Semimatch Simulator String

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "semimatch"
+    [
+      ("prng", Test_prng.suite);
+      ("ds", Test_ds.suite);
+      ("bipartite", Test_bipartite.suite);
+      ("matching", Test_matching.suite);
+      ("hypergraph", Test_hyper.suite);
+      ("semimatch", Test_semimatch.suite);
+      ("harvey", Test_harvey.suite);
+      ("io", Test_io.suite);
+      ("simulator", Test_simulator.suite);
+      ("randomized", Test_randomized.suite);
+      ("parallel", Test_parallel.suite);
+      ("invariants", Test_invariants.suite);
+      ("annealing", Test_annealing.suite);
+      ("golden", Test_golden.suite);
+      ("models", Test_models.suite);
+      ("cli", Test_cli.suite);
+      ("sched", Test_sched.suite);
+      ("experiments", Test_experiments.suite);
+    ]

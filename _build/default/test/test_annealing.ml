@@ -1,0 +1,82 @@
+module H = Hyper.Graph
+module A = Semimatch.Annealing
+module Ha = Semimatch.Hyp_assignment
+
+let check = Alcotest.(check bool)
+
+let random_instance seed =
+  let rng = Randkit.Prng.create ~seed in
+  let n1 = 2 + Randkit.Prng.int rng 15 and n2 = 2 + Randkit.Prng.int rng 5 in
+  let hyperedges = ref [] in
+  for v = 0 to n1 - 1 do
+    let configs = 1 + Randkit.Prng.int rng 3 in
+    for _ = 1 to configs do
+      let size = 1 + Randkit.Prng.int rng (min 3 n2) in
+      let procs = Randkit.Prng.sample_without_replacement rng ~k:size ~n:n2 in
+      hyperedges := (v, procs, float_of_int (1 + Randkit.Prng.int rng 4)) :: !hyperedges
+    done
+  done;
+  H.create ~n1 ~n2 ~hyperedges:(List.rev !hyperedges)
+
+let never_worse_prop =
+  QCheck.Test.make ~name:"annealing never returns worse than its start" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let h = random_instance seed in
+      let start = Semimatch.Greedy_hyper.run Semimatch.Greedy_hyper.Sorted_greedy_hyp h in
+      let rng = Randkit.Prng.create ~seed in
+      let params = { (A.default_params h) with A.iterations = 2000 } in
+      let refined, reported = A.refine ~params rng h start in
+      Ha.is_valid h refined
+      && abs_float (Ha.makespan h refined -. reported) < 1e-9
+      && reported <= Ha.makespan h start +. 1e-9)
+
+let deterministic_prop =
+  QCheck.Test.make ~name:"annealing deterministic for a fixed seed" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let h = random_instance seed in
+      let run () =
+        let rng = Randkit.Prng.create ~seed:777 in
+        let params = { (A.default_params h) with A.iterations = 1000 } in
+        snd (A.solve ~params rng h)
+      in
+      run () = run ())
+
+let test_escapes_fig3_trap () =
+  (* The k=3 trap: sorted-greedy is stuck at 3, annealing should find its
+     way down (the planted optimum is 1 and moves are local). *)
+  let g = Bipartite.Adversarial.sorted_greedy_trap ~k:3 in
+  let h = H.of_bipartite g in
+  let rng = Randkit.Prng.create ~seed:12 in
+  let params = { A.iterations = 50_000; initial_temperature = 1.0; cooling = 0.9999 } in
+  let _, makespan = A.solve ~params rng h in
+  check "improves on the trapped 3" true (makespan <= 2.0)
+
+let test_param_validation () =
+  let h = random_instance 1 in
+  let start = Semimatch.Greedy_hyper.run Semimatch.Greedy_hyper.Sorted_greedy_hyp h in
+  let rng = Randkit.Prng.create ~seed:1 in
+  Alcotest.check_raises "bad cooling" (Invalid_argument "Annealing: cooling must be in (0, 1]")
+    (fun () ->
+      ignore
+        (A.refine ~params:{ A.iterations = 10; initial_temperature = 1.0; cooling = 1.5 } rng h start))
+
+let test_zero_iterations_identity () =
+  let h = random_instance 2 in
+  let start = Semimatch.Greedy_hyper.run Semimatch.Greedy_hyper.Sorted_greedy_hyp h in
+  let rng = Randkit.Prng.create ~seed:1 in
+  let refined, m =
+    A.refine ~params:{ A.iterations = 0; initial_temperature = 1.0; cooling = 0.99 } rng h start
+  in
+  Alcotest.(check (float 1e-9)) "same makespan" (Ha.makespan h start) m;
+  check "same choices" true (refined.Ha.choice = start.Ha.choice)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest never_worse_prop;
+    QCheck_alcotest.to_alcotest deterministic_prop;
+    Alcotest.test_case "escapes the fig3 trap" `Quick test_escapes_fig3_trap;
+    Alcotest.test_case "parameter validation" `Quick test_param_validation;
+    Alcotest.test_case "zero iterations = identity" `Quick test_zero_iterations_identity;
+  ]

@@ -1,0 +1,239 @@
+module G = Bipartite.Graph
+module Hilo = Bipartite.Hilo
+module Fm = Bipartite.Fewg_manyg
+module Adv = Bipartite.Adversarial
+
+let check = Alcotest.(check bool)
+
+(* ---------------------------------------------------------------- Graph *)
+
+let test_create_and_degrees () =
+  let g = G.create ~n1:3 ~n2:2 ~edges:[ (0, 0, 1.0); (0, 1, 2.0); (1, 0, 1.0); (2, 1, 5.0) ] in
+  Alcotest.(check int) "edges" 4 (G.num_edges g);
+  Alcotest.(check int) "deg T0" 2 (G.degree g 0);
+  Alcotest.(check int) "deg T2" 1 (G.degree g 2);
+  Alcotest.(check int) "max degree" 2 (G.max_degree g);
+  Alcotest.(check (array int)) "in-degrees" [| 2; 2 |] (G.in_degrees g);
+  check "not unit" false (G.is_unit_weighted g);
+  check "no isolated" false (G.has_isolated_task g)
+
+let test_create_validation () =
+  let raises msg f = Alcotest.check_raises "invalid" (Invalid_argument msg) f in
+  raises "Bipartite.Graph: V1 endpoint out of range" (fun () ->
+      ignore (G.create ~n1:1 ~n2:1 ~edges:[ (1, 0, 1.0) ]));
+  raises "Bipartite.Graph: V2 endpoint out of range" (fun () ->
+      ignore (G.create ~n1:1 ~n2:1 ~edges:[ (0, 1, 1.0) ]));
+  raises "Bipartite.Graph: weight must be positive" (fun () ->
+      ignore (G.create ~n1:1 ~n2:1 ~edges:[ (0, 0, 0.0) ]))
+
+let test_isolated_task () =
+  let g = G.unit_weights ~n1:2 ~n2:1 ~edges:[ (0, 0) ] in
+  check "task 1 isolated" true (G.has_isolated_task g)
+
+let test_neighbor_iteration_order () =
+  let g = G.create ~n1:1 ~n2:3 ~edges:[ (0, 2, 1.0); (0, 0, 2.0); (0, 1, 3.0) ] in
+  let order = ref [] in
+  G.iter_neighbors g 0 (fun u w -> order := (u, w) :: !order);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "input order preserved"
+    [ (2, 1.0); (0, 2.0); (1, 3.0) ]
+    (List.rev !order)
+
+let test_edge_accessors () =
+  let g = G.create ~n1:2 ~n2:2 ~edges:[ (0, 1, 4.0); (1, 0, 2.0) ] in
+  let collected =
+    G.fold_neighbors g 0 ~init:[] ~f:(fun acc ~edge u w -> (edge, u, w) :: acc)
+  in
+  (match collected with
+  | [ (e, u, w) ] ->
+      Alcotest.(check int) "endpoint via accessor" u (G.edge_endpoint g e);
+      Alcotest.(check (float 1e-9)) "weight via accessor" w (G.edge_weight g e)
+  | _ -> Alcotest.fail "expected one edge");
+  check "structure equality" true (G.equal_structure g g)
+
+let test_of_adjacency () =
+  let g = G.of_adjacency ~n2:3 [| [ (0, 1.0); (2, 2.0) ]; [ (1, 1.0) ] |] in
+  Alcotest.(check int) "edges" 3 (G.num_edges g);
+  Alcotest.(check int) "deg 0" 2 (G.degree g 0)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_to_dot_mentions_all () =
+  let g = Adv.fig1 () in
+  let dot = G.to_dot g in
+  List.iter (fun s -> check ("dot contains " ^ s) true (contains ~needle:s dot)) [ "T1"; "T2"; "P1"; "P2" ]
+
+(* ----------------------------------------------------------------- HiLo *)
+
+let test_hilo_fig_structure () =
+  (* Small divisible case: n1 = n2 = 8, g = 2, d = 1. *)
+  let adj = Hilo.adjacency ~n1:8 ~n2:8 ~g:2 ~d:1 in
+  (* First vertex of group 0 (i=1): k ranges over max(1, 1-1)...1 = {1}; its
+     group and the next one. *)
+  Alcotest.(check (array int)) "x^0_1" [| 0; 4 |] adj.(0);
+  (* Second vertex (i=2): k in {1,2} of groups 0 and 1. *)
+  Alcotest.(check (array int)) "x^0_2" [| 0; 1; 4; 5 |] adj.(1);
+  (* Last group has no next group. *)
+  Alcotest.(check (array int)) "x^1_1" [| 4 |] adj.(4)
+
+let test_hilo_unique_perfect_matching_case () =
+  (* For n1 = n2 and d = 0 every vertex x^j_i connects to y^j_i (and the
+     next group's), and the graph admits a perfect matching. *)
+  let g = Hilo.generate ~n1:16 ~n2:16 ~g:4 ~d:0 in
+  check "no isolated" false (G.has_isolated_task g);
+  let m = Matching.solve g in
+  Alcotest.(check int) "perfect matching" 16 m.Matching.size
+
+let test_hilo_task_surplus () =
+  (* n1 > n2: within-group index caps at p/g, so high-index tasks share the
+     tail processors. *)
+  let adj = Hilo.adjacency ~n1:40 ~n2:8 ~g:2 ~d:2 in
+  Array.iteri
+    (fun v neighbors ->
+      check (Printf.sprintf "task %d has neighbours" v) true (Array.length neighbors > 0);
+      Array.iter (fun u -> check "in range" true (u >= 0 && u < 8)) neighbors)
+    adj
+
+let test_hilo_determinism () =
+  let a = Hilo.generate ~n1:24 ~n2:12 ~g:3 ~d:2 and b = Hilo.generate ~n1:24 ~n2:12 ~g:3 ~d:2 in
+  check "deterministic" true (G.equal_structure a b)
+
+let test_hilo_invalid_args () =
+  Alcotest.check_raises "bad g" (Invalid_argument "Hilo.adjacency: invalid group count") (fun () ->
+      ignore (Hilo.adjacency ~n1:4 ~n2:4 ~g:0 ~d:1))
+
+(* ----------------------------------------------------------- FewgManyg *)
+
+let test_fewg_degrees_in_pool () =
+  let rng = Randkit.Prng.create ~seed:7 in
+  let adj = Fm.adjacency rng ~n1:200 ~n2:64 ~g:8 ~d:5 in
+  Array.iteri
+    (fun v neighbors ->
+      check (Printf.sprintf "task %d nonempty" v) true (Array.length neighbors >= 1);
+      (* Distinct and sorted. *)
+      for i = 1 to Array.length neighbors - 1 do
+        check "distinct sorted" true (neighbors.(i - 1) < neighbors.(i))
+      done)
+    adj
+
+let test_fewg_mean_degree () =
+  let rng = Randkit.Prng.create ~seed:11 in
+  let adj = Fm.adjacency rng ~n1:2000 ~n2:256 ~g:32 ~d:10 in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
+  let mean = float_of_int total /. 2000.0 in
+  check "mean close to 10" true (abs_float (mean -. 10.0) < 0.5)
+
+let test_fewg_neighbors_in_adjacent_groups () =
+  let rng = Randkit.Prng.create ~seed:13 in
+  let n2 = 64 and g = 8 in
+  let adj = Fm.adjacency rng ~n1:80 ~n2 ~g ~d:3 in
+  let group_of_v2 u = u * g / n2 in
+  Array.iteri
+    (fun v neighbors ->
+      let gv = v * g / 80 in
+      Array.iter
+        (fun u ->
+          let gu = group_of_v2 u in
+          let diff = (gu - gv + g) mod g in
+          check "neighbour group within ±1 (wrap)" true (diff = 0 || diff = 1 || diff = g - 1))
+        neighbors)
+    adj
+
+let test_fewg_small_pool_replacement_path () =
+  (* g close to n2 forces tiny pools; with d larger than the pool the
+     generator must fall back to replacement sampling and still produce
+     distinct neighbours. *)
+  let rng = Randkit.Prng.create ~seed:17 in
+  let adj = Fm.adjacency rng ~n1:50 ~n2:16 ~g:8 ~d:10 in
+  Array.iter
+    (fun neighbors ->
+      check "nonempty" true (Array.length neighbors >= 1);
+      check "bounded by pool" true (Array.length neighbors <= 6);
+      for i = 1 to Array.length neighbors - 1 do
+        check "distinct" true (neighbors.(i - 1) < neighbors.(i))
+      done)
+    adj
+
+let test_fewg_reproducible () =
+  let mk () =
+    let rng = Randkit.Prng.create ~seed:23 in
+    Fm.generate rng ~n1:100 ~n2:32 ~g:4 ~d:4
+  in
+  check "same seed, same graph" true (G.equal_structure (mk ()) (mk ()))
+
+(* ---------------------------------------------------------- Adversarial *)
+
+let test_fig1_shape () =
+  let g = Adv.fig1 () in
+  Alcotest.(check int) "tasks" 2 g.G.n1;
+  Alcotest.(check int) "procs" 2 g.G.n2;
+  Alcotest.(check int) "deg T1" 2 (G.degree g 0);
+  Alcotest.(check int) "deg T2" 1 (G.degree g 1)
+
+let test_sorted_trap_shape () =
+  let k = 4 in
+  let g = Adv.sorted_greedy_trap ~k in
+  Alcotest.(check int) "tasks" ((1 lsl k) - 1) g.G.n1;
+  Alcotest.(check int) "procs" (1 lsl k) g.G.n2;
+  for v = 0 to g.G.n1 - 1 do
+    Alcotest.(check int) "all degree 2" 2 (G.degree g v)
+  done
+
+let test_sorted_trap_has_makespan_one_schedule () =
+  (* The optimum places T^(l)_i on P_(i + 2^(k-1-l)): perfect matching. *)
+  let g = Adv.sorted_greedy_trap ~k:5 in
+  let exact = Semimatch.Exact_unit.solve g in
+  Alcotest.(check int) "optimal 1" 1 exact.Semimatch.Exact_unit.makespan
+
+let test_double_sorted_trap_shape () =
+  let g = Adv.double_sorted_trap () in
+  Alcotest.(check int) "tasks" 12 g.G.n1;
+  Alcotest.(check int) "procs" 12 g.G.n2;
+  let in_deg = G.in_degrees g in
+  for u = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "P%d in-degree 3" (u + 1)) 3 in_deg.(u)
+  done;
+  for u = 8 to 11 do
+    Alcotest.(check int) "private processors in-degree 1" 1 in_deg.(u)
+  done
+
+let test_expected_trap_shape () =
+  let g = Adv.expected_greedy_trap () in
+  Alcotest.(check int) "tasks" 16 g.G.n1;
+  Alcotest.(check int) "procs" 16 g.G.n2;
+  for v = 0 to 15 do
+    Alcotest.(check int) "all degree 2" 2 (G.degree g v)
+  done;
+  let in_deg = G.in_degrees g in
+  for u = 0 to 7 do
+    Alcotest.(check int) "P1..P8 in-degree 3" 3 in_deg.(u)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "create and degrees" `Quick test_create_and_degrees;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "isolated task detection" `Quick test_isolated_task;
+    Alcotest.test_case "neighbour iteration order" `Quick test_neighbor_iteration_order;
+    Alcotest.test_case "edge accessors" `Quick test_edge_accessors;
+    Alcotest.test_case "of_adjacency" `Quick test_of_adjacency;
+    Alcotest.test_case "dot export" `Quick test_to_dot_mentions_all;
+    Alcotest.test_case "hilo: documented structure" `Quick test_hilo_fig_structure;
+    Alcotest.test_case "hilo: perfect matching case" `Quick test_hilo_unique_perfect_matching_case;
+    Alcotest.test_case "hilo: more tasks than processors" `Quick test_hilo_task_surplus;
+    Alcotest.test_case "hilo: deterministic" `Quick test_hilo_determinism;
+    Alcotest.test_case "hilo: invalid arguments" `Quick test_hilo_invalid_args;
+    Alcotest.test_case "fewg-manyg: degrees valid" `Quick test_fewg_degrees_in_pool;
+    Alcotest.test_case "fewg-manyg: mean degree" `Quick test_fewg_mean_degree;
+    Alcotest.test_case "fewg-manyg: group locality" `Quick test_fewg_neighbors_in_adjacent_groups;
+    Alcotest.test_case "fewg-manyg: replacement fallback" `Quick test_fewg_small_pool_replacement_path;
+    Alcotest.test_case "fewg-manyg: reproducible" `Quick test_fewg_reproducible;
+    Alcotest.test_case "adversarial: fig1 shape" `Quick test_fig1_shape;
+    Alcotest.test_case "adversarial: fig3 shape" `Quick test_sorted_trap_shape;
+    Alcotest.test_case "adversarial: fig3 optimal is 1" `Quick test_sorted_trap_has_makespan_one_schedule;
+    Alcotest.test_case "adversarial: TR fig4 shape" `Quick test_double_sorted_trap_shape;
+    Alcotest.test_case "adversarial: TR fig5 shape" `Quick test_expected_trap_shape;
+  ]

@@ -1,0 +1,120 @@
+(* End-to-end tests of the installed binaries: generate an instance with the
+   CLI, inspect it, solve it, and check the outputs stay consistent with the
+   library run directly on the same file. *)
+
+let check = Alcotest.(check bool)
+
+(* Resolve the CLI binary both under `dune runtest` (cwd = test dir in
+   _build) and when the test executable is launched from the repo root. *)
+let cli =
+  let exe_dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [
+      Filename.concat exe_dir "../bin/semimatch_cli.exe";
+      "../bin/semimatch_cli.exe";
+      "_build/default/bin/semimatch_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let run_capture args =
+  let command = Filename.quote_command cli args in
+  let ic = Unix.open_process_in command in
+  let output = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  (status, output)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let with_temp f =
+  let path = Filename.temp_file "semimatch_cli" ".hg" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let expect_ok (status, output) =
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> Alcotest.failf "CLI exited %d: %s" c output
+  | _ -> Alcotest.failf "CLI killed: %s" output);
+  output
+
+let test_gen_info_solve_roundtrip () =
+  with_temp (fun path ->
+      let out =
+        expect_ok
+          (run_capture
+             [ "gen"; "--tasks"; "120"; "--procs"; "24"; "--groups"; "4"; "--dv"; "3"; "--dh"; "4";
+               "--weights"; "related"; "--seed"; "9"; "-o"; path ])
+      in
+      check "gen reports size" true (contains ~needle:"120 tasks" out);
+      let info = expect_ok (run_capture [ "info"; "--verbose"; path ]) in
+      check "info shows LB" true (contains ~needle:"lower bound (Eq. 1)" info);
+      check "verbose histograms" true (contains ~needle:"configurations per task" info);
+      (* Solve through the CLI and through the library; makespans must
+         agree because both read the same file deterministically. *)
+      let solve_out = expect_ok (run_capture [ "solve"; "-a"; "sgh"; path ]) in
+      let h = Hyper.Io.load path in
+      let expected =
+        Semimatch.Greedy_hyper.makespan Semimatch.Greedy_hyper.Sorted_greedy_hyp h
+      in
+      check "CLI solve matches library" true
+        (contains ~needle:(Printf.sprintf "makespan:  %g" expected) solve_out))
+
+let test_compare_lists_all () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture
+              [ "gen"; "--tasks"; "60"; "--procs"; "12"; "--groups"; "3"; "--seed"; "4"; "-o"; path ]));
+      let out = expect_ok (run_capture [ "compare"; path ]) in
+      List.iter
+        (fun algo ->
+          check (Semimatch.Greedy_hyper.name algo ^ " listed") true
+            (contains ~needle:(Semimatch.Greedy_hyper.name algo) out))
+        Semimatch.Greedy_hyper.all)
+
+let test_exact_on_singleproc () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture
+              [ "gen-sp"; "--tasks"; "60"; "--procs"; "12"; "--groups"; "3"; "--degree"; "3";
+                "--seed"; "2"; "-o"; path ]));
+      let out = expect_ok (run_capture [ "exact"; path ]) in
+      check "prints optimum" true (contains ~needle:"optimal makespan:" out);
+      let bisect = expect_ok (run_capture [ "exact"; "--strategy"; "bisection"; path ]) in
+      (* Both strategies print the same optimum (prefix before '('). *)
+      let prefix s = List.hd (String.split_on_char '(' s) in
+      Alcotest.(check string) "strategies agree" (prefix out) (prefix bisect))
+
+let test_exact_rejects_multiproc () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture [ "gen"; "--tasks"; "40"; "--procs"; "8"; "--groups"; "2"; "-o"; path ]));
+      let command = Filename.quote_command cli [ "exact"; path ] ~stderr:"/dev/null" in
+      let status = Sys.command command in
+      Alcotest.(check int) "exit 1" 1 status)
+
+let test_simulate () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture
+              [ "gen"; "--tasks"; "30"; "--procs"; "6"; "--groups"; "2"; "--seed"; "3"; "-o"; path ]));
+      let out = expect_ok (run_capture [ "simulate"; "--policy"; "spt"; "--width"; "40"; path ]) in
+      check "mentions makespan" true (contains ~needle:"makespan" out);
+      check "draws rows" true (contains ~needle:"P0" out))
+
+let suite =
+  [
+    Alcotest.test_case "gen/info/solve roundtrip" `Quick test_gen_info_solve_roundtrip;
+    Alcotest.test_case "compare lists all heuristics" `Quick test_compare_lists_all;
+    Alcotest.test_case "exact on SINGLEPROC file" `Quick test_exact_on_singleproc;
+    Alcotest.test_case "exact rejects MULTIPROC" `Quick test_exact_rejects_multiproc;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+  ]

@@ -1,0 +1,364 @@
+module Vec = Ds.Vec
+module Heap = Ds.Indexed_heap
+module Bitset = Ds.Bitset
+module Lv = Ds.Load_vector
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ Vec *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  check "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  Alcotest.(check int) "set/get" (-1) (Vec.get v 7)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_vec_pop_clear () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Vec.push v 2;
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v);
+  Vec.push v 5;
+  Vec.clear v;
+  check "cleared" true (Vec.is_empty v)
+
+let test_vec_conversions () =
+  let v = Vec.of_array [| 3; 1; 4 |] in
+  Alcotest.(check (array int)) "roundtrip" [| 3; 1; 4 |] (Vec.to_array v);
+  let sum = Vec.fold_left ( + ) 0 v in
+  Alcotest.(check int) "fold" 8 sum;
+  let collected = ref [] in
+  Vec.iteri (fun i x -> collected := (i, x) :: !collected) v;
+  Alcotest.(check int) "iteri count" 3 (List.length !collected)
+
+(* ----------------------------------------------------------------- Heap *)
+
+let test_heap_pop_order () =
+  let h = Heap.create 10 in
+  List.iter (fun (k, p) -> Heap.insert h k p) [ (0, 5.0); (1, 1.0); (2, 3.0); (3, 0.5); (4, 4.0) ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (k, _) ->
+        order := k :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending priority order" [ 3; 1; 2; 4; 0 ] (List.rev !order)
+
+let test_heap_update () =
+  let h = Heap.create 4 in
+  Heap.insert h 0 10.0;
+  Heap.insert h 1 20.0;
+  Heap.insert h 2 30.0;
+  Heap.update h 2 1.0;
+  Alcotest.(check (option (pair int (float 1e-9)))) "decrease-key" (Some (2, 1.0)) (Heap.min h);
+  Heap.update h 2 40.0;
+  Alcotest.(check (option (pair int (float 1e-9)))) "increase-key" (Some (0, 10.0)) (Heap.min h)
+
+let test_heap_mem_and_errors () =
+  let h = Heap.create 3 in
+  Heap.insert h 1 2.0;
+  check "mem" true (Heap.mem h 1);
+  check "not mem" false (Heap.mem h 0);
+  Alcotest.check_raises "double insert" (Invalid_argument "Indexed_heap.insert: key already present")
+    (fun () -> Heap.insert h 1 3.0);
+  Alcotest.check_raises "update absent" (Invalid_argument "Indexed_heap.update: key absent")
+    (fun () -> Heap.update h 0 1.0)
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (pair (int_bound 999) (float_range 0.0 100.0)))
+    (fun pairs ->
+      (* Dedupe keys: each key may be present at most once. *)
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (k, p) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k p) pairs;
+      let h = Heap.create 1000 in
+      Hashtbl.iter (fun k p -> Heap.insert h k p) tbl;
+      let rec drain acc =
+        match Heap.pop_min h with Some (_, p) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.sort compare popped = popped && List.length popped = Hashtbl.length tbl)
+
+(* --------------------------------------------------------- Bucket_queue *)
+
+module Bq = Ds.Bucket_queue
+
+let test_bucket_queue_basic () =
+  let q = Bq.create 8 in
+  check "empty" true (Bq.min_priority q = None);
+  Bq.insert q 3 5;
+  Bq.insert q 1 2;
+  Bq.insert q 4 2;
+  Alcotest.(check int) "count" 3 (Bq.length q);
+  Alcotest.(check (option int)) "min" (Some 2) (Bq.min_priority q);
+  Alcotest.(check int) "priority" 5 (Bq.priority q 3);
+  (match Bq.pop_min q with
+  | Some (k, 2) -> check "min key" true (k = 1 || k = 4)
+  | _ -> Alcotest.fail "expected priority-2 pop");
+  Bq.increase q 3 9;
+  (match Bq.pop_min q with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "second priority-2 entry expected");
+  Alcotest.(check (option (pair int int))) "last" (Some (3, 9)) (Bq.pop_min q);
+  Alcotest.(check (option (pair int int))) "drained" None (Bq.pop_min q)
+
+let test_bucket_queue_errors () =
+  let q = Bq.create 2 in
+  Bq.insert q 0 1;
+  Alcotest.check_raises "double insert" (Invalid_argument "Bucket_queue.insert: key already present")
+    (fun () -> Bq.insert q 0 2);
+  Alcotest.check_raises "decrease" (Invalid_argument "Bucket_queue.increase: priority may only grow")
+    (fun () -> Bq.increase q 0 0);
+  Alcotest.check_raises "absent" (Invalid_argument "Bucket_queue.increase: key absent") (fun () ->
+      Bq.increase q 1 5);
+  check "not_found" true (match Bq.priority q 1 with exception Not_found -> true | _ -> false)
+
+let bucket_queue_matches_model =
+  QCheck.Test.make ~name:"bucket queue agrees with a hashtable model" ~count:200
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      (* Monotone workload: insert with priorities >= the last popped
+         minimum, occasionally increase, interleaved with pops. *)
+      let rng = Randkit.Prng.create ~seed in
+      let n = 40 in
+      let q = Bq.create n in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let floor = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 150 do
+        match Randkit.Prng.int rng 3 with
+        | 0 ->
+            let key = Randkit.Prng.int rng n in
+            if not (Bq.mem q key) then begin
+              let p = !floor + Randkit.Prng.int rng 10 in
+              Bq.insert q key p;
+              Hashtbl.add model key p
+            end
+        | 1 ->
+            let key = Randkit.Prng.int rng n in
+            if Bq.mem q key then begin
+              let p = Bq.priority q key + Randkit.Prng.int rng 5 in
+              Bq.increase q key p;
+              Hashtbl.replace model key p
+            end
+        | _ -> (
+            let model_min = Hashtbl.fold (fun _ p acc -> min p acc) model max_int in
+            match Bq.pop_min q with
+            | None -> if Hashtbl.length model <> 0 then ok := false
+            | Some (key, p) ->
+                if p <> model_min then ok := false;
+                if Hashtbl.find_opt model key <> Some p then ok := false;
+                Hashtbl.remove model key;
+                floor := max !floor p)
+      done;
+      !ok && Bq.length q = Hashtbl.length model)
+
+(* --------------------------------------------------------------- Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 70 in
+  Bitset.set b 0;
+  Bitset.set b 69;
+  Bitset.set b 33;
+  check "mem 0" true (Bitset.mem b 0);
+  check "mem 69" true (Bitset.mem b 69);
+  check "not mem 1" false (Bitset.mem b 1);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Bitset.clear b 33;
+  check "cleared" false (Bitset.mem b 33);
+  let collected = ref [] in
+  Bitset.iter (fun i -> collected := i :: !collected) b;
+  Alcotest.(check (list int)) "iter ascending" [ 0; 69 ] (List.rev !collected);
+  Bitset.reset b;
+  Alcotest.(check int) "reset" 0 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of bounds") (fun () ->
+      Bitset.set b 8)
+
+(* -------------------------------------------------------- Counting sort *)
+
+let test_counting_sort_permutation () =
+  let keys = [| 3; 1; 4; 1; 5; 9; 2; 6; 5; 3 |] in
+  let perm =
+    Ds.Counting_sort.permutation ~n:(Array.length keys) ~key:(fun i -> keys.(i)) ~max_key:9
+  in
+  (* Stable and sorted. *)
+  for i = 1 to Array.length perm - 1 do
+    let a = perm.(i - 1) and b = perm.(i) in
+    check "non-decreasing keys" true (keys.(a) < keys.(b) || (keys.(a) = keys.(b) && a < b))
+  done;
+  let seen = Array.copy perm in
+  Array.sort compare seen;
+  Alcotest.(check (array int)) "permutation" (Array.init 10 Fun.id) seen
+
+let counting_sort_property =
+  QCheck.Test.make ~name:"sort_ints matches stdlib sort" ~count:300
+    QCheck.(array (int_bound 5000))
+    (fun a ->
+      let mine = Array.copy a and reference = Array.copy a in
+      Ds.Counting_sort.sort_ints mine;
+      Array.sort compare reference;
+      mine = reference)
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Ds.Stats.median [| 5.0; 3.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Ds.Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check int) "int even keeps lower" 2 (Ds.Stats.median_int [| 4; 1; 2; 3 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.median: empty input") (fun () ->
+      ignore (Ds.Stats.median [||]))
+
+let test_stats_misc () =
+  let a = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Ds.Stats.mean a);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Ds.Stats.stddev a);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Ds.Stats.minimum a);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Ds.Stats.maximum a);
+  Alcotest.(check (float 1e-9)) "q0" 2.0 (Ds.Stats.quantile a ~q:0.0);
+  Alcotest.(check (float 1e-9)) "q1" 9.0 (Ds.Stats.quantile a ~q:1.0)
+
+(* ---------------------------------------------------------- Load_vector *)
+
+let test_load_vector_apply () =
+  let lv = Lv.create 4 in
+  Lv.apply lv ~procs:[| 0; 2 |] ~w:3.0;
+  Lv.add lv ~proc:2 ~w:1.0;
+  Alcotest.(check (float 1e-9)) "load 0" 3.0 (Lv.load lv 0);
+  Alcotest.(check (float 1e-9)) "load 2" 4.0 (Lv.load lv 2);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Lv.max_load lv);
+  Alcotest.(check (array (float 1e-9))) "sorted" [| 4.0; 3.0; 0.0; 0.0 |] (Lv.sorted_desc lv)
+
+let test_load_vector_compare () =
+  let lv = Lv.create 3 in
+  Lv.add lv ~proc:0 ~w:2.0;
+  (* a: +1 on proc 1 -> [2;1;0]; b: +1 on proc 0 -> [3;0;0]. *)
+  check "a better" true (Lv.compare_hypothetical lv ~a:([| 1 |], 1.0) ~b:([| 0 |], 1.0) < 0);
+  check "symmetric" true (Lv.compare_hypothetical lv ~a:([| 0 |], 1.0) ~b:([| 1 |], 1.0) > 0);
+  Alcotest.(check int) "equal candidates" 0
+    (Lv.compare_hypothetical lv ~a:([| 1 |], 1.0) ~b:([| 2 |], 1.0))
+
+let test_load_vector_delta () =
+  let lv = Lv.create 3 in
+  Lv.add lv ~proc:0 ~w:5.0;
+  Lv.add lv ~proc:1 ~w:1.0;
+  Lv.apply_delta lv ~procs:[| 0; 2 |] ~amounts:[| -2.0; 4.0 |];
+  Alcotest.(check (array (float 1e-9))) "after delta" [| 4.0; 3.0; 1.0 |] (Lv.sorted_desc lv);
+  Alcotest.(check (float 1e-9)) "loads tracked" 3.0 (Lv.load lv 0)
+
+(* Reference model: loads as plain arrays, hypothetical vectors by sort. *)
+let random_lv_scenario rng p steps =
+  let lv = Lv.create p in
+  let model = Array.make p 0.0 in
+  for _ = 1 to steps do
+    let k = 1 + Randkit.Prng.int rng (min 4 p) in
+    let procs = Randkit.Prng.sample_without_replacement rng ~k ~n:p in
+    let w = float_of_int (1 + Randkit.Prng.int rng 5) in
+    Lv.apply lv ~procs ~w;
+    Array.iter (fun u -> model.(u) <- model.(u) +. w) procs
+  done;
+  (lv, model)
+
+let load_vector_matches_model =
+  QCheck.Test.make ~name:"load vector sorted view matches model" ~count:200
+    QCheck.(pair (int_range 1 12) (int_bound 1000000))
+    (fun (p, seed) ->
+      let rng = Randkit.Prng.create ~seed in
+      let lv, model = random_lv_scenario rng p 20 in
+      let sorted_model = Array.copy model in
+      Array.sort (fun a b -> compare b a) sorted_model;
+      Lv.sorted_desc lv = sorted_model
+      && Array.for_all2 (fun a b -> a = b) (Array.init p (Lv.load lv)) model)
+
+let lazy_compare_matches_naive =
+  QCheck.Test.make ~name:"lazy lexicographic compare = naive compare" ~count:300
+    QCheck.(pair (int_range 2 10) (int_bound 1000000))
+    (fun (p, seed) ->
+      let rng = Randkit.Prng.create ~seed in
+      let lv, _ = random_lv_scenario rng p 10 in
+      let random_cand () =
+        let k = 1 + Randkit.Prng.int rng (min 3 p) in
+        let procs = Randkit.Prng.sample_without_replacement rng ~k ~n:p in
+        let w = float_of_int (1 + Randkit.Prng.int rng 4) in
+        (procs, w)
+      in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let (pa, wa) as a = random_cand () and (pb, wb) as b = random_cand () in
+        let lazy_cmp = Lv.compare_hypothetical lv ~a ~b in
+        let naive =
+          compare (Lv.hypothetical_sorted lv ~procs:pa ~w:wa) (Lv.hypothetical_sorted lv ~procs:pb ~w:wb)
+        in
+        if compare lazy_cmp 0 <> compare naive 0 then ok := false
+      done;
+      !ok)
+
+let lazy_delta_compare_matches_naive =
+  QCheck.Test.make ~name:"delta compare = naive delta compare" ~count:300
+    QCheck.(pair (int_range 2 10) (int_bound 1000000))
+    (fun (p, seed) ->
+      let rng = Randkit.Prng.create ~seed in
+      let lv, _ = random_lv_scenario rng p 10 in
+      let random_delta () =
+        let k = 1 + Randkit.Prng.int rng (min 3 p) in
+        let procs = Randkit.Prng.sample_without_replacement rng ~k ~n:p in
+        let amounts = Array.map (fun _ -> float_of_int (Randkit.Prng.int_in_range rng ~lo:(-3) ~hi:3)) procs in
+        (procs, amounts)
+      in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let (pa, aa) as a = random_delta () and (pb, ab) as b = random_delta () in
+        let lazy_cmp = Lv.compare_hypothetical_delta lv ~a ~b in
+        let naive =
+          compare
+            (Lv.hypothetical_sorted_delta lv ~procs:pa ~amounts:aa)
+            (Lv.hypothetical_sorted_delta lv ~procs:pb ~amounts:ab)
+        in
+        if compare lazy_cmp 0 <> compare naive 0 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec pop/clear" `Quick test_vec_pop_clear;
+    Alcotest.test_case "vec conversions" `Quick test_vec_conversions;
+    Alcotest.test_case "heap pop order" `Quick test_heap_pop_order;
+    Alcotest.test_case "heap update" `Quick test_heap_update;
+    Alcotest.test_case "heap membership/errors" `Quick test_heap_mem_and_errors;
+    QCheck_alcotest.to_alcotest heap_property;
+    Alcotest.test_case "bucket queue basics" `Quick test_bucket_queue_basic;
+    Alcotest.test_case "bucket queue errors" `Quick test_bucket_queue_errors;
+    QCheck_alcotest.to_alcotest bucket_queue_matches_model;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "counting sort permutation" `Quick test_counting_sort_permutation;
+    QCheck_alcotest.to_alcotest counting_sort_property;
+    Alcotest.test_case "stats median" `Quick test_stats_median;
+    Alcotest.test_case "stats misc" `Quick test_stats_misc;
+    Alcotest.test_case "load vector apply" `Quick test_load_vector_apply;
+    Alcotest.test_case "load vector compare" `Quick test_load_vector_compare;
+    Alcotest.test_case "load vector delta" `Quick test_load_vector_delta;
+    QCheck_alcotest.to_alcotest load_vector_matches_model;
+    QCheck_alcotest.to_alcotest lazy_compare_matches_naive;
+    QCheck_alcotest.to_alcotest lazy_delta_compare_matches_naive;
+  ]

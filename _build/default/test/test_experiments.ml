@@ -1,0 +1,238 @@
+module I = Experiments.Instances
+
+let check = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------- Instances *)
+
+let test_grid_matches_table1 () =
+  let grid = I.paper_grid () in
+  Alcotest.(check int) "24 instances" 24 (List.length grid);
+  let names = List.map (fun s -> s.I.name) grid in
+  (* Spot-check the paper's naming. *)
+  List.iter
+    (fun n -> check ("has " ^ n) true (List.mem n names))
+    [ "FG-5-1-MP"; "MG-20-4-MP"; "HLF-80-16-MP"; "HLM-80-1-MP" ];
+  (* n >= 5p everywhere, and the doubled parameters resolve correctly. *)
+  List.iter
+    (fun s ->
+      check "n >= 5p" true (s.I.n >= 5 * s.I.p);
+      check "dv default" true (s.I.dv = 5);
+      check "dh default" true (s.I.dh = 10))
+    grid;
+  let fg = List.find (fun s -> s.I.name = "FG-20-4-MP") grid in
+  Alcotest.(check int) "FG-20-4 n" 5120 fg.I.n;
+  Alcotest.(check int) "FG-20-4 p" 1024 fg.I.p;
+  Alcotest.(check int) "FG g" 32 fg.I.g;
+  let mg = List.find (fun s -> s.I.name = "MG-20-4-MP") grid in
+  Alcotest.(check int) "MG g" 128 mg.I.g
+
+let test_scaled () =
+  let fg = List.find (fun s -> s.I.name = "FG-80-16-MP") (I.paper_grid ()) in
+  let s = I.scaled 16 fg in
+  Alcotest.(check int) "scaled p" 256 s.I.p;
+  Alcotest.(check int) "scaled n" 1280 s.I.n;
+  check "renamed" true (contains ~needle:"/16" s.I.name);
+  check "n >= 5p preserved" true (s.I.n >= 5 * s.I.p);
+  let same = I.scaled 1 fg in
+  check "scale 1 is identity" true (same = fg)
+
+let test_generate_deterministic_per_seed () =
+  let spec = I.scaled 16 (List.find (fun s -> s.I.name = "FG-5-1-MP") (I.paper_grid ())) in
+  let a = I.generate_multiproc ~seed:3 ~weights:Hyper.Weights.Unit spec in
+  let b = I.generate_multiproc ~seed:3 ~weights:Hyper.Weights.Unit spec in
+  let c = I.generate_multiproc ~seed:4 ~weights:Hyper.Weights.Unit spec in
+  check "same seed reproduces" true
+    (a.Hyper.Graph.h_adj = b.Hyper.Graph.h_adj && a.Hyper.Graph.task_off = b.Hyper.Graph.task_off);
+  check "different seed differs" true (a.Hyper.Graph.h_adj <> c.Hyper.Graph.h_adj)
+
+let test_singleproc_grid () =
+  let grid = I.paper_grid_singleproc ~d:5 () in
+  Alcotest.(check int) "24 instances" 24 (List.length grid);
+  List.iter (fun s -> check "d propagated" true (s.I.sp_d = 5)) grid;
+  let g = I.generate_singleproc ~seed:0 (List.hd grid) in
+  check "feasible" false (Bipartite.Graph.has_isolated_task g)
+
+(* ---------------------------------------------------------------- Tables *)
+
+let test_table_render () =
+  let s =
+    Experiments.Tables.render ~header:[ "a"; "b" ]
+      ~rows:[ [ "x"; "1" ]; [ "yy"; "22" ] ]
+      ~footer:[ [ "avg"; "11" ] ] ()
+  in
+  check "header" true (contains ~needle:"a" s);
+  check "footer" true (contains ~needle:"avg" s);
+  match Experiments.Tables.render ~header:[ "a" ] ~rows:[ [ "x"; "y" ] ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch not caught"
+
+let test_csv () =
+  let s = Experiments.Tables.csv ~header:[ "a"; "b" ] ~rows:[ [ "x,1"; "he\"llo" ] ] in
+  check "quoted comma" true (contains ~needle:"\"x,1\"" s);
+  check "escaped quote" true (contains ~needle:"\"he\"\"llo\"" s)
+
+(* ---------------------------------------------------------------- Runner *)
+
+let tiny_spec =
+  { I.name = "TEST-MP"; family = Hyper.Generate.Fewg_manyg; n = 160; p = 32; dv = 3; dh = 4; g = 4 }
+
+let test_runner_row () =
+  let row = Experiments.Runner.run_row ~seeds:3 ~weights:Hyper.Weights.Unit tiny_spec in
+  Alcotest.(check int) "four algorithms" 4 (List.length row.Experiments.Runner.results);
+  check "positive LB" true (row.Experiments.Runner.lb > 0.0);
+  List.iter
+    (fun r ->
+      check "ratio >= 1 wrt LB is not guaranteed, but >= 0.9 sanity" true
+        (r.Experiments.Runner.ratio >= 0.9);
+      check "time recorded" true (r.Experiments.Runner.time_s >= 0.0))
+    row.Experiments.Runner.results
+
+let test_runner_render () =
+  let row = Experiments.Runner.run_row ~seeds:2 ~weights:Hyper.Weights.Related tiny_spec in
+  let table1 = Experiments.Runner.render_table1 [ row ] in
+  check "table1 mentions instance" true (contains ~needle:"TEST-MP" table1);
+  let quality = Experiments.Runner.render_quality ~title:"T" [ row ] in
+  check "weighted suffix" true (contains ~needle:"TEST-MP-W" quality);
+  check "columns labelled" true (contains ~needle:"SGH" quality);
+  check "averages" true (contains ~needle:"Average quality" quality);
+  let csv = Experiments.Runner.to_csv [ row ] in
+  check "csv has rows" true (List.length (String.split_on_char '\n' csv) >= 5)
+
+let test_sp_runner_row () =
+  let spec =
+    { I.sp_name = "TEST-SP"; sp_family = `Fewg_manyg; sp_n = 160; sp_p = 32; sp_d = 4; sp_g = 4 }
+  in
+  let row = Experiments.Sp_runner.run_row ~seeds:3 spec in
+  check "optimum positive" true (row.Experiments.Sp_runner.optimum >= 1.0);
+  List.iter
+    (fun r -> check "heuristic >= optimum" true (r.Experiments.Sp_runner.ratio >= 1.0 -. 1e-9))
+    row.Experiments.Sp_runner.results;
+  let rendered = Experiments.Sp_runner.render ~title:"SP" [ row ] in
+  check "render mentions exact" true (contains ~needle:"M_opt" rendered);
+  let csv = Experiments.Sp_runner.to_csv [ row ] in
+  check "csv mentions instance" true (contains ~needle:"TEST-SP" csv)
+
+let test_ratio_sanity_vs_brute_force () =
+  (* On a tiny grid instance the LB-ratio reported by the runner must be
+     consistent with direct measurement. *)
+  let h = I.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Unit tiny_spec in
+  let lb = Semimatch.Lower_bound.multiproc h in
+  let m = Semimatch.Greedy_hyper.makespan Semimatch.Greedy_hyper.Sorted_greedy_hyp h in
+  check "direct ratio >= 1" true (m /. lb >= 1.0 -. 1e-9)
+
+(* ------------------------------------------------------------ Extensions *)
+
+let test_sweep () =
+  let results =
+    Experiments.Sweep.run ~seeds:1 ~n:80 ~p:16 ~dvs:[ 2 ] ~dhs:[ 2; 5 ] ~gs:[ 4 ]
+      ~weights:Hyper.Weights.Related ()
+  in
+  Alcotest.(check int) "2 families x 1 g x 1 dv x 2 dh" 4 (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "four ratios" 4 (List.length r.Experiments.Sweep.ratios);
+      Alcotest.(check int) "full ranking" 4 (List.length r.Experiments.Sweep.ranking);
+      List.iter (fun (_, ratio) -> check "ratio >= 1" true (ratio >= 1.0 -. 1e-9)) r.Experiments.Sweep.ratios)
+    results;
+  let rendered = Experiments.Sweep.render results in
+  check "summary present" true (contains ~needle:"best heuristic" rendered)
+
+let test_weighted_sp () =
+  let row = Experiments.Weighted_sp.run_row ~seeds:2 ~n:10 ~p:3 () in
+  check "brute force ran" true (row.Experiments.Weighted_sp.opt <> None);
+  (match row.Experiments.Weighted_sp.opt with
+  | Some opt -> check "LB <= OPT" true (row.Experiments.Weighted_sp.lb <= opt +. 1e-9)
+  | None -> ());
+  Alcotest.(check int) "five heuristics" 5 (List.length row.Experiments.Weighted_sp.ratios);
+  let rendered = Experiments.Weighted_sp.render [ row ] in
+  check "mentions heaviest-first" true (contains ~needle:"heaviest-first" rendered)
+
+let test_online () =
+  let spec =
+    { I.sp_name = "TEST-ONLINE"; sp_family = `Fewg_manyg; sp_n = 80; sp_p = 16; sp_d = 4; sp_g = 4 }
+  in
+  let row = Experiments.Online.run_row ~seeds:2 ~orders:5 spec in
+  check "online never beats offline" true (row.Experiments.Online.best_ratio >= 1.0 -. 1e-9);
+  check "worst >= mean >= best" true
+    (row.Experiments.Online.worst_ratio >= row.Experiments.Online.mean_ratio -. 1e-9
+    && row.Experiments.Online.mean_ratio >= row.Experiments.Online.best_ratio -. 1e-9);
+  check "renders" true
+    (contains ~needle:"TEST-ONLINE" (Experiments.Online.render [ row ]))
+
+let test_hardness () =
+  let rng = Randkit.Prng.create ~seed:5 in
+  let inst = Experiments.Hardness.plant rng ~q:3 ~distractors:4 in
+  Alcotest.(check int) "q preserved" 3 inst.Semimatch.Reduction.q;
+  Alcotest.(check int) "triples = q + distractors" 7
+    (List.length inst.Semimatch.Reduction.triples);
+  (* Planted instances are yes-instances by construction. *)
+  check "has a cover" true (Semimatch.Reduction.has_exact_cover inst);
+  let h = Semimatch.Reduction.to_multiproc inst in
+  let opt, _ = Semimatch.Brute_force.multiproc h in
+  Alcotest.(check (float 1e-9)) "reduced optimum 1" 1.0 opt;
+  let row = Experiments.Hardness.run_row ~trials:5 ~q:2 ~distractors:2 () in
+  List.iter
+    (fun (_, hits) -> check "hits within trials" true (hits >= 0 && hits <= 5))
+    row.Experiments.Hardness.found_cover;
+  List.iter
+    (fun (_, m) -> check "mean makespan in [1,2+]" true (m >= 1.0 && m <= 3.0))
+    row.Experiments.Hardness.mean_makespan;
+  check "renders" true (contains ~needle:"hit%" (Experiments.Hardness.render [ row ]))
+
+let test_bounds () =
+  let row = Experiments.Bounds.run_row ~seeds:2 ~weights:Hyper.Weights.Unit tiny_spec in
+  check "lb <= refined" true (row.Experiments.Bounds.lb <= row.Experiments.Bounds.lb_refined +. 1e-9);
+  check "refined <= best heuristic" true
+    (row.Experiments.Bounds.lb_refined <= row.Experiments.Bounds.best_heuristic +. 1e-9);
+  (match row.Experiments.Bounds.optimum with
+  | Some opt ->
+      check "refined <= OPT <= best heuristic" true
+        (row.Experiments.Bounds.lb_refined <= opt +. 1e-9
+        && opt <= row.Experiments.Bounds.best_heuristic +. 1e-9)
+  | None -> ());
+  check "renders" true (contains ~needle:"heur/LB" (Experiments.Bounds.render [ row ]))
+
+let test_robustness () =
+  let row =
+    Experiments.Robustness.run_row ~seeds:2 ~n:80 ~p:16 ~dv:2 ~dh:3
+      ~family:(Experiments.Robustness.Powerlaw 1.0) ~weights:Hyper.Weights.Unit ()
+  in
+  Alcotest.(check int) "four ratios" 4 (List.length row.Experiments.Robustness.ratios);
+  List.iter
+    (fun (_, x) -> check "ratio >= 1" true (x >= 1.0 -. 1e-9))
+    row.Experiments.Robustness.ratios;
+  check "renders" true
+    (contains ~needle:"zipf" (Experiments.Robustness.render [ row ]))
+
+let test_ablations_smoke () =
+  let text = Experiments.Ablations.run_all ~seeds:1 ~scale:16 () in
+  List.iter
+    (fun needle -> check ("ablation section: " ^ needle) true (contains ~needle text))
+    [ "vector-heuristic variant"; "matching engine"; "search strategy"; "randomized baselines";
+      "harvey" ]
+
+let suite =
+  [
+    Alcotest.test_case "paper grid matches Table I" `Quick test_grid_matches_table1;
+    Alcotest.test_case "parameter sweep" `Quick test_sweep;
+    Alcotest.test_case "weighted singleproc study" `Quick test_weighted_sp;
+    Alcotest.test_case "online arrivals study" `Quick test_online;
+    Alcotest.test_case "hardness study" `Quick test_hardness;
+    Alcotest.test_case "bound quality study" `Quick test_bounds;
+    Alcotest.test_case "robustness study" `Quick test_robustness;
+    Alcotest.test_case "ablations smoke" `Quick test_ablations_smoke;
+    Alcotest.test_case "scaling" `Quick test_scaled;
+    Alcotest.test_case "per-seed determinism" `Quick test_generate_deterministic_per_seed;
+    Alcotest.test_case "singleproc grid" `Quick test_singleproc_grid;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "runner row" `Quick test_runner_row;
+    Alcotest.test_case "runner rendering" `Quick test_runner_render;
+    Alcotest.test_case "singleproc runner row" `Quick test_sp_runner_row;
+    Alcotest.test_case "ratio sanity" `Quick test_ratio_sanity_vs_brute_force;
+  ]

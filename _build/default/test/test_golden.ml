@@ -1,0 +1,58 @@
+(* Golden regression values, pinned from a verified build.
+
+   Instance generation and the heuristics are fully deterministic in the
+   seed, so any change to these numbers means the reproduction changed
+   behaviour: a PRNG tweak, a generator edit, a different tie-break in a
+   heuristic.  Such changes may be fine — but they must be noticed, because
+   EXPERIMENTS.md's paper-vs-measured tables were recorded under exactly
+   these semantics.  If a deliberate change lands, re-pin the constants and
+   regenerate EXPERIMENTS.md. *)
+
+module I = Experiments.Instances
+module Gh = Semimatch.Greedy_hyper
+
+let find name = List.find (fun s -> s.I.name = name) (I.paper_grid ())
+
+let check_instance ~name ~weights ~nh ~pins ~lb ~makespans () =
+  let h = I.generate_multiproc ~seed:0 ~weights (find name) in
+  Alcotest.(check int) (name ^ " |N|") nh (Hyper.Graph.num_hyperedges h);
+  Alcotest.(check int) (name ^ " pins") pins (Hyper.Graph.num_pins h);
+  Alcotest.(check (float 1e-4)) (name ^ " LB") lb (Semimatch.Lower_bound.multiproc h);
+  List.iter2
+    (fun algo expected ->
+      Alcotest.(check (float 1e-9))
+        (name ^ " " ^ Gh.short_name algo)
+        expected (Gh.makespan algo h))
+    Gh.all makespans
+
+let test_fg51_unit () =
+  check_instance ~name:"FG-5-1-MP" ~weights:Hyper.Weights.Unit ~nh:6447 ~pins:64489
+    ~lb:36.632812
+    ~makespans:[ 51.0; 49.0; 47.0; 48.0 ] (* SGH; EGH; VGH; EVG *)
+    ()
+
+let test_hlm51_related () =
+  check_instance ~name:"HLM-5-1-MP" ~weights:Hyper.Weights.Related ~nh:6391 ~pins:25211
+    ~lb:20.0
+    ~makespans:[ 28.0; 27.0; 28.0; 27.0 ]
+    ()
+
+let test_fg51_singleproc () =
+  let spec = List.find (fun s -> s.I.sp_name = "FG-5-1") (I.paper_grid_singleproc ()) in
+  let g = I.generate_singleproc ~seed:0 spec in
+  Alcotest.(check int) "edges" 12823 (Bipartite.Graph.num_edges g);
+  Alcotest.(check int) "exact" 5 (Semimatch.Exact_unit.solve g).Semimatch.Exact_unit.makespan;
+  List.iter2
+    (fun algo expected ->
+      Alcotest.(check (float 1e-9))
+        (Semimatch.Greedy_bipartite.name algo)
+        expected
+        (Semimatch.Greedy_bipartite.makespan algo g))
+    Semimatch.Greedy_bipartite.all [ 7.0; 6.0; 6.0; 6.0 ]
+
+let suite =
+  [
+    Alcotest.test_case "golden: FG-5-1-MP unit" `Quick test_fg51_unit;
+    Alcotest.test_case "golden: HLM-5-1-MP related" `Quick test_hlm51_related;
+    Alcotest.test_case "golden: FG-5-1 singleproc" `Quick test_fg51_singleproc;
+  ]

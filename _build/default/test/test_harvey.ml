@@ -1,0 +1,96 @@
+module G = Bipartite.Graph
+module Harvey = Semimatch.Harvey
+module Exact = Semimatch.Exact_unit
+module Ba = Semimatch.Bip_assignment
+
+let check = Alcotest.(check bool)
+
+let random_bipartite rng ~n1 ~n2 =
+  let edges = ref [] in
+  for v = 0 to n1 - 1 do
+    let deg = 1 + Randkit.Prng.int rng (min 4 n2) in
+    let procs = Randkit.Prng.sample_without_replacement rng ~k:deg ~n:n2 in
+    Array.iter (fun u -> edges := (v, u) :: !edges) procs
+  done;
+  G.unit_weights ~n1 ~n2 ~edges:(List.rev !edges)
+
+let int_loads g a = Array.map int_of_float (Ba.loads g a)
+
+let test_simple () =
+  (* Two tasks forced apart. *)
+  let g = G.unit_weights ~n1:2 ~n2:2 ~edges:[ (0, 0); (0, 1); (1, 0) ] in
+  let s = Harvey.solve g in
+  Alcotest.(check int) "makespan 1" 1 s.Harvey.makespan;
+  Alcotest.(check int) "flow time 2" 2 s.Harvey.total_flow_time;
+  check "valid" true (Ba.is_valid g s.Harvey.assignment)
+
+let test_fig3_families () =
+  (* The adversarial families have optimum 1; Harvey must find it. *)
+  List.iter
+    (fun k ->
+      let g = Bipartite.Adversarial.sorted_greedy_trap ~k in
+      Alcotest.(check int) (Printf.sprintf "k=%d" k) 1 (Harvey.solve g).Harvey.makespan)
+    [ 1; 3; 5; 7 ];
+  Alcotest.(check int) "TR fig4" 1 (Harvey.solve (Bipartite.Adversarial.double_sorted_trap ())).Harvey.makespan;
+  Alcotest.(check int) "TR fig5" 1 (Harvey.solve (Bipartite.Adversarial.expected_greedy_trap ())).Harvey.makespan
+
+let test_rejects_weighted () =
+  let g = G.create ~n1:1 ~n2:1 ~edges:[ (0, 0, 2.0) ] in
+  Alcotest.check_raises "weighted" (Invalid_argument "Harvey: weights must all be 1") (fun () ->
+      ignore (Harvey.solve g))
+
+let test_rejects_isolated () =
+  let g = G.unit_weights ~n1:1 ~n2:1 ~edges:[] in
+  Alcotest.check_raises "isolated" (Invalid_argument "Harvey: task with no allowed processor")
+    (fun () -> ignore (Harvey.solve g))
+
+let test_flow_time_helper () =
+  Alcotest.(check int) "flow time" (3 + 1 + 0) (Harvey.flow_time [| 2; 1; 0 |])
+
+let matches_exact_prop =
+  QCheck.Test.make ~name:"Harvey makespan = repeated-matching makespan" ~count:150
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 40 and n2 = 1 + Randkit.Prng.int rng 8 in
+      let g = random_bipartite rng ~n1 ~n2 in
+      let h = Harvey.solve g in
+      let e = Exact.solve g in
+      Ba.is_valid g h.Harvey.assignment && h.Harvey.makespan = e.Exact.makespan)
+
+let flow_time_optimal_prop =
+  QCheck.Test.make ~name:"Harvey flow time <= repeated-matching flow time" ~count:150
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      (* Harvey's semi-matching minimizes every symmetric-convex cost, so its
+         total flow time can never exceed the makespan-only solution's. *)
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 40 and n2 = 1 + Randkit.Prng.int rng 8 in
+      let g = random_bipartite rng ~n1 ~n2 in
+      let h = Harvey.solve g in
+      let e = Exact.solve g in
+      h.Harvey.total_flow_time <= Harvey.flow_time (int_loads g e.Exact.assignment))
+
+let greedy_never_beats_harvey_prop =
+  QCheck.Test.make ~name:"no greedy heuristic beats Harvey's optimum" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 30 and n2 = 1 + Randkit.Prng.int rng 6 in
+      let g = random_bipartite rng ~n1 ~n2 in
+      let opt = float_of_int (Harvey.solve g).Harvey.makespan in
+      List.for_all
+        (fun algo -> Semimatch.Greedy_bipartite.makespan algo g >= opt -. 1e-9)
+        Semimatch.Greedy_bipartite.all)
+
+let suite =
+  [
+    Alcotest.test_case "simple instance" `Quick test_simple;
+    Alcotest.test_case "adversarial families" `Quick test_fig3_families;
+    Alcotest.test_case "rejects weighted" `Quick test_rejects_weighted;
+    Alcotest.test_case "rejects isolated" `Quick test_rejects_isolated;
+    Alcotest.test_case "flow time helper" `Quick test_flow_time_helper;
+    QCheck_alcotest.to_alcotest matches_exact_prop;
+    QCheck_alcotest.to_alcotest flow_time_optimal_prop;
+    QCheck_alcotest.to_alcotest greedy_never_beats_harvey_prop;
+  ]

@@ -1,0 +1,160 @@
+(* Cross-module invariants: monotonicity and optimality properties that
+   connect the lower bound, the exact algorithms, local search and the
+   heuristics.  These are the properties a user implicitly relies on when
+   interpreting experiment output. *)
+
+module G = Bipartite.Graph
+module H = Hyper.Graph
+module Ha = Semimatch.Hyp_assignment
+
+let check = Alcotest.(check bool)
+
+let random_hyper rng ~n1 ~n2 =
+  let hyperedges = ref [] in
+  for v = 0 to n1 - 1 do
+    let configs = 1 + Randkit.Prng.int rng 3 in
+    for _ = 1 to configs do
+      let size = 1 + Randkit.Prng.int rng (min 3 n2) in
+      let procs = Randkit.Prng.sample_without_replacement rng ~k:size ~n:n2 in
+      hyperedges := (v, procs, float_of_int (1 + Randkit.Prng.int rng 4)) :: !hyperedges
+    done
+  done;
+  H.create ~n1 ~n2 ~hyperedges:(List.rev !hyperedges)
+
+let hyperedge_list h =
+  List.init (H.num_hyperedges h) (fun e -> (H.h_task h e, H.h_procs h e, H.h_weight h e))
+
+(* 1. Adding a configuration can only lower (or keep) the bound and the
+   optimum: more freedom never hurts. *)
+let more_options_never_hurt_prop =
+  QCheck.Test.make ~name:"extra configuration lowers LB and optimum (weakly)" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 4 and n2 = 2 + Randkit.Prng.int rng 3 in
+      let h = random_hyper rng ~n1 ~n2 in
+      let v = Randkit.Prng.int rng n1 in
+      let size = 1 + Randkit.Prng.int rng (min 3 n2) in
+      let procs = Randkit.Prng.sample_without_replacement rng ~k:size ~n:n2 in
+      let w = float_of_int (1 + Randkit.Prng.int rng 4) in
+      let h' = H.create ~n1 ~n2 ~hyperedges:(hyperedge_list h @ [ (v, procs, w) ]) in
+      let lb = Semimatch.Lower_bound.multiproc h and lb' = Semimatch.Lower_bound.multiproc h' in
+      let opt, _ = Semimatch.Brute_force.multiproc h in
+      let opt', _ = Semimatch.Brute_force.multiproc h' in
+      lb' <= lb +. 1e-9 && opt' <= opt +. 1e-9)
+
+(* 2. Deadline feasibility is monotone: a schedule fitting D fits D+1. *)
+let feasibility_monotone_prop =
+  QCheck.Test.make ~name:"exact decision monotone in the deadline" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 20 and n2 = 1 + Randkit.Prng.int rng 5 in
+      let edges = ref [] in
+      for v = 0 to n1 - 1 do
+        let deg = 1 + Randkit.Prng.int rng (min 3 n2) in
+        Array.iter
+          (fun u -> edges := (v, u) :: !edges)
+          (Randkit.Prng.sample_without_replacement rng ~k:deg ~n:n2)
+      done;
+      let g = G.unit_weights ~n1 ~n2 ~edges:(List.rev !edges) in
+      let opt = (Semimatch.Exact_unit.solve g).Semimatch.Exact_unit.makespan in
+      Semimatch.Exact_unit.feasible g ~d:(opt - 1) = None
+      && Semimatch.Exact_unit.feasible g ~d:opt <> None
+      && Semimatch.Exact_unit.feasible g ~d:(opt + 1) <> None
+      && Semimatch.Exact_unit.feasible g ~d:(opt + 7) <> None)
+
+(* 3. Local search is idempotent: a refined schedule admits no further
+   improving single-task move. *)
+let local_search_idempotent_prop =
+  QCheck.Test.make ~name:"local search is idempotent" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 10 and n2 = 1 + Randkit.Prng.int rng 5 in
+      let h = random_hyper rng ~n1 ~n2 in
+      let start = Semimatch.Greedy_hyper.run Semimatch.Greedy_hyper.Sorted_greedy_hyp h in
+      let once, _ = Semimatch.Local_search.refine h start in
+      let twice, moves = Semimatch.Local_search.refine h once in
+      moves = 0 && twice.Ha.choice = once.Ha.choice)
+
+(* 4. Harvey's solution minimizes total flow time over ALL semi-matchings
+   (checked against exhaustive enumeration on tiny unit instances). *)
+let harvey_flow_time_globally_optimal_prop =
+  QCheck.Test.make ~name:"Harvey minimizes total flow time globally" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 5 and n2 = 1 + Randkit.Prng.int rng 3 in
+      let edges = ref [] in
+      for v = 0 to n1 - 1 do
+        let deg = 1 + Randkit.Prng.int rng (min 3 n2) in
+        Array.iter
+          (fun u -> edges := (v, u) :: !edges)
+          (Randkit.Prng.sample_without_replacement rng ~k:deg ~n:n2)
+      done;
+      let g = G.unit_weights ~n1 ~n2 ~edges:(List.rev !edges) in
+      let best = ref max_int in
+      let loads = Array.make n2 0 in
+      let rec enumerate v =
+        if v = n1 then best := min !best (Semimatch.Harvey.flow_time loads)
+        else
+          G.iter_neighbors g v (fun u _w ->
+              loads.(u) <- loads.(u) + 1;
+              enumerate (v + 1);
+              loads.(u) <- loads.(u) - 1)
+      in
+      enumerate 0;
+      (Semimatch.Harvey.solve g).Semimatch.Harvey.total_flow_time = !best)
+
+(* 5. Every heuristic respects the refined lower bound too. *)
+let refined_lb_valid_prop =
+  QCheck.Test.make ~name:"refined LB below every heuristic makespan" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 10 and n2 = 1 + Randkit.Prng.int rng 5 in
+      let h = random_hyper rng ~n1 ~n2 in
+      let lb = Semimatch.Lower_bound.multiproc_refined h in
+      List.for_all
+        (fun algo -> Semimatch.Greedy_hyper.makespan algo h >= lb -. 1e-9)
+        Semimatch.Greedy_hyper.all)
+
+(* 6. Scheduling through the high-level API agrees with the low-level one. *)
+let sched_agrees_with_semimatch_prop =
+  QCheck.Test.make ~name:"Sched.solve = Greedy_hyper on the compiled hypergraph" ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Randkit.Prng.create ~seed in
+      let n1 = 1 + Randkit.Prng.int rng 6 and n2 = 1 + Randkit.Prng.int rng 4 in
+      let h = random_hyper rng ~n1 ~n2 in
+      (* Rebuild as a named instance. *)
+      let processors = List.init n2 (Printf.sprintf "p%d") in
+      let tasks =
+        List.init n1 (fun v ->
+            let configs = ref [] in
+            H.iter_task_hyperedges h v (fun e ->
+                let procs =
+                  Array.to_list (Array.map (Printf.sprintf "p%d") (H.h_procs h e))
+                in
+                configs := Sched.config procs ~time:(H.h_weight h e) :: !configs);
+            Sched.task (Printf.sprintf "t%d" v) (List.rev !configs))
+      in
+      let instance = Sched.instance ~processors ~tasks in
+      let schedule =
+        Sched.solve ~algorithm:(Sched.Greedy Semimatch.Greedy_hyper.Sorted_greedy_hyp) instance
+      in
+      let direct =
+        Semimatch.Greedy_hyper.makespan Semimatch.Greedy_hyper.Sorted_greedy_hyp h
+      in
+      abs_float (schedule.Sched.makespan -. direct) < 1e-9)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest more_options_never_hurt_prop;
+    QCheck_alcotest.to_alcotest feasibility_monotone_prop;
+    QCheck_alcotest.to_alcotest local_search_idempotent_prop;
+    QCheck_alcotest.to_alcotest harvey_flow_time_globally_optimal_prop;
+    QCheck_alcotest.to_alcotest refined_lb_valid_prop;
+    QCheck_alcotest.to_alcotest sched_agrees_with_semimatch_prop;
+  ]

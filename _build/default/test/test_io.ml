@@ -1,0 +1,104 @@
+module Io = Hyper.Io
+module H = Hyper.Graph
+
+let check = Alcotest.(check bool)
+
+let sample () =
+  H.create ~n1:3 ~n2:4
+    ~hyperedges:
+      [
+        (0, [| 0 |], 2.5);
+        (0, [| 1; 2 |], 1.0);
+        (1, [| 3 |], 4.0);
+        (2, [| 0; 1; 2; 3 |], 0.5);
+      ]
+
+let equal_hypergraphs a b =
+  a.H.n1 = b.H.n1 && a.H.n2 = b.H.n2 && a.H.task_off = b.H.task_off && a.H.h_off = b.H.h_off
+  && a.H.h_adj = b.H.h_adj && a.H.w = b.H.w
+
+let test_roundtrip () =
+  let h = sample () in
+  let h' = Io.of_string (Io.to_string h) in
+  check "roundtrip identical" true (equal_hypergraphs h h')
+
+let test_file_roundtrip () =
+  let h = sample () in
+  let path = Filename.temp_file "semimatch" ".hg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save path h;
+      check "file roundtrip" true (equal_hypergraphs h (Io.load path)))
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\nhypergraph 1 2\n# another\n  h 0 1.5 0 1  \n" in
+  let h = Io.of_string text in
+  Alcotest.(check int) "one hyperedge" 1 (H.num_hyperedges h);
+  Alcotest.(check (float 1e-9)) "weight parsed" 1.5 (H.h_weight h 0)
+
+let expect_failure text fragment =
+  match Io.of_string text with
+  | exception Failure msg ->
+      let contains =
+        let nl = String.length fragment and hl = String.length msg in
+        let rec scan i = i + nl <= hl && (String.sub msg i nl = fragment || scan (i + 1)) in
+        scan 0
+      in
+      check ("error mentions " ^ fragment) true contains
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_parse_errors () =
+  expect_failure "h 0 1 0\n" "before header";
+  expect_failure "hypergraph 1\n" "expected: hypergraph";
+  expect_failure "hypergraph 1 1\nbogus\n" "unrecognized";
+  expect_failure "hypergraph 1 1\nh 0 x 0\n" "expected: h";
+  expect_failure "hypergraph 1 1\nh 0 1 zero\n" "bad processor";
+  expect_failure "" "missing header";
+  expect_failure "hypergraph 1 1\nhypergraph 1 1\n" "duplicate header"
+
+let test_semantic_errors_propagate () =
+  match Io.of_string "hypergraph 1 1\nh 0 1 5\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected range error from Graph.create"
+
+let test_generated_roundtrip () =
+  let rng = Randkit.Prng.create ~seed:99 in
+  let h =
+    Hyper.Generate.generate rng ~family:Hyper.Generate.Fewg_manyg ~n:200 ~p:32 ~dv:3 ~dh:5 ~g:4
+      ~weights:Hyper.Weights.Related
+  in
+  check "generated instance roundtrips" true (equal_hypergraphs h (Io.of_string (Io.to_string h)))
+
+let parser_total_prop =
+  QCheck.Test.make ~name:"parser is total: Failure/Invalid_argument or a valid graph" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 200) QCheck.Gen.printable)
+    (fun text ->
+      match Io.of_string text with
+      | h -> H.num_hyperedges h >= 0
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true)
+
+let parser_structured_fuzz_prop =
+  (* Fuzz with near-miss inputs built from the grammar's own tokens. *)
+  QCheck.Test.make ~name:"parser survives token-soup inputs" ~count:500
+    QCheck.(list_of_size (QCheck.Gen.int_bound 30)
+              (oneofl [ "hypergraph"; "h"; "#x"; "0"; "1"; "2"; "-1"; "1.5"; "nan"; " "; "\n"; "z" ]))
+    (fun tokens ->
+      let text = String.concat " " tokens in
+      match Io.of_string text with
+      | h -> H.num_hyperedges h >= 0
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest parser_total_prop;
+    QCheck_alcotest.to_alcotest parser_structured_fuzz_prop;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "semantic errors propagate" `Quick test_semantic_errors_propagate;
+    Alcotest.test_case "generated instance roundtrip" `Quick test_generated_roundtrip;
+  ]

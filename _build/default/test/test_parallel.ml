@@ -1,0 +1,79 @@
+module Pool = Parpool.Pool
+
+let check = Alcotest.(check bool)
+
+let test_empty () = Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 ~f:(fun x -> x) [||])
+
+let test_identity_order () =
+  let items = Array.init 1000 Fun.id in
+  let out = Pool.map ~jobs:4 ~f:(fun x -> x * x) items in
+  Alcotest.(check (array int)) "order preserved" (Array.map (fun x -> x * x) items) out
+
+let test_matches_sequential () =
+  let items = Array.init 200 (fun i -> i + 1) in
+  let f x = (x * 31) mod 97 in
+  Alcotest.(check (array int)) "parallel = sequential" (Pool.map ~jobs:1 ~f items)
+    (Pool.map ~jobs:3 ~f items)
+
+let test_exception_propagates () =
+  let items = Array.init 50 Fun.id in
+  match Pool.map ~jobs:4 ~f:(fun x -> if x = 17 then failwith "boom" else x) items with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected exception"
+
+let test_first_exception_in_order () =
+  let items = Array.init 50 Fun.id in
+  match
+    Pool.map ~jobs:4
+      ~f:(fun x -> if x = 40 then failwith "late" else if x = 10 then failwith "early" else x)
+      items
+  with
+  | exception Failure msg -> Alcotest.(check string) "earliest item wins" "early" msg
+  | _ -> Alcotest.fail "expected exception"
+
+let test_jobs_validation () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool.map: jobs must be positive") (fun () ->
+      ignore (Pool.map ~jobs:0 ~f:Fun.id [| 1 |]))
+
+let test_map_list () =
+  Alcotest.(check (list int)) "list wrapper" [ 2; 4; 6 ] (Pool.map_list ~jobs:2 ~f:(( * ) 2) [ 1; 2; 3 ])
+
+let test_experiment_results_identical_across_jobs () =
+  (* Quality numbers must be identical whatever the parallelism. *)
+  let tiny =
+    {
+      Experiments.Instances.name = "POOL-MP";
+      family = Hyper.Generate.Fewg_manyg;
+      n = 80;
+      p = 16;
+      dv = 2;
+      dh = 3;
+      g = 4;
+    }
+  in
+  let strip row =
+    List.map (fun r -> (r.Experiments.Runner.algo, r.Experiments.Runner.ratio))
+      row.Experiments.Runner.results
+  in
+  let sequential = Experiments.Runner.run_row ~seeds:2 ~weights:Hyper.Weights.Unit tiny in
+  let via_pool =
+    Pool.map ~jobs:2
+      ~f:(fun spec -> Experiments.Runner.run_row ~seeds:2 ~weights:Hyper.Weights.Unit spec)
+      [| tiny; tiny |]
+  in
+  Array.iter
+    (fun row -> check "identical ratios" true (strip row = strip sequential))
+    via_pool
+
+let suite =
+  [
+    Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "order preserved" `Quick test_identity_order;
+    Alcotest.test_case "parallel = sequential" `Quick test_matches_sequential;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "first exception in item order" `Quick test_first_exception_in_order;
+    Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+    Alcotest.test_case "list wrapper" `Quick test_map_list;
+    Alcotest.test_case "experiments identical across jobs" `Quick
+      test_experiment_results_identical_across_jobs;
+  ]

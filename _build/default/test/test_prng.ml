@@ -1,0 +1,199 @@
+module Prng = Randkit.Prng
+module Binomial = Randkit.Binomial
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  check "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies agree" (Prng.next_int64 a) (Prng.next_int64 b);
+  ignore (Prng.next_int64 a);
+  Alcotest.(check int64) "advancing one does not move the other"
+    (Prng.next_int64 a) (let _ = Prng.next_int64 b in Prng.next_int64 b)
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  check "split stream differs" true (xa <> xb)
+
+let test_int_bounds () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    check "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Prng.create ~seed:3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_int_covers_all_values () =
+  let rng = Prng.create ~seed:11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  check "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_int_roughly_uniform () =
+  let rng = Prng.create ~seed:5 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* Expected 10000, sd ≈ 95: a ±5 sd corridor. *)
+      check "bucket within 5 sigma" true (c > 9500 && c < 10500))
+    counts
+
+let test_int_in_range () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range rng ~lo:(-5) ~hi:5 in
+    check "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "degenerate range" 3 (Prng.int_in_range rng ~lo:3 ~hi:3)
+
+let test_float_bounds () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float rng 2.5 in
+    check "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_bool_balanced () =
+  let rng = Prng.create ~seed:21 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool rng then incr trues
+  done;
+  check "roughly half true" true (!trues > 4700 && !trues < 5300)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:31 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle_in_place rng a;
+  let b = Array.copy a in
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) b
+
+let test_sample_without_replacement_distinct () =
+  let rng = Prng.create ~seed:41 in
+  for _ = 1 to 200 do
+    let k = Prng.int rng 20 and extra = Prng.int rng 30 in
+    let n = k + extra in
+    if n > 0 then begin
+      let s = Prng.sample_without_replacement rng ~k ~n in
+      Alcotest.(check int) "k values" k (Array.length s);
+      let sorted = Array.copy s in
+      Array.sort compare sorted;
+      for i = 1 to k - 1 do
+        check "strictly increasing" true (sorted.(i - 1) < sorted.(i))
+      done;
+      Array.iter (fun v -> check "in range" true (v >= 0 && v < n)) s
+    end
+  done
+
+let test_sample_full_range () =
+  let rng = Prng.create ~seed:43 in
+  let s = Prng.sample_without_replacement rng ~k:10 ~n:10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "whole range" (Array.init 10 Fun.id) sorted
+
+let test_sample_without_replacement_uniform () =
+  (* Each element of [0,6) should appear in a 3-subset w.p. 1/2. *)
+  let rng = Prng.create ~seed:47 in
+  let hits = Array.make 6 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    Array.iter (fun v -> hits.(v) <- hits.(v) + 1) (Prng.sample_without_replacement rng ~k:3 ~n:6)
+  done;
+  Array.iter (fun c -> check "close to n/2" true (abs (c - (n / 2)) < n / 20)) hits
+
+let test_binomial_support () =
+  let rng = Prng.create ~seed:51 in
+  for _ = 1 to 5000 do
+    let v = Binomial.sample rng ~trials:20 ~p:0.3 in
+    check "0 <= v <= trials" true (v >= 0 && v <= 20)
+  done
+
+let test_binomial_mean () =
+  let rng = Prng.create ~seed:53 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Binomial.sample rng ~trials:20 ~p:0.3
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* True mean 6, sd of the estimate ≈ 0.009. *)
+  check "mean near 6" true (abs_float (mean -. 6.0) < 0.1)
+
+let test_binomial_extremes () =
+  let rng = Prng.create ~seed:57 in
+  Alcotest.(check int) "p=0" 0 (Binomial.sample rng ~trials:10 ~p:0.0);
+  Alcotest.(check int) "p=1" 10 (Binomial.sample rng ~trials:10 ~p:1.0);
+  Alcotest.(check int) "trials=0" 0 (Binomial.sample rng ~trials:0 ~p:0.5)
+
+let test_binomial_mean_interface () =
+  let rng = Prng.create ~seed:59 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Binomial.sample_mean rng ~mean:5.0 ~trials:24
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check "mean near 5" true (abs_float (mean -. 5.0) < 0.1)
+
+let test_binomial_high_p_symmetry () =
+  let rng = Prng.create ~seed:61 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Binomial.sample rng ~trials:10 ~p:0.8
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check "mean near 8" true (abs_float (mean -. 8.0) < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "int roughly uniform" `Quick test_int_roughly_uniform;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sampling w/o replacement: distinct" `Quick test_sample_without_replacement_distinct;
+    Alcotest.test_case "sampling w/o replacement: full range" `Quick test_sample_full_range;
+    Alcotest.test_case "sampling w/o replacement: uniform" `Quick test_sample_without_replacement_uniform;
+    Alcotest.test_case "binomial support" `Quick test_binomial_support;
+    Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
+    Alcotest.test_case "binomial extremes" `Quick test_binomial_extremes;
+    Alcotest.test_case "binomial sample_mean" `Quick test_binomial_mean_interface;
+    Alcotest.test_case "binomial p>1/2 path" `Quick test_binomial_high_p_symmetry;
+  ]

@@ -1,0 +1,87 @@
+module H = Hyper.Graph
+module R = Semimatch.Randomized
+module Ha = Semimatch.Hyp_assignment
+
+let check = Alcotest.(check bool)
+
+let random_instance seed =
+  let rng = Randkit.Prng.create ~seed in
+  let n1 = 2 + Randkit.Prng.int rng 20 and n2 = 1 + Randkit.Prng.int rng 6 in
+  let hyperedges = ref [] in
+  for v = 0 to n1 - 1 do
+    let configs = 1 + Randkit.Prng.int rng 3 in
+    for _ = 1 to configs do
+      let size = 1 + Randkit.Prng.int rng (min 3 n2) in
+      let procs = Randkit.Prng.sample_without_replacement rng ~k:size ~n:n2 in
+      hyperedges := (v, procs, float_of_int (1 + Randkit.Prng.int rng 4)) :: !hyperedges
+    done
+  done;
+  H.create ~n1 ~n2 ~hyperedges:(List.rev !hyperedges)
+
+let valid_assignments_prop =
+  QCheck.Test.make ~name:"randomized constructions produce valid assignments" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let h = random_instance seed in
+      let rng = Randkit.Prng.create ~seed in
+      Ha.is_valid h (R.random_assignment rng h) && Ha.is_valid h (R.random_order_greedy rng h))
+
+let restarts_monotone_prop =
+  QCheck.Test.make ~name:"more restarts never hurt" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let h = random_instance seed in
+      let best_of rounds =
+        (* Fresh, identically seeded stream: the k-round run replays the same
+           first candidates as the (k-1)-round run plus one more. *)
+        let rng = Randkit.Prng.create ~seed:4242 in
+        snd (R.restarts ~rounds rng h R.random_assignment)
+      in
+      best_of 8 <= best_of 4 +. 1e-9 && best_of 4 <= best_of 1 +. 1e-9)
+
+let refine_helps_prop =
+  QCheck.Test.make ~name:"refined restarts are no worse than raw restarts" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let h = random_instance seed in
+      let run refine =
+        let rng = Randkit.Prng.create ~seed:99 in
+        snd (R.restarts ~refine ~rounds:4 rng h R.random_assignment)
+      in
+      run true <= run false +. 1e-9)
+
+let informed_beats_random_on_average () =
+  (* On a batch of mid-size instances the degree-sorted greedy should (in
+     aggregate) beat a single random assignment. *)
+  let total_sorted = ref 0.0 and total_random = ref 0.0 in
+  for seed = 0 to 19 do
+    let h = random_instance (1000 + seed) in
+    let rng = Randkit.Prng.create ~seed in
+    total_sorted :=
+      !total_sorted
+      +. Semimatch.Greedy_hyper.makespan Semimatch.Greedy_hyper.Sorted_greedy_hyp h;
+    total_random := !total_random +. Ha.makespan h (R.random_assignment rng h)
+  done;
+  check "sorted-greedy beats random in aggregate" true (!total_sorted < !total_random)
+
+let test_restarts_validation () =
+  let h = random_instance 5 in
+  let rng = Randkit.Prng.create ~seed:1 in
+  Alcotest.check_raises "rounds 0" (Invalid_argument "Randomized.restarts: rounds must be positive")
+    (fun () -> ignore (R.restarts ~rounds:0 rng h R.random_assignment))
+
+let test_rejects_isolated () =
+  let h = H.create ~n1:2 ~n2:1 ~hyperedges:[ (0, [| 0 |], 1.0) ] in
+  let rng = Randkit.Prng.create ~seed:1 in
+  Alcotest.check_raises "isolated" (Invalid_argument "Randomized: task with no configuration")
+    (fun () -> ignore (R.random_assignment rng h))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest valid_assignments_prop;
+    QCheck_alcotest.to_alcotest restarts_monotone_prop;
+    QCheck_alcotest.to_alcotest refine_helps_prop;
+    Alcotest.test_case "informed beats random in aggregate" `Quick informed_beats_random_on_average;
+    Alcotest.test_case "restarts validation" `Quick test_restarts_validation;
+    Alcotest.test_case "rejects isolated" `Quick test_rejects_isolated;
+  ]

@@ -1,0 +1,119 @@
+let check = Alcotest.(check bool)
+
+let sample_instance () =
+  Sched.instance
+    ~processors:[ "cpu0"; "cpu1"; "gpu" ]
+    ~tasks:
+      [
+        Sched.task "render"
+          [ Sched.config [ "gpu" ] ~time:2.0; Sched.config [ "cpu0"; "cpu1" ] ~time:3.0 ];
+        Sched.task "encode"
+          [ Sched.config [ "cpu0" ] ~time:4.0; Sched.config [ "cpu1" ] ~time:4.0 ];
+        Sched.task "upload" [ Sched.config [ "gpu" ] ~time:1.0 ];
+      ]
+
+let test_instance_shape () =
+  let i = sample_instance () in
+  Alcotest.(check int) "tasks" 3 (Sched.num_tasks i);
+  Alcotest.(check int) "processors" 3 (Sched.num_processors i);
+  let h = Sched.hypergraph i in
+  Alcotest.(check int) "hyperedges" 5 (Hyper.Graph.num_hyperedges h);
+  Alcotest.(check int) "pins" 6 (Hyper.Graph.num_pins h)
+
+let test_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () ->
+      Sched.instance ~processors:[ "a"; "a" ]
+        ~tasks:[ Sched.task "t" [ Sched.config [ "a" ] ~time:1.0 ] ]);
+  raises (fun () ->
+      Sched.instance ~processors:[ "a" ]
+        ~tasks:[ Sched.task "t" [ Sched.config [ "missing" ] ~time:1.0 ] ]);
+  raises (fun () -> Sched.instance ~processors:[ "a" ] ~tasks:[ Sched.task "t" [] ]);
+  raises (fun () ->
+      Sched.instance ~processors:[ "a" ]
+        ~tasks:[ Sched.task "t" [ Sched.config [ "a" ] ~time:0.0 ] ]);
+  raises (fun () ->
+      Sched.instance ~processors:[ "a" ]
+        ~tasks:
+          [ Sched.task "t" [ Sched.config [ "a" ] ~time:1.0 ];
+            Sched.task "t" [ Sched.config [ "a" ] ~time:1.0 ] ])
+
+let test_solve_consistency () =
+  let i = sample_instance () in
+  List.iter
+    (fun algorithm ->
+      let s = Sched.solve ~algorithm i in
+      (* The makespan is the max processor load, and the reported loads must
+         be consistent with the assignment. *)
+      let max_load =
+        List.fold_left (fun acc (_, l) -> Float.max acc l) 0.0 s.Sched.processor_loads
+      in
+      Alcotest.(check (float 1e-9)) "makespan = max load" s.Sched.makespan max_load;
+      Alcotest.(check int) "one line per task" 3 (List.length s.Sched.assignment);
+      check "lower bound holds" true (s.Sched.makespan >= s.Sched.lower_bound -. 1e-9))
+    (List.concat_map
+       (fun a -> [ Sched.Greedy a; Sched.Greedy_refined a ])
+       Semimatch.Greedy_hyper.all)
+
+let test_solve_optimum () =
+  (* Brute force confirms the small instance optimum; at least EVG+refine
+     should land on it here. *)
+  let i = sample_instance () in
+  let opt, _ = Semimatch.Brute_force.multiproc (Sched.hypergraph i) in
+  let s = Sched.solve ~algorithm:(Sched.Greedy_refined Semimatch.Greedy_hyper.Expected_vector_greedy_hyp) i in
+  check "refined EVG reaches brute-force optimum" true (s.Sched.makespan <= opt +. 1e-9)
+
+let test_exact_sequential () =
+  let i =
+    Sched.instance
+      ~processors:[ "w1"; "w2" ]
+      ~tasks:
+        [
+          Sched.task "a" [ Sched.config [ "w1" ] ~time:1.0; Sched.config [ "w2" ] ~time:1.0 ];
+          Sched.task "b" [ Sched.config [ "w1" ] ~time:1.0 ];
+          Sched.task "c" [ Sched.config [ "w2" ] ~time:1.0 ];
+        ]
+  in
+  let s = Sched.solve ~algorithm:Sched.Exact_unit_sequential i in
+  Alcotest.(check (float 1e-9)) "optimal" 2.0 s.Sched.makespan
+
+let test_exact_sequential_rejects_parallel () =
+  let i = sample_instance () in
+  match Sched.solve ~algorithm:Sched.Exact_unit_sequential i with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of non-unit instance"
+
+let test_pp_schedule () =
+  let i = sample_instance () in
+  let s = Sched.solve i in
+  let text = Format.asprintf "%a" Sched.pp_schedule s in
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and hl = String.length text in
+        let rec scan j = j + nl <= hl && (String.sub text j nl = needle || scan (j + 1)) in
+        scan 0
+      in
+      check ("report mentions " ^ needle) true contains)
+    [ "render"; "encode"; "upload"; "cpu0"; "gpu"; "makespan" ]
+
+let test_algorithm_names () =
+  Alcotest.(check string) "default" "expected-vector-greedy-hyp"
+    (Sched.algorithm_name Sched.default_algorithm);
+  Alcotest.(check string) "exact" "exact-singleproc-unit"
+    (Sched.algorithm_name Sched.Exact_unit_sequential)
+
+let suite =
+  [
+    Alcotest.test_case "instance shape" `Quick test_instance_shape;
+    Alcotest.test_case "instance validation" `Quick test_validation;
+    Alcotest.test_case "solve consistency" `Quick test_solve_consistency;
+    Alcotest.test_case "refined EVG optimal on toy" `Quick test_solve_optimum;
+    Alcotest.test_case "exact sequential path" `Quick test_exact_sequential;
+    Alcotest.test_case "exact rejects parallel configs" `Quick test_exact_sequential_rejects_parallel;
+    Alcotest.test_case "schedule pretty-printer" `Quick test_pp_schedule;
+    Alcotest.test_case "algorithm names" `Quick test_algorithm_names;
+  ]
