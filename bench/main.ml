@@ -1,13 +1,19 @@
 (* Bechamel benchmarks: one group per table/figure of the paper's evaluation
    plus the ablations called out in DESIGN.md.
 
-     dune exec bench/main.exe
+     dune exec bench/main.exe            # full bechamel run
+     dune exec bench/main.exe -- --smoke # reduced telemetry smoke (runtest)
 
    Quality numbers — the table contents — come from bin/experiments_main.exe;
    this harness measures the running-time side: how expensive each heuristic,
    the exact algorithm and the substrates are on representative paper-sized
    instances, mirroring the "Average time" rows of Tables II/III and the
-   timing discussion of Sec. V-B. *)
+   timing discussion of Sec. V-B.
+
+   --smoke runs a scaled-down grid with Obs telemetry enabled and writes
+   BENCH_smoke.json (JSON lines: bench rows + the full metrics snapshot),
+   validating every line through Obs.Json; `dune runtest` exercises it so
+   the telemetry pipeline cannot rot. *)
 
 open Bechamel
 open Toolkit
@@ -183,7 +189,98 @@ let benchmark () =
   let raw = Benchmark.all cfg [ instance ] all_tests in
   Analyze.all ols instance raw
 
-let () =
+(* --smoke: a seconds-scale telemetry exercise run from `dune runtest`.  It
+   runs a 1/16-scale slice of the paper grid with Obs enabled, writes every
+   result plus the full metrics snapshot to BENCH_smoke.json as JSON lines,
+   then re-parses the artifact with Obs.Json to prove the machine format
+   round-trips. *)
+let smoke_out = "BENCH_smoke.json"
+
+let smoke () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let buf = Buffer.create 4096 in
+  let add_line json =
+    Buffer.add_string buf (Obs.Json.to_string json);
+    Buffer.add_char buf '\n'
+  in
+  add_line
+    (Obs.Json.Obj
+       [
+         ("type", Obs.Json.Str "meta");
+         ("mode", Obs.Json.Str "smoke");
+         ("scale", Obs.Json.Num 16.);
+         ("seeds", Obs.Json.Num 2.);
+       ]);
+  (* Multiprocessor heuristics on one FewgManyg and one HiLo instance. *)
+  let specs =
+    [
+      Experiments.Instances.scaled 16 (find_spec "FG-5-1-MP");
+      Experiments.Instances.scaled 16 (find_spec "HLF-5-1-MP");
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let row = Experiments.Runner.run_row ~seeds:2 ~weights:Hyper.Weights.Unit spec in
+      List.iter
+        (fun res ->
+          add_line
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.Str "bench");
+                 ("instance", Obs.Json.Str spec.Experiments.Instances.name);
+                 ("algo", Obs.Json.Str (Gh.short_name res.Experiments.Runner.algo));
+                 ("ratio", Obs.Json.Num res.Experiments.Runner.ratio);
+                 ("time_s", Obs.Json.Num res.Experiments.Runner.time_s);
+               ]))
+        row.Experiments.Runner.results)
+    specs;
+  (* Exact unit-weight solver through each matching engine. *)
+  let sp_spec = Experiments.Instances.scaled_singleproc 16 (find_sp_spec "FG-20-1") in
+  let sp = Experiments.Instances.generate_singleproc ~seed:0 sp_spec in
+  List.iter
+    (fun engine ->
+      let name = Matching.engine_name engine in
+      let s, dt =
+        Experiments.Runner.time_it ~span:("bench.exact-" ^ name) (fun () ->
+            Semimatch.Exact_unit.solve ~engine sp)
+      in
+      add_line
+        (Obs.Json.Obj
+           [
+             ("type", Obs.Json.Str "bench");
+             ("instance", Obs.Json.Str sp_spec.Experiments.Instances.sp_name);
+             ("algo", Obs.Json.Str ("exact-" ^ name));
+             ("makespan", Obs.Json.Num (float_of_int s.Semimatch.Exact_unit.makespan));
+             ("time_s", Obs.Json.Num dt);
+           ]))
+    Matching.all_engines;
+  (* Full telemetry snapshot recorded while the work above ran. *)
+  Buffer.add_string buf (Obs.Sink.render ~label:"bench-smoke" Obs.Sink.Json);
+  let oc = open_out smoke_out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  (* Round-trip validation: every line must parse and carry a "type". *)
+  let ic = open_in smoke_out in
+  let lines = ref 0 and counters = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          incr lines;
+          let json = Obs.Json.of_string line in
+          (match Obs.Json.(member "type" json) with
+          | Some (Obs.Json.Str t) -> if t = "counter" then incr counters
+          | _ -> failwith (Printf.sprintf "%s:%d: row without a \"type\"" smoke_out !lines))
+        done
+      with End_of_file -> ());
+  if !lines < 10 then failwith "bench --smoke: suspiciously short artifact";
+  if !counters = 0 then failwith "bench --smoke: telemetry snapshot recorded no counters";
+  Printf.printf "bench --smoke: wrote %s (%d JSON lines, %d counters, all parsed back)\n"
+    smoke_out !lines !counters
+
+let run_bechamel () =
   let results = benchmark () in
   let rows =
     Hashtbl.fold
@@ -208,3 +305,6 @@ let () =
       in
       Printf.printf "%-60s %15s\n" name pretty)
     rows
+
+let () =
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then smoke () else run_bechamel ()

@@ -38,7 +38,7 @@ let d_arg =
   Arg.(value & opt int 10 & info [ "d" ] ~docv:"D" ~doc)
 
 let run_multiproc ?(jobs = 1) ~weights ~title ~with_table1 scale seeds csv =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Span.now_ns () in
   let rows = Experiments.Runner.run ~seeds ~scale ~jobs ~weights () in
   if with_table1 then begin
     print_string "Table I: random hypergraph instances\n\n";
@@ -46,7 +46,7 @@ let run_multiproc ?(jobs = 1) ~weights ~title ~with_table1 scale seeds csv =
     print_newline ()
   end;
   print_string (Experiments.Runner.render_quality ~title rows);
-  Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0);
+  Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0));
   Option.iter (fun path -> write_file path (Experiments.Runner.to_csv rows)) csv
 
 let table1_cmd =
@@ -92,7 +92,7 @@ let table_random_cmd =
 
 let singleproc_cmd =
   let run scale seeds d csv =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     let rows = Experiments.Sp_runner.run ~seeds ~scale ~d () in
     print_string
       (Experiments.Sp_runner.render
@@ -100,7 +100,7 @@ let singleproc_cmd =
            (Printf.sprintf
               "SINGLEPROC-UNIT: heuristic quality wrt the exact optimum (d=%d; paper Sec. V-B)" d)
          rows);
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0);
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0));
     Option.iter (fun path -> write_file path (Experiments.Sp_runner.to_csv rows)) csv
   in
   Cmd.v
@@ -125,14 +125,14 @@ let sweep_cmd =
       | "random" -> Hyper.Weights.default_random
       | other -> invalid_arg (Printf.sprintf "unknown weight scheme %S" other)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     let results = Experiments.Sweep.run ~seeds ~weights () in
     print_string
       (Printf.sprintf
          "Ranking stability across dv, dh in {2,5,10} and g in {32,128} (%s weights):\n\n"
          (Hyper.Weights.name weights));
     print_string (Experiments.Sweep.render results);
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   let weights_arg =
     Arg.(value & opt string "related" & info [ "weights" ] ~docv:"SCHEME" ~doc:"unit, related or random")
@@ -144,9 +144,9 @@ let sweep_cmd =
 
 let weighted_sp_cmd =
   let run seeds =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     print_string (Experiments.Weighted_sp.render (Experiments.Weighted_sp.run ~seeds ()));
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   Cmd.v
     (Cmd.info "singleproc-weighted" ~doc:"Weighted SINGLEPROC extension study")
@@ -154,9 +154,9 @@ let weighted_sp_cmd =
 
 let online_cmd =
   let run scale seeds d orders =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     print_string (Experiments.Online.render (Experiments.Online.run ~seeds ~orders ~scale ~d ()));
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   let orders_arg =
     Arg.(value & opt int 20 & info [ "orders" ] ~docv:"K" ~doc:"arrival permutations per replicate")
@@ -167,9 +167,9 @@ let online_cmd =
 
 let hardness_cmd =
   let run trials =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     print_string (Experiments.Hardness.render (Experiments.Hardness.run ~trials ()));
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   let trials_arg =
     Arg.(value & opt int 50 & info [ "trials" ] ~docv:"T" ~doc:"planted instances per row")
@@ -187,9 +187,9 @@ let bounds_cmd =
       | "random" -> Hyper.Weights.default_random
       | other -> invalid_arg (Printf.sprintf "unknown weight scheme %S" other)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     print_string (Experiments.Bounds.render (Experiments.Bounds.run ~seeds ~scale ~weights ()));
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   let weights_arg =
     Arg.(value & opt string "unit" & info [ "weights" ] ~docv:"SCHEME" ~doc:"unit, related or random")
@@ -200,9 +200,9 @@ let bounds_cmd =
 
 let robustness_cmd =
   let run seeds =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Span.now_ns () in
     print_string (Experiments.Robustness.render (Experiments.Robustness.run ~seeds ()));
-    Printf.printf "\n(total %.1f s)\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
   in
   Cmd.v
     (Cmd.info "robustness" ~doc:"Heuristic rankings on off-paper instance families")

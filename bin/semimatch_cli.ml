@@ -4,6 +4,7 @@
      semimatch_cli gen --family fewg --n 1280 --p 256 -o inst.hg
      semimatch_cli info inst.hg
      semimatch_cli solve --algorithm evg --refine inst.hg
+     semimatch_cli profile --stats=json inst.hg
      semimatch_cli exact inst.hg       # singleton unit instances only *)
 
 open Cmdliner
@@ -12,6 +13,45 @@ module Gh = Semimatch.Greedy_hyper
 
 let family_conv =
   Arg.enum [ ("fewg", Hyper.Generate.Fewg_manyg); ("hilo", Hyper.Generate.Hilo) ]
+
+(* --stats[=table|json|csv]: enable the Obs probes for the command and
+   append a telemetry report to stdout. *)
+let stats_conv =
+  Arg.enum [ ("table", Obs.Sink.Table); ("json", Obs.Sink.Json); ("csv", Obs.Sink.Csv) ]
+
+let stats_arg =
+  Arg.(value
+       & opt ~vopt:(Some Obs.Sink.Table) (some stats_conv) None
+       & info [ "stats" ] ~docv:"FMT"
+           ~doc:"Enable telemetry probes and append a metrics report (table, json or csv).")
+
+let with_stats stats f =
+  match stats with
+  | None -> f ()
+  | Some fmt ->
+      Obs.set_enabled true;
+      Obs.reset ();
+      let result = f () in
+      print_newline ();
+      Obs.Sink.emit fmt;
+      result
+
+(* SINGLEPROC-UNIT detection and embedding, shared by [exact] and
+   [profile]: singleton unit-weight configurations are plain bipartite
+   edges. *)
+let is_singleton_unit h =
+  let ok = ref true in
+  for e = 0 to Hyper.Graph.num_hyperedges h - 1 do
+    if Hyper.Graph.h_size h e <> 1 || Hyper.Graph.h_weight h e <> 1.0 then ok := false
+  done;
+  !ok
+
+let bipartite_of_singleton h =
+  let edges = ref [] in
+  for e = Hyper.Graph.num_hyperedges h - 1 downto 0 do
+    Hyper.Graph.iter_h_procs h e (fun u -> edges := (Hyper.Graph.h_task h e, u) :: !edges)
+  done;
+  Bipartite.Graph.unit_weights ~n1:h.Hyper.Graph.n1 ~n2:h.Hyper.Graph.n2 ~edges:!edges
 
 let weights_conv =
   Arg.enum
@@ -117,22 +157,28 @@ let info_cmd =
     Term.(const run $ verbose $ dot $ file_arg)
 
 let solve_cmd =
-  let run algorithm refine loads file =
-    let h = Hyper.Io.load file in
-    let a = Gh.run algorithm h in
-    let a, moves =
-      if refine then Semimatch.Local_search.refine h a else (a, 0)
-    in
-    let makespan = Semimatch.Hyp_assignment.makespan h a in
-    let lb = Semimatch.Lower_bound.multiproc h in
-    Printf.printf "algorithm: %s%s\n" (Gh.name algorithm)
-      (if refine then Printf.sprintf " + local search (%d moves)" moves else "");
-    Printf.printf "makespan:  %g\n" makespan;
-    Printf.printf "LB (Eq.1): %g  (ratio %.3f)\n" lb (makespan /. lb);
-    if loads then begin
-      let l = Semimatch.Hyp_assignment.loads h a in
-      Array.iteri (fun u load -> Printf.printf "P%-6d %g\n" u load) l
-    end
+  let run algorithm refine loads stats file =
+    with_stats stats (fun () ->
+        let h = Hyper.Io.load file in
+        let a = Gh.run algorithm h in
+        let a, moves =
+          if refine then Semimatch.Local_search.refine h a else (a, 0)
+        in
+        let makespan = Semimatch.Hyp_assignment.makespan h a in
+        let lb = Semimatch.Lower_bound.multiproc h in
+        let lb_refined = Semimatch.Lower_bound.multiproc_refined h in
+        let best_lb = Float.max lb lb_refined in
+        Printf.printf "algorithm: %s%s\n" (Gh.name algorithm)
+          (if refine then Printf.sprintf " + local search (%d moves)" moves else "");
+        Printf.printf "makespan:  %g\n" makespan;
+        Printf.printf "LB (Eq.1): %g  (ratio %.3f)\n" lb (makespan /. lb);
+        Printf.printf "refined LB: %g  (ratio %.3f)\n" lb_refined (makespan /. lb_refined);
+        Printf.printf "optimality gap: at most %.1f%% above the best lower bound\n"
+          (100.0 *. ((makespan /. best_lb) -. 1.0));
+        if loads then begin
+          let l = Semimatch.Hyp_assignment.loads h a in
+          Array.iteri (fun u load -> Printf.printf "P%-6d %g\n" u load) l
+        end)
   in
   let algorithm =
     Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
@@ -141,32 +187,23 @@ let solve_cmd =
   and loads = Arg.(value & flag & info [ "loads" ] ~doc:"print per-processor loads") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a greedy heuristic on an instance")
-    Term.(const run $ algorithm $ refine $ loads $ file_arg)
+    Term.(const run $ algorithm $ refine $ loads $ stats_arg $ file_arg)
 
 let exact_cmd =
-  let run strategy file =
+  let run strategy stats file =
     let h = Hyper.Io.load file in
-    let singleton = ref true in
-    for e = 0 to Hyper.Graph.num_hyperedges h - 1 do
-      if Hyper.Graph.h_size h e <> 1 || Hyper.Graph.h_weight h e <> 1.0 then singleton := false
-    done;
-    if not !singleton then begin
+    if not (is_singleton_unit h) then begin
       prerr_endline
         "exact: instance is not SINGLEPROC-UNIT (needs singleton unit-weight configurations);\n\
          MULTIPROC is NP-complete - use 'solve' instead.";
       exit 1
     end;
-    let edges = ref [] in
-    for e = Hyper.Graph.num_hyperedges h - 1 downto 0 do
-      Hyper.Graph.iter_h_procs h e (fun u -> edges := (Hyper.Graph.h_task h e, u) :: !edges)
-    done;
-    let g =
-      Bipartite.Graph.unit_weights ~n1:h.Hyper.Graph.n1 ~n2:h.Hyper.Graph.n2 ~edges:!edges
-    in
-    let s = Semimatch.Exact_unit.solve ~strategy g in
-    Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
-      s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
-      (Semimatch.Exact_unit.strategy_name strategy)
+    with_stats stats (fun () ->
+        let g = bipartite_of_singleton h in
+        let s = Semimatch.Exact_unit.solve ~strategy g in
+        Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
+          s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+          (Semimatch.Exact_unit.strategy_name strategy))
   in
   let strategy_conv =
     Arg.enum
@@ -178,31 +215,173 @@ let exact_cmd =
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact optimum for SINGLEPROC-UNIT instances")
-    Term.(const run $ strategy $ file_arg)
+    Term.(const run $ strategy $ stats_arg $ file_arg)
 
 let compare_cmd =
-  let run refine file =
-    let h = Hyper.Io.load file in
-    let lb = Semimatch.Lower_bound.multiproc h in
-    Printf.printf "lower bound (Eq. 1): %g\n\n%-30s %12s %8s\n" lb "algorithm" "makespan" "vs LB";
-    List.iter
-      (fun algo ->
-        let a = Gh.run algo h in
-        let a, suffix =
-          if refine then begin
-            let refined, moves = Semimatch.Local_search.refine h a in
-            (refined, Printf.sprintf " (+LS, %d moves)" moves)
-          end
-          else (a, "")
-        in
-        let m = Semimatch.Hyp_assignment.makespan h a in
-        Printf.printf "%-30s %12g %8.3f%s\n" (Gh.name algo) m (m /. lb) suffix)
-      Gh.all
+  let run refine stats file =
+    with_stats stats (fun () ->
+        let h = Hyper.Io.load file in
+        let lb = Semimatch.Lower_bound.multiproc h in
+        Printf.printf "lower bound (Eq. 1): %g\n\n%-30s %12s %8s\n" lb "algorithm" "makespan" "vs LB";
+        List.iter
+          (fun algo ->
+            let a = Gh.run algo h in
+            let a, suffix =
+              if refine then begin
+                let refined, moves = Semimatch.Local_search.refine h a in
+                (refined, Printf.sprintf " (+LS, %d moves)" moves)
+              end
+              else (a, "")
+            in
+            let m = Semimatch.Hyp_assignment.makespan h a in
+            Printf.printf "%-30s %12g %8.3f%s\n" (Gh.name algo) m (m /. lb) suffix)
+          Gh.all)
   in
   let refine = Arg.(value & flag & info [ "refine" ] ~doc:"also apply local search") in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run all four MULTIPROC heuristics on an instance")
-    Term.(const run $ refine $ file_arg)
+    Term.(const run $ refine $ stats_arg $ file_arg)
+
+(* profile: run every algorithm on the instance with telemetry on and print
+   a comparative metrics table — one column per algorithm, one row per
+   counter / histogram that fired.  On SINGLEPROC-UNIT instances the three
+   exact matching engines are profiled too (phases, pushes, relabels...).
+   --stats=json / --stats=csv additionally emit the full labelled telemetry
+   snapshots in machine-readable form. *)
+let profile_cmd =
+  let run stats seed file =
+    let h = Hyper.Io.load file in
+    let lb = Semimatch.Lower_bound.multiproc h in
+    Obs.set_enabled true;
+    let machine = Buffer.create 1024 in
+    let machine_sections = ref 0 in
+    let capture label =
+      (match stats with
+      | Some (Obs.Sink.Json as fmt) -> Buffer.add_string machine (Obs.Sink.render ~label fmt)
+      | Some (Obs.Sink.Csv as fmt) ->
+          let rendered = Obs.Sink.render ~label fmt in
+          (* One header for the whole report: drop it on later sections. *)
+          let rendered =
+            if !machine_sections = 0 then rendered
+            else
+              match String.index_opt rendered '\n' with
+              | Some i -> String.sub rendered (i + 1) (String.length rendered - i - 1)
+              | None -> rendered
+          in
+          Buffer.add_string machine rendered
+      | Some Obs.Sink.Table | None -> ());
+      incr machine_sections
+    in
+    (* Each algorithm runs against a clean slate, under a span on the
+       monotonic clock; its counters and histograms are snapshotted before
+       the next reset. *)
+    let run_one label f =
+      Obs.reset ();
+      let makespan, seconds = Experiments.Runner.time_it ~span:label f in
+      let counters =
+        List.rev
+          (Obs.Metrics.fold_counters (fun n v acc -> if v <> 0 then (n, v) :: acc else acc) [])
+      in
+      let histos =
+        List.rev
+          (Obs.Metrics.fold_histograms
+             (fun n s acc -> if s.Obs.Metrics.s_count > 0 then (n, s) :: acc else acc)
+             [])
+      in
+      capture label;
+      (label, makespan, seconds, counters, histos)
+    in
+    let greedy_rows =
+      List.map
+        (fun algo ->
+          run_one (Gh.short_name algo) (fun () ->
+              Semimatch.Hyp_assignment.makespan h (Gh.run algo h)))
+        Gh.all
+    in
+    let ls_row =
+      run_one "EVG+ls" (fun () ->
+          let a = Gh.run Gh.Expected_vector_greedy_hyp h in
+          let refined, _moves = Semimatch.Local_search.refine h a in
+          Semimatch.Hyp_assignment.makespan h refined)
+    in
+    let sa_row =
+      run_one "SGH+sa" (fun () ->
+          let rng = Randkit.Prng.create ~seed in
+          snd (Semimatch.Annealing.solve rng h))
+    in
+    let engine_rows =
+      if not (is_singleton_unit h) then []
+      else begin
+        let g = bipartite_of_singleton h in
+        List.map
+          (fun engine ->
+            run_one ("exact-" ^ Matching.engine_name engine) (fun () ->
+                float_of_int (Semimatch.Exact_unit.solve ~engine g).Semimatch.Exact_unit.makespan))
+          Matching.all_engines
+      end
+    in
+    let rows = greedy_rows @ [ ls_row; sa_row ] @ engine_rows in
+    Printf.printf "%s: %d tasks, %d processors, %d hyperedges; LB (Eq. 1) %g\n\n" file
+      h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) lb;
+    let module T = Experiments.Tables in
+    let algo_table =
+      T.render
+        ~header:[ "Algorithm"; "makespan"; "vs LB"; "time (s)" ]
+        ~rows:
+          (List.map
+             (fun (label, makespan, seconds, _, _) ->
+               [ label; Printf.sprintf "%g" makespan; T.fmt_ratio (makespan /. lb);
+                 T.fmt_time seconds ])
+             rows)
+        ()
+    in
+    print_string algo_table;
+    print_newline ();
+    (* Metric matrix: union of metric names that fired, one column per
+       algorithm.  Histogram cells summarize count / median / max. *)
+    let labels = List.map (fun (l, _, _, _, _) -> l) rows in
+    let metric_names =
+      let names = Hashtbl.create 64 in
+      List.iter
+        (fun (_, _, _, counters, histos) ->
+          List.iter (fun (n, _) -> Hashtbl.replace names n `Counter) counters;
+          List.iter (fun (n, _) -> Hashtbl.replace names n `Histogram) histos)
+        rows;
+      List.sort compare (Hashtbl.fold (fun n kind acc -> (n, kind) :: acc) names [])
+    in
+    if metric_names <> [] then begin
+      let cell (_, _, _, counters, histos) (name, kind) =
+        match kind with
+        | `Counter -> (
+            match List.assoc_opt name counters with
+            | Some v -> string_of_int v
+            | None -> "-")
+        | `Histogram -> (
+            match List.assoc_opt name histos with
+            | Some s ->
+                Printf.sprintf "n=%d p50=%g max=%g" s.Obs.Metrics.s_count s.Obs.Metrics.s_p50
+                  s.Obs.Metrics.s_max
+            | None -> "-")
+      in
+      let body = List.map (fun nk -> fst nk :: List.map (fun r -> cell r nk) rows) metric_names in
+      print_string (T.render ~header:("metric" :: labels) ~rows:body ());
+      print_newline ()
+    end;
+    Printf.printf "span timings use the monotonic clock (Obs.Span); %d algorithms profiled\n"
+      (List.length labels);
+    match stats with
+    | Some (Obs.Sink.Json | Obs.Sink.Csv) ->
+        print_newline ();
+        print_string (Buffer.contents machine)
+    | Some Obs.Sink.Table | None -> ()
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"annealing random seed") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run every algorithm on an instance with telemetry enabled and print a comparative \
+          counters/timings table")
+    Term.(const run $ stats_arg $ seed $ file_arg)
 
 let simulate_cmd =
   let run algorithm policy width file =
@@ -241,4 +420,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; simulate_cmd; exact_cmd ]))
+          [
+            gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
+            exact_cmd;
+          ]))

@@ -1,3 +1,10 @@
+(* Heap traffic counters: the simulator's event queue and every heap-backed
+   solver go through here, so these totals are the "heap operations" column
+   of telemetry reports. *)
+let c_inserts = Obs.Metrics.counter "ds.heap.inserts"
+let c_pops = Obs.Metrics.counter "ds.heap.pops"
+let c_updates = Obs.Metrics.counter "ds.heap.updates"
+
 type t = {
   keys : int array; (* heap slots -> key *)
   prio : float array; (* indexed by key *)
@@ -43,6 +50,7 @@ let rec sift_down t i =
 let insert t key p =
   if key < 0 || key >= Array.length t.pos then invalid_arg "Indexed_heap.insert: key out of range";
   if t.pos.(key) >= 0 then invalid_arg "Indexed_heap.insert: key already present";
+  Obs.Metrics.incr c_inserts;
   let i = t.len in
   t.keys.(i) <- key;
   t.pos.(key) <- i;
@@ -52,6 +60,7 @@ let insert t key p =
 
 let update t key p =
   if not (mem t key) then invalid_arg "Indexed_heap.update: key absent";
+  Obs.Metrics.incr c_updates;
   let old = t.prio.(key) in
   t.prio.(key) <- p;
   let i = t.pos.(key) in
@@ -64,6 +73,7 @@ let min t = if t.len = 0 then None else Some (t.keys.(0), t.prio.(t.keys.(0)))
 let pop_min t =
   if t.len = 0 then None
   else begin
+    Obs.Metrics.incr c_pops;
     let key = t.keys.(0) in
     let p = t.prio.(key) in
     t.len <- t.len - 1;

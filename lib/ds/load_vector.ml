@@ -1,3 +1,10 @@
+(* Load-vector traffic: [applies] are committed updates (one per realized
+   task in the vector-greedy family), [compares] are hypothetical
+   lexicographic comparisons — the dominant cost of VGH/EVG candidate
+   selection (Sec. IV-D). *)
+let c_applies = Obs.Metrics.counter "ds.loadvec.applies"
+let c_compares = Obs.Metrics.counter "ds.loadvec.compares"
+
 type t = {
   loads : float array;
   mutable sorted : float array; (* descending multiset of [loads] values *)
@@ -59,11 +66,13 @@ let remerge t removed added =
 let apply_delta t ~procs ~amounts =
   if Array.length procs <> Array.length amounts then
     invalid_arg "Load_vector.apply_delta: length mismatch";
+  Obs.Metrics.incr c_applies;
   let removed, added = changed_values t procs (fun i -> amounts.(i)) in
   Array.iteri (fun i u -> t.loads.(u) <- t.loads.(u) +. amounts.(i)) procs;
   remerge t removed added
 
 let apply t ~procs ~w =
+  Obs.Metrics.incr c_applies;
   let removed, added = changed_values t procs (fun _ -> w) in
   Array.iter (fun u -> t.loads.(u) <- t.loads.(u) +. w) procs;
   remerge t removed added
@@ -122,11 +131,13 @@ let compare_cursors ca cb =
   walk ()
 
 let compare_hypothetical t ~a:(procs_a, wa) ~b:(procs_b, wb) =
+  Obs.Metrics.incr c_compares;
   let ca = cursor t (changed_values t procs_a (fun _ -> wa)) in
   let cb = cursor t (changed_values t procs_b (fun _ -> wb)) in
   compare_cursors ca cb
 
 let compare_hypothetical_delta t ~a:(procs_a, am_a) ~b:(procs_b, am_b) =
+  Obs.Metrics.incr c_compares;
   let ca = cursor t (changed_values t procs_a (fun i -> am_a.(i))) in
   let cb = cursor t (changed_values t procs_b (fun i -> am_b.(i))) in
   compare_cursors ca cb

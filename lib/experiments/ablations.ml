@@ -2,10 +2,7 @@ module Gh = Semimatch.Greedy_hyper
 
 type table = string
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+let time_it f = Runner.time_it ~span:"experiments.ablation" f
 
 let mean xs = Ds.Stats.mean (Array.of_list xs)
 

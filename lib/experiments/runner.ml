@@ -15,10 +15,14 @@ type row = {
 let default_algorithms =
   [ Gh.Sorted_greedy_hyp; Gh.Vector_greedy_hyp; Gh.Expected_greedy_hyp; Gh.Expected_vector_greedy_hyp ]
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+(* Monotonic timing (Obs.Span / CLOCK_MONOTONIC): experiment timings must
+   survive NTP slews, which gettimeofday does not.  When telemetry is on the
+   measurement is additionally recorded as a named span. *)
+let time_it ?(span = "experiments.run") f =
+  let sp = Obs.Span.enter span in
+  let result, seconds = Obs.Span.time_s f in
+  Obs.Span.exit sp;
+  (result, seconds)
 
 let run_row ?(algorithms = default_algorithms) ?(seeds = 10) ~weights spec =
   if seeds <= 0 then invalid_arg "Runner.run_row: seeds must be positive";
@@ -34,7 +38,9 @@ let run_row ?(algorithms = default_algorithms) ?(seeds = 10) ~weights spec =
         let ratios_and_times =
           List.mapi
             (fun i h ->
-              let assignment, seconds = time_it (fun () -> Gh.run algo h) in
+              let assignment, seconds =
+                time_it ~span:("experiments." ^ Gh.short_name algo) (fun () -> Gh.run algo h)
+              in
               let makespan = Semimatch.Hyp_assignment.makespan h assignment in
               (makespan /. lbs.(i), seconds))
             replicates

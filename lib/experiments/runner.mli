@@ -24,6 +24,12 @@ type row = {
 val default_algorithms : Semimatch.Greedy_hyper.algorithm list
 (** SGH, VGH, EGH, EVG — Table II/III column order. *)
 
+val time_it : ?span:string -> (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f] and returns its monotonic wall time in seconds
+    ([Obs.Span.time_s], immune to NTP adjustments).  With telemetry enabled
+    the measurement is also recorded as the span [span] (default
+    ["experiments.run"]).  Shared by every experiment driver. *)
+
 val run_row :
   ?algorithms:Semimatch.Greedy_hyper.algorithm list ->
   ?seeds:int ->

@@ -9,10 +9,7 @@ type row = {
   results : algo_result list;
 }
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+let time_it f = Runner.time_it ~span:"experiments.singleproc" f
 
 let run_row ?(algorithms = Gb.all) ?(seeds = 10) ?exact_engine spec =
   if seeds <= 0 then invalid_arg "Sp_runner.run_row: seeds must be positive";

@@ -5,6 +5,14 @@
 module G = Bipartite.Graph
 open Engine_common
 
+(* Probe points: the lookahead-hit ratio (hits / augmentations) is the whole
+   story of this engine — near 1.0 on easy instances it degenerates to a
+   second greedy pass, and descents only pay on the hard tail. *)
+let c_scans = Obs.Metrics.counter "matching.dfs.scans"
+let c_lookahead_hits = Obs.Metrics.counter "matching.dfs.lookahead_hits"
+let c_descents = Obs.Metrics.counter "matching.dfs.descents"
+let c_augmentations = Obs.Metrics.counter "matching.dfs.augmentations"
+
 let run ?(stats = fresh_stats ()) g ~caps =
   let st = create g ~caps in
   greedy_init st;
@@ -12,15 +20,18 @@ let run ?(stats = fresh_stats ()) g ~caps =
   let round = ref 0 in
   let rec augment v =
     stats.scans <- stats.scans + 1;
+    Obs.Metrics.incr c_scans;
     (* Lookahead: directly claim a processor with spare capacity. *)
     let direct = ref (-1) in
     G.iter_neighbors g v (fun u _w -> if !direct < 0 && residual st u > 0 then direct := u);
     if !direct >= 0 then begin
       assign st v !direct;
       stats.augmentations <- stats.augmentations + 1;
+      Obs.Metrics.incr c_lookahead_hits;
       true
     end
-    else
+    else begin
+      Obs.Metrics.incr c_descents;
       (* Descend: try to relocate one occupant of a saturated neighbour. *)
       let rec over_neighbors e =
         if e >= g.G.off.(v + 1) then false
@@ -48,11 +59,12 @@ let run ?(stats = fresh_stats ()) g ~caps =
         end
       in
       over_neighbors g.G.off.(v)
+    end
   in
   for v = 0 to g.G.n1 - 1 do
     if st.mate1.(v) < 0 then begin
       incr round;
-      ignore (augment v)
+      if augment v then Obs.Metrics.incr c_augmentations
     end
   done;
   st.mate1

@@ -8,6 +8,15 @@ open Engine_common
 
 let inf = max_int
 
+(* Probe points (Sec. VI): phase count is the HK complexity driver, the
+   augmenting-path length histogram shows the sqrt(V) phase structure —
+   early phases find length-1 paths, late phases long ones. *)
+let c_phases = Obs.Metrics.counter "matching.hk.phases"
+let c_augmentations = Obs.Metrics.counter "matching.hk.augmentations"
+let c_scans = Obs.Metrics.counter "matching.hk.scans"
+let c_layer_edges = Obs.Metrics.counter "matching.hk.bfs_layer_edges"
+let h_path_len = Obs.Metrics.histogram "matching.hk.aug_path_len"
+
 let run ?(stats = fresh_stats ()) g ~caps =
   let st = create g ~caps in
   greedy_init st;
@@ -15,6 +24,7 @@ let run ?(stats = fresh_stats ()) g ~caps =
   let queue = Queue.create () in
   let bfs () =
     stats.phases <- stats.phases + 1;
+    Obs.Metrics.incr c_phases;
     Queue.clear queue;
     Array.fill dist 0 g.G.n1 inf;
     for v = 0 to g.G.n1 - 1 do
@@ -28,6 +38,7 @@ let run ?(stats = fresh_stats ()) g ~caps =
       let v = Queue.pop queue in
       if dist.(v) < !found then
         G.iter_neighbors g v (fun u _w ->
+            Obs.Metrics.incr c_layer_edges;
             if residual st u > 0 then found := min !found (dist.(v) + 1)
             else
               Ds.Vec.iter
@@ -40,8 +51,11 @@ let run ?(stats = fresh_stats ()) g ~caps =
     done;
     !found < inf
   in
-  let rec dfs v =
+  (* [depth] counts rows on the alternating path so far; a successful
+     augmentation reaching residual capacity at depth d uses 2d+1 edges. *)
+  let rec dfs v ~depth =
     stats.scans <- stats.scans + 1;
+    Obs.Metrics.incr c_scans;
     let rec over_edges e =
       if e >= g.G.off.(v + 1) then begin
         dist.(v) <- inf;
@@ -52,6 +66,8 @@ let run ?(stats = fresh_stats ()) g ~caps =
         if residual st u > 0 then begin
           assign st v u;
           stats.augmentations <- stats.augmentations + 1;
+          Obs.Metrics.incr c_augmentations;
+          Obs.Metrics.observe h_path_len (float_of_int ((2 * depth) + 1));
           true
         end
         else begin
@@ -60,7 +76,8 @@ let run ?(stats = fresh_stats ()) g ~caps =
             if i >= Array.length occupants then false
             else begin
               let v' = occupants.(i) in
-              if st.mate1.(v') = u && dist.(v') = dist.(v) + 1 && dfs v' then begin
+              if st.mate1.(v') = u && dist.(v') = dist.(v) + 1 && dfs v' ~depth:(depth + 1)
+              then begin
                 replace_occupant st ~v ~from:u ~victim:v';
                 true
               end
@@ -75,7 +92,7 @@ let run ?(stats = fresh_stats ()) g ~caps =
   in
   while bfs () do
     for v = 0 to g.G.n1 - 1 do
-      if st.mate1.(v) < 0 then ignore (dfs v)
+      if st.mate1.(v) < 0 then ignore (dfs v ~depth:0)
     done
   done;
   st.mate1

@@ -22,6 +22,17 @@
 module G = Bipartite.Graph
 open Engine_common
 
+(* Probe points: pushes/relabels are the push-relabel complexity currencies
+   (Goldberg–Tarjan count both); [steals] are the double-push relocations
+   specific to the matching specialization, and [global_relabels] counts the
+   exact-height BFS passes (one per run by construction — the counter
+   documents that invariant in reports). *)
+let c_pushes = Obs.Metrics.counter "matching.pr.pushes"
+let c_steals = Obs.Metrics.counter "matching.pr.steals"
+let c_relabels = Obs.Metrics.counter "matching.pr.relabels"
+let c_global_relabels = Obs.Metrics.counter "matching.pr.global_relabels"
+let c_scans = Obs.Metrics.counter "matching.pr.scans"
+
 (* Exact heights by backward BFS from the columns with residual capacity,
    along residual arcs (row pushes into a column over an unmatched edge; a
    column frees a slot by re-routing one of its occupants).  psi(u) is the
@@ -82,6 +93,7 @@ let run ?(stats = fresh_stats ()) g ~caps =
   done;
   let relabel_now () =
     stats.phases <- stats.phases + 1;
+    Obs.Metrics.incr c_global_relabels;
     exact_heights st ~psi ~d1 ~limit ~rev_off ~rev_adj;
     for u = 0 to g.G.n2 - 1 do
       if caps.(u) = 0 then psi.(u) <- limit
@@ -94,6 +106,7 @@ let run ?(stats = fresh_stats ()) g ~caps =
   done;
   while not (Queue.is_empty queue) do
     stats.scans <- stats.scans + 1;
+    Obs.Metrics.incr c_scans;
     let v = Queue.pop queue in
     (* Find the lowest column adjacent to v. *)
     let best = ref (-1) and best_psi = ref max_int in
@@ -107,7 +120,8 @@ let run ?(stats = fresh_stats ()) g ~caps =
       d1.(v) <- psi.(u) + 1;
       if residual st u > 0 then begin
         assign st v u;
-        stats.augmentations <- stats.augmentations + 1
+        stats.augmentations <- stats.augmentations + 1;
+        Obs.Metrics.incr c_pushes
       end
       else begin
         (* Saturated: find the occupant with minimum label (kick it) and the
@@ -128,12 +142,16 @@ let run ?(stats = fresh_stats ()) g ~caps =
           (* v itself has the smallest label: pushing it in would bounce it
              straight back out.  Treat as a failed push: relabel v's target
              height and retry later. *)
+          Obs.Metrics.incr c_relabels;
           psi.(u) <- max psi.(u) (min limit (!second_d + 1));
           Queue.add v queue
         end
         else begin
           let v' = !victim in
           stats.steals <- stats.steals + 1;
+          Obs.Metrics.incr c_steals;
+          Obs.Metrics.incr c_pushes;
+          Obs.Metrics.incr c_relabels;
           steal st ~v ~from:u ~victim:v';
           psi.(u) <- max psi.(u) (min limit (!second_d + 1));
           Queue.add v' queue

@@ -1,0 +1,4 @@
+(* The single master switch.  Every probe is guarded by one load of this ref;
+   with the flag off the hot paths reduce to a test-and-skip and allocate
+   nothing. *)
+let enabled = ref false

@@ -1,0 +1,151 @@
+(* Process-global named counters and histograms.
+
+   Instruments intern their handles once at module-initialization time
+   ([counter]/[histogram] hit a hashtable); the per-event operations are a
+   guarded in-place update.  Counters are plain (non-atomic) ints: profiling
+   runs are expected to be single-domain (Parpool jobs = 1) — cross-domain
+   increments may be lost, never crash. *)
+
+type counter = { c_name : string; mutable count : int }
+
+(* Power-of-two histogram: bucket 0 holds [0,1), bucket i >= 1 holds
+   [2^(i-1), 2^i).  62 finite buckets cover every duration / path length we
+   care about; the top bucket absorbs the rest. *)
+let num_buckets = 64
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  buckets : int array;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; n = 0; sum = 0.0; lo = infinity; hi = neg_infinity;
+          buckets = Array.make num_buckets 0 }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+let counter_name c = c.c_name
+let histogram_name h = h.h_name
+
+let incr c = if !Config.enabled then c.count <- c.count + 1
+let add c n = if !Config.enabled then c.count <- c.count + n
+let value c = c.count
+
+let bucket_of v =
+  if not (v >= 1.0) then 0 (* catches v < 1, nan *)
+  else 1 + min (num_buckets - 2) (int_of_float (Float.log2 v))
+
+let bucket_lo i = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1))
+let bucket_hi i = Float.pow 2.0 (float_of_int i)
+
+let observe h v =
+  if !Config.enabled then begin
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+let count h = h.n
+let sum h = h.sum
+let mean h = if h.n = 0 then Float.nan else h.sum /. float_of_int h.n
+let minimum h = if h.n = 0 then Float.nan else h.lo
+let maximum h = if h.n = 0 then Float.nan else h.hi
+
+(* Rank-interpolated quantile on the bucketed representation: locate the
+   bucket containing rank q·(n−1), interpolate linearly inside it, and clamp
+   to the exact observed range (so n equal observations answer that value
+   for every q). *)
+let quantile h ~q =
+  if h.n = 0 then Float.nan
+  else if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q outside [0,1]"
+  else begin
+    let rank = q *. float_of_int (h.n - 1) in
+    let raw = ref h.hi in
+    let acc = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         let c = h.buckets.(i) in
+         if c > 0 then begin
+           if rank < float_of_int (!acc + c) then begin
+             let frac = (rank -. float_of_int !acc) /. float_of_int c in
+             raw := bucket_lo i +. (frac *. (bucket_hi i -. bucket_lo i));
+             raise Exit
+           end;
+           acc := !acc + c
+         end
+       done
+     with Exit -> ());
+    Float.min h.hi (Float.max h.lo !raw)
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let summary h =
+  {
+    s_count = h.n;
+    s_sum = h.sum;
+    s_min = minimum h;
+    s_max = maximum h;
+    s_mean = mean h;
+    s_p50 = quantile h ~q:0.5;
+    s_p90 = quantile h ~q:0.9;
+    s_p99 = quantile h ~q:0.99;
+  }
+
+let sorted_by_name to_name tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> compare (to_name a) (to_name b))
+
+let fold_counters f init =
+  List.fold_left (fun acc c -> f c.c_name c.count acc) init (sorted_by_name (fun c -> c.c_name) counters)
+
+let fold_histograms f init =
+  List.fold_left
+    (fun acc h -> f h.h_name (summary h) acc)
+    init
+    (sorted_by_name (fun h -> h.h_name) histograms)
+
+let reset_counter c = c.count <- 0
+
+let reset_histogram h =
+  h.n <- 0;
+  h.sum <- 0.0;
+  h.lo <- infinity;
+  h.hi <- neg_infinity;
+  Array.fill h.buckets 0 num_buckets 0
+
+let reset_all () =
+  Hashtbl.iter (fun _ c -> reset_counter c) counters;
+  Hashtbl.iter (fun _ h -> reset_histogram h) histograms

@@ -1,0 +1,18 @@
+module Metrics = Metrics
+module Span = Span
+module Sink = Sink
+module Json = Json
+
+let enabled = Config.enabled
+let set_enabled b = Config.enabled := b
+let is_enabled () = !Config.enabled
+
+let reset () =
+  Metrics.reset_all ();
+  Span.reset ()
+
+let with_recording f =
+  let was = !Config.enabled in
+  Config.enabled := true;
+  reset ();
+  Fun.protect ~finally:(fun () -> Config.enabled := was) f

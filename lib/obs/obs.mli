@@ -1,0 +1,162 @@
+(** Telemetry substrate: process-global counters and histograms, monotonic
+    span timers with a bounded trace, and table/JSON-lines/CSV report sinks.
+
+    Everything is off by default.  Probe points compile to one guarded
+    in-place update; with {!enabled} false they allocate nothing and cost a
+    load and a branch, so they can stay in release hot paths (the engine
+    ablation bench verifies this stays in the noise).  Counters are plain
+    ints, not atomics: record from a single domain (run profiling with
+    [Parpool] jobs = 1); concurrent increments may be lost, never crash. *)
+
+val enabled : bool ref
+(** The master switch shared by every probe.  Prefer {!set_enabled}. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero all counters and histograms, clear the span trace and aggregates.
+    Registered names survive (handles stay valid). *)
+
+val with_recording : (unit -> 'a) -> 'a
+(** [with_recording f] resets, enables, runs [f], and restores the previous
+    enabled state (telemetry recorded by [f] is kept for inspection). *)
+
+module Metrics : sig
+  type counter
+
+  val counter : string -> counter
+  (** Interned by name: same name, same counter, process-wide.  Call once at
+      module initialization, not per event. *)
+
+  val counter_name : counter -> string
+
+  val incr : counter -> unit
+  (** No-op unless {!enabled}. *)
+
+  val add : counter -> int -> unit
+  val value : counter -> int
+
+  type histogram
+
+  val histogram : string -> histogram
+  (** Interned by name.  Log₂-bucketed: bucket 0 is [0,1), bucket [i ≥ 1] is
+      [2^(i-1), 2^i); exact count/sum/min/max on the side. *)
+
+  val histogram_name : histogram -> string
+
+  val observe : histogram -> float -> unit
+  (** No-op unless {!enabled}. *)
+
+  val count : histogram -> int
+  val sum : histogram -> float
+  val mean : histogram -> float
+
+  val minimum : histogram -> float
+  val maximum : histogram -> float
+  (** Exact observed extremes; [nan] when empty. *)
+
+  val quantile : histogram -> q:float -> float
+  (** Rank-interpolated quantile from the buckets, clamped to the exact
+      observed [min, max] range.  [nan] when empty; raises
+      [Invalid_argument] for [q] outside [0,1]. *)
+
+  type summary = {
+    s_count : int;
+    s_sum : float;
+    s_min : float;
+    s_max : float;
+    s_mean : float;
+    s_p50 : float;
+    s_p90 : float;
+    s_p99 : float;
+  }
+
+  val summary : histogram -> summary
+
+  val fold_counters : (string -> int -> 'a -> 'a) -> 'a -> 'a
+  (** Name-sorted, registered counters (including zeros). *)
+
+  val fold_histograms : (string -> summary -> 'a -> 'a) -> 'a -> 'a
+
+  val reset_all : unit -> unit
+end
+
+module Span : sig
+  val now_ns : unit -> int64
+  (** Monotonic clock (CLOCK_MONOTONIC), immune to NTP adjustments.  Always
+      live, independent of {!enabled}. *)
+
+  val ns_to_s : int64 -> float
+
+  val time_s : (unit -> 'a) -> 'a * float
+  (** [time_s f] runs [f] and additionally returns its monotonic wall time
+      in seconds.  Always live — the experiment harness timing primitive. *)
+
+  type t
+
+  val enter : string -> t
+  val exit : t -> unit
+  (** Record a named span into the trace ring and per-name aggregates when
+      {!enabled}; otherwise free.  Spans nest: depth is tracked. *)
+
+  val timed : string -> (unit -> 'a) -> 'a
+  (** [timed name f] wraps [f] in {!enter}/{!exit} (exception-safe). *)
+
+  type record = { r_name : string; start_ns : int64; stop_ns : int64; depth : int }
+
+  val duration_s : record -> float
+
+  val records : unit -> record list
+  (** Oldest-first live contents of the trace ring (the most recent
+      [capacity] completed spans). *)
+
+  val recorded : unit -> int
+  (** Total spans recorded since the last reset (may exceed capacity). *)
+
+  val set_capacity : int -> unit
+  (** Resize the trace ring (clears it).  Default 4096. *)
+
+  type agg = { a_name : string; mutable a_count : int; mutable a_total_ns : int64 }
+
+  val aggregates : unit -> agg list
+  val fold_aggregates : (string -> count:int -> total_s:float -> 'a -> 'a) -> 'a -> 'a
+  val reset : unit -> unit
+end
+
+module Sink : sig
+  type format = Table | Json | Csv
+
+  val format_name : format -> string
+  val format_of_string : string -> format option
+
+  val render : ?label:string -> format -> string
+  (** Snapshot of every registered counter, histogram summary and span
+      aggregate.  [Json] is JSON lines: one object per metric with ["type"],
+      ["name"] and kind-specific fields ({!Obs.Json.of_string} parses each
+      line back).  [label] tags every row — used for per-algorithm
+      snapshots in one report. *)
+
+  val emit : ?label:string -> ?oc:out_channel -> format -> unit
+  val write_file : ?label:string -> string -> format -> unit
+end
+
+module Json : sig
+  (** Minimal JSON used by the sinks and their round-trip tests. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val of_string : string -> t
+  (** Raises [Failure] on malformed input. *)
+
+  val member : string -> t -> t option
+  val to_float : t -> float option
+  val to_str : t -> string option
+end

@@ -1,0 +1,22 @@
+/* Monotonic nanosecond clock for Obs.Span.
+
+   CLOCK_MONOTONIC is immune to NTP slews and settimeofday jumps, which is
+   what experiment timings need (gettimeofday is not).  The REALTIME branch
+   only exists for exotic libcs without a monotonic clock. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,103 @@
+(* Monotonic span timers with a bounded trace.
+
+   [now_ns]/[time_s] always read the clock — experiment harnesses use them
+   for wall timing whether or not telemetry is on.  [enter]/[exit]/[timed]
+   additionally record into a fixed-capacity ring buffer (the most recent
+   [capacity] spans, with nesting depth) and into per-name aggregates, but
+   only when [Config.enabled] is set; disabled spans cost one branch. *)
+
+external now_ns : unit -> int64 = "obs_monotonic_ns"
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let time_s f =
+  let t0 = now_ns () in
+  let result = f () in
+  (result, ns_to_s (Int64.sub (now_ns ()) t0))
+
+type record = { r_name : string; start_ns : int64; stop_ns : int64; depth : int }
+
+let sentinel = { r_name = ""; start_ns = 0L; stop_ns = 0L; depth = 0 }
+
+let default_capacity = 4096
+let ring = ref (Array.make default_capacity sentinel)
+let ring_next = ref 0 (* next write slot *)
+let ring_stored = ref 0 (* total records ever written *)
+let current_depth = ref 0
+
+type agg = { a_name : string; mutable a_count : int; mutable a_total_ns : int64 }
+
+let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+type t = { sp_name : string; sp_start : int64; sp_live : bool }
+
+let inert = { sp_name = ""; sp_start = 0L; sp_live = false }
+
+let enter name =
+  if !Config.enabled then begin
+    Stdlib.incr current_depth;
+    { sp_name = name; sp_start = now_ns (); sp_live = true }
+  end
+  else inert
+
+let exit sp =
+  if sp.sp_live then begin
+    let stop = now_ns () in
+    Stdlib.decr current_depth;
+    let r =
+      { r_name = sp.sp_name; start_ns = sp.sp_start; stop_ns = stop; depth = !current_depth }
+    in
+    let a = !ring in
+    a.(!ring_next) <- r;
+    ring_next := (!ring_next + 1) mod Array.length a;
+    Stdlib.incr ring_stored;
+    let agg =
+      match Hashtbl.find_opt aggs sp.sp_name with
+      | Some agg -> agg
+      | None ->
+          let agg = { a_name = sp.sp_name; a_count = 0; a_total_ns = 0L } in
+          Hashtbl.add aggs sp.sp_name agg;
+          agg
+    in
+    agg.a_count <- agg.a_count + 1;
+    agg.a_total_ns <- Int64.add agg.a_total_ns (Int64.sub stop sp.sp_start)
+  end
+
+let timed name f =
+  let sp = enter name in
+  Fun.protect ~finally:(fun () -> exit sp) f
+
+let duration_s r = ns_to_s (Int64.sub r.stop_ns r.start_ns)
+
+(* Oldest-first live contents of the ring. *)
+let records () =
+  let a = !ring in
+  let cap = Array.length a in
+  let len = min !ring_stored cap in
+  let first = (!ring_next - len + cap) mod cap in
+  List.init len (fun i -> a.((first + i) mod cap))
+
+let recorded () = !ring_stored
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Span.set_capacity: capacity must be positive";
+  ring := Array.make n sentinel;
+  ring_next := 0;
+  ring_stored := 0
+
+let aggregates () =
+  Hashtbl.fold (fun _ a acc -> a :: acc) aggs []
+  |> List.sort (fun a b -> compare a.a_name b.a_name)
+
+let fold_aggregates f init =
+  List.fold_left
+    (fun acc a -> f a.a_name ~count:a.a_count ~total_s:(ns_to_s a.a_total_ns) acc)
+    init (aggregates ())
+
+let reset () =
+  let a = !ring in
+  Array.fill a 0 (Array.length a) sentinel;
+  ring_next := 0;
+  ring_stored := 0;
+  current_depth := 0;
+  Hashtbl.reset aggs

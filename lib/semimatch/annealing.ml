@@ -1,5 +1,11 @@
 module H = Hyper.Graph
 
+(* Probe points: acceptance split of proposed moves; [improved_best] counts
+   how often the incumbent was beaten (cooling-schedule diagnostics). *)
+let c_accepted = Obs.Metrics.counter "semimatch.annealing.accepted"
+let c_rejected = Obs.Metrics.counter "semimatch.annealing.rejected"
+let c_improved_best = Obs.Metrics.counter "semimatch.annealing.improved_best"
+
 type params = { iterations : int; initial_temperature : float; cooling : float }
 
 let default_params h =
@@ -64,14 +70,19 @@ let refine ?params rng h start =
           || (!temperature > 0.0 && Randkit.Prng.float rng 1.0 < exp (-.delta /. !temperature))
         in
         if accept then begin
+          Obs.Metrics.incr c_accepted;
           choice.(v) <- e_new;
           let m = makespan_of () in
           if m < !best_makespan then begin
+            Obs.Metrics.incr c_improved_best;
             best_makespan := m;
             Array.blit choice 0 best_choice 0 n1
           end
         end
-        else undo ~e_old ~e_new
+        else begin
+          Obs.Metrics.incr c_rejected;
+          undo ~e_old ~e_new
+        end
       end
     end;
     temperature := !temperature *. params.cooling

@@ -1,5 +1,10 @@
 module G = Bipartite.Graph
 
+(* Probe point: edges examined — every SINGLEPROC greedy variant is a
+   single pass touching each allowed (task, processor) edge a constant
+   number of times, so this counter ≈ |E| per run. *)
+let c_edge_scans = Obs.Metrics.counter "semimatch.greedy_bip.edge_scans"
+
 type algorithm = Basic | Sorted | Double_sorted | Expected | Heaviest_first
 
 let all = [ Basic; Sorted; Double_sorted; Expected ]
@@ -40,6 +45,7 @@ let run_load_greedy g ~order =
     (fun v ->
       let best = ref (-1) and best_load = ref infinity in
       G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          Obs.Metrics.incr c_edge_scans;
           if l.(u) +. w < !best_load then begin
             best := edge;
             best_load := l.(u) +. w
@@ -59,6 +65,7 @@ let run_double_sorted g =
     (fun v ->
       let best = ref (-1) and best_load = ref infinity and best_deg = ref max_int in
       G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          Obs.Metrics.incr c_edge_scans;
           let key = l.(u) +. w in
           if key < !best_load || (key = !best_load && in_deg.(u) < !best_deg) then begin
             best := edge;
@@ -85,6 +92,7 @@ let run_expected g =
       let dv = float_of_int (G.degree g v) in
       let best = ref (-1) and best_o = ref infinity in
       G.fold_neighbors g v ~init:() ~f:(fun () ~edge u w ->
+          Obs.Metrics.incr c_edge_scans;
           (* Realized expectation o(u) + w − w/d_v; equal to "minimum o(u)"
              (Algorithm 3) on unit weights, weight-aware otherwise — the
              same convention as the hypergraph version. *)

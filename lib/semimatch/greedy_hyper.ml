@@ -1,5 +1,13 @@
 module H = Hyper.Graph
 
+(* Probe points shared by the four greedy variants: [candidates] counts
+   configuration evaluations (the outer work term), [pin_scans] the
+   processor touches inside them (the inner term ~ sum of |h∩V2| over
+   evaluated h).  Load-vector traffic of VGH/EVG lands in ds.loadvec.*. *)
+let c_candidates = Obs.Metrics.counter "semimatch.greedy.candidates"
+let c_pin_scans = Obs.Metrics.counter "semimatch.greedy.pin_scans"
+let c_realized = Obs.Metrics.counter "semimatch.greedy.realized"
+
 type algorithm =
   | Sorted_greedy_hyp
   | Expected_greedy_hyp
@@ -38,15 +46,19 @@ let run_sorted h =
     (fun v ->
       let best = ref (-1) and best_key = ref infinity in
       H.iter_task_hyperedges h v (fun e ->
+          Obs.Metrics.incr c_candidates;
           let w = H.h_weight h e in
           let bottleneck = ref 0.0 in
-          H.iter_h_procs h e (fun u -> if l.(u) > !bottleneck then bottleneck := l.(u));
+          H.iter_h_procs h e (fun u ->
+              Obs.Metrics.incr c_pin_scans;
+              if l.(u) > !bottleneck then bottleneck := l.(u));
           let key = !bottleneck +. w in
           if key < !best_key then begin
             best := e;
             best_key := key
           end);
       choice.(v) <- !best;
+      Obs.Metrics.incr c_realized;
       let w = H.h_weight h !best in
       H.iter_h_procs h !best (fun u -> l.(u) <- l.(u) +. w))
     (degree_order h);
@@ -74,15 +86,19 @@ let run_expected h =
              Algorithm 5's literal "max o(u) minimum"; on weighted instances
              it accounts for the candidate's own cost, mirroring the
              tentative realization that defines EVG (Sec. IV-D4). *)
+          Obs.Metrics.incr c_candidates;
           let w = H.h_weight h e in
           let key = ref 0.0 in
-          H.iter_h_procs h e (fun u -> if o.(u) > !key then key := o.(u));
+          H.iter_h_procs h e (fun u ->
+              Obs.Metrics.incr c_pin_scans;
+              if o.(u) > !key then key := o.(u));
           let key = !key +. w -. (w /. dv) in
           if key < !best_key then begin
             best := e;
             best_key := key
           end);
       choice.(v) <- !best;
+      Obs.Metrics.incr c_realized;
       let chosen = !best in
       let w = H.h_weight h chosen in
       H.iter_h_procs h chosen (fun u -> o.(u) <- o.(u) +. w -. (w /. dv));
@@ -110,12 +126,14 @@ let run_vector ~variant h =
     (fun v ->
       let best = ref (-1) and best_cand = ref ([||], 0.0) in
       H.iter_task_hyperedges h v (fun e ->
+          Obs.Metrics.incr c_candidates;
           let cand = (H.h_procs h e, H.h_weight h e) in
           if !best < 0 || better_uniform ~variant lv ~cand ~best:!best_cand then begin
             best := e;
             best_cand := cand
           end);
       choice.(v) <- !best;
+      Obs.Metrics.incr c_realized;
       let procs, w = !best_cand in
       Ds.Load_vector.apply lv ~procs ~w)
     (degree_order h);
@@ -177,12 +195,14 @@ let run_expected_vector ~variant h =
       in
       let best = ref (-1) and best_cand = ref (procs, base) in
       H.iter_task_hyperedges h v (fun e ->
+          Obs.Metrics.incr c_candidates;
           let cand = candidate e in
           if !best < 0 || better_delta ~variant lv ~cand ~best:!best_cand then begin
             best := e;
             best_cand := cand
           end);
       choice.(v) <- !best;
+      Obs.Metrics.incr c_realized;
       let bprocs, bamounts = !best_cand in
       Ds.Load_vector.apply_delta lv ~procs:bprocs ~amounts:bamounts)
     (degree_order h);

@@ -1,5 +1,12 @@
 module H = Hyper.Graph
 
+(* Probe points: [rounds] = full passes over the tasks (the refinement-round
+   count reports quote), [moves] = accepted improvements, [candidates] =
+   evaluated moves — acceptance rate is moves/candidates. *)
+let c_rounds = Obs.Metrics.counter "semimatch.local_search.rounds"
+let c_moves = Obs.Metrics.counter "semimatch.local_search.moves"
+let c_candidates = Obs.Metrics.counter "semimatch.local_search.candidates"
+
 (* A move takes task v from hyperedge e_old to e_new.  Its delta touches the
    processors of both configurations: −w_old on e_old's, +w_new on e_new's,
    summed per processor when the sets overlap. *)
@@ -33,6 +40,7 @@ let refine ?(max_passes = 50) h a =
   let no_move = ([||], [||]) in
   let moves = ref 0 in
   let pass () =
+    Obs.Metrics.incr c_rounds;
     let improved = ref false in
     for v = 0 to h.H.n1 - 1 do
       (* Greedily accept moves while v still improves; the stamp trick needs
@@ -41,6 +49,7 @@ let refine ?(max_passes = 50) h a =
       let best = ref e_old and best_delta = ref no_move in
       H.iter_task_hyperedges h v (fun e_new ->
           if e_new <> e_old then begin
+            Obs.Metrics.incr c_candidates;
             let cand = move_delta h ~stamp ~index_of ~v ~e_old ~e_new in
             let reference = if !best = e_old then no_move else !best_delta in
             if Ds.Load_vector.compare_hypothetical_delta lv ~a:cand ~b:reference < 0 then begin
@@ -55,6 +64,7 @@ let refine ?(max_passes = 50) h a =
         Ds.Load_vector.apply_delta lv ~procs ~amounts;
         choice.(v) <- !best;
         incr moves;
+        Obs.Metrics.incr c_moves;
         improved := true
       end
     done;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "semimatch"
     [
       ("prng", Test_prng.suite);
+      ("obs", Test_obs.suite);
       ("ds", Test_ds.suite);
       ("bipartite", Test_bipartite.suite);
       ("matching", Test_matching.suite);

@@ -1,0 +1,203 @@
+(* The telemetry substrate: counters must agree with the engines' own stats
+   on a fixed-seed instance, the disabled path must record nothing, the
+   histogram percentile math must be sane, and the JSON sink must round-trip
+   through Obs.Json — including the CLI's `profile --stats=json` output. *)
+
+module G = Bipartite.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Seed 1 with these tight capacities makes the Karp–Sipser-style greedy
+   init fall short, so Hopcroft–Karp performs real augmentations (2 on this
+   instance) and the path-length histogram is non-empty. *)
+let caps () = Array.make 8 5
+
+let fixed_graph () =
+  let rng = Randkit.Prng.create ~seed:1 in
+  let edges = ref [] in
+  for v = 0 to 39 do
+    for u = 0 to 7 do
+      if Randkit.Prng.float rng 1.0 < 0.3 then edges := (v, u) :: !edges
+    done
+  done;
+  G.unit_weights ~n1:40 ~n2:8 ~edges:!edges
+
+(* Counter handles interned here read the values the engines record. *)
+let hk_phases = Obs.Metrics.counter "matching.hk.phases"
+let hk_augmentations = Obs.Metrics.counter "matching.hk.augmentations"
+let pr_relabels = Obs.Metrics.counter "matching.pr.relabels"
+let dfs_scans = Obs.Metrics.counter "matching.dfs.scans"
+let hk_path_len = Obs.Metrics.histogram "matching.hk.aug_path_len"
+
+let test_disabled_records_nothing () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let g = fixed_graph () in
+  List.iter
+    (fun engine -> ignore (Matching.solve ~engine ~capacities:(caps ()) g))
+    Matching.all_engines;
+  ignore (Obs.Span.timed "should-not-record" (fun () -> 1 + 1));
+  check_int "hk phases untouched" 0 (Obs.Metrics.value hk_phases);
+  check_int "pr relabels untouched" 0 (Obs.Metrics.value pr_relabels);
+  check_int "dfs scans untouched" 0 (Obs.Metrics.value dfs_scans);
+  check_int "histogram untouched" 0 (Obs.Metrics.count hk_path_len);
+  check_int "span ring empty" 0 (List.length (Obs.Span.records ()));
+  check_int "no spans recorded" 0 (Obs.Span.recorded ())
+
+(* Obs counters and the engines' own Engine_common tallies are incremented at
+   the same program points, so on any instance they must agree exactly. *)
+let test_counters_match_engine_stats () =
+  let g = fixed_graph () in
+  Obs.with_recording (fun () ->
+      let _, stats =
+        Matching.solve_with_stats ~engine:Matching.Hopcroft_karp ~capacities:(caps ()) g
+      in
+      check "instance forces augmentations" (stats.Matching.augmentations > 0) true;
+      check_int "hk phases" stats.Matching.phases (Obs.Metrics.value hk_phases);
+      check_int "hk augmentations" stats.Matching.augmentations
+        (Obs.Metrics.value hk_augmentations);
+      check_int "one path length per augmentation" stats.Matching.augmentations
+        (Obs.Metrics.count hk_path_len);
+      check "augmenting paths have odd length"
+        (Float.rem (Obs.Metrics.minimum hk_path_len) 2.0 = 1.0) true);
+  (* with_recording restores the previous enabled state but keeps the data. *)
+  check "data survives with_recording" (Obs.Metrics.value hk_phases > 0) true;
+  check "recording switched back off" (Obs.is_enabled ()) false
+
+let test_histogram_percentiles () =
+  Obs.with_recording (fun () ->
+      let h = Obs.Metrics.histogram "test.histogram" in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 2.0; 8.0; 32.0 ];
+      check_int "count" 4 (Obs.Metrics.count h);
+      Alcotest.(check (float 1e-9)) "sum" 42.5 (Obs.Metrics.sum h);
+      Alcotest.(check (float 1e-9)) "min" 0.5 (Obs.Metrics.minimum h);
+      Alcotest.(check (float 1e-9)) "max" 32.0 (Obs.Metrics.maximum h);
+      let q p = Obs.Metrics.quantile h ~q:p in
+      Alcotest.(check (float 1e-9)) "p0 clamps to min" 0.5 (q 0.0);
+      Alcotest.(check (float 1e-9)) "p100 clamps to max" 32.0 (q 1.0);
+      check "quantiles are monotone" (q 0.25 <= q 0.5 && q 0.5 <= q 0.9 && q 0.9 <= q 1.0) true;
+      check "p50 within observed range" (q 0.5 >= 0.5 && q 0.5 <= 32.0) true;
+      (* A single-observation histogram answers every quantile exactly. *)
+      let one = Obs.Metrics.histogram "test.histogram.single" in
+      Obs.Metrics.observe one 7.0;
+      List.iter
+        (fun p -> Alcotest.(check (float 1e-9)) "degenerate quantile" 7.0
+            (Obs.Metrics.quantile one ~q:p))
+        [ 0.0; 0.5; 0.99; 1.0 ])
+
+let test_span_aggregates () =
+  Obs.with_recording (fun () ->
+      for _ = 1 to 3 do
+        Obs.Span.timed "outer" (fun () -> Obs.Span.timed "inner" (fun () -> Sys.opaque_identity ()))
+      done;
+      check_int "six spans recorded" 6 (Obs.Span.recorded ());
+      let records = Obs.Span.records () in
+      check "inner spans nest at depth 1"
+        (List.for_all (fun r -> r.Obs.Span.depth = 1)
+           (List.filter (fun r -> r.Obs.Span.r_name = "inner") records))
+        true;
+      let aggs = Obs.Span.aggregates () in
+      let find name = List.find (fun a -> a.Obs.Span.a_name = name) aggs in
+      check_int "outer count" 3 (find "outer").Obs.Span.a_count;
+      check_int "inner count" 3 (find "inner").Obs.Span.a_count;
+      check "durations are non-negative"
+        (List.for_all (fun r -> Obs.Span.duration_s r >= 0.0) records)
+        true)
+
+let parse_lines output =
+  String.split_on_char '\n' output
+  |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+  |> List.map Obs.Json.of_string
+
+let member_str name json =
+  match Obs.Json.member name json with Some j -> Obs.Json.to_str j | None -> None
+
+let member_num name json =
+  match Obs.Json.member name json with Some j -> Obs.Json.to_float j | None -> None
+
+(* Counters bumped in-process must come back unchanged through render Json →
+   of_string: the full machine-format round trip. *)
+let test_json_sink_roundtrip () =
+  Obs.with_recording (fun () ->
+      let g = fixed_graph () in
+      ignore (Matching.solve ~engine:Matching.Push_relabel g);
+      ignore (Obs.Span.timed "roundtrip.span" (fun () -> ()));
+      let rows = parse_lines (Obs.Sink.render ~label:"rt" Obs.Sink.Json) in
+      check "sink emitted rows" (rows <> []) true;
+      List.iter
+        (fun row ->
+          check "every row is labelled" (member_str "label" row = Some "rt") true;
+          check "every row has a type"
+            (match member_str "type" row with
+            | Some ("counter" | "histogram" | "span") -> true
+            | _ -> false)
+            true)
+        rows;
+      let counter_value name =
+        List.find_map
+          (fun row ->
+            if member_str "type" row = Some "counter" && member_str "name" row = Some name then
+              member_num "value" row
+            else None)
+          rows
+      in
+      check "pr relabels round-trip"
+        (counter_value "matching.pr.relabels"
+        = Some (float_of_int (Obs.Metrics.value pr_relabels)))
+        true;
+      check "span aggregate present"
+        (List.exists
+           (fun row ->
+             member_str "type" row = Some "span" && member_str "name" row = Some "roundtrip.span")
+           rows)
+        true)
+
+let test_json_parser () =
+  let roundtrip s = Obs.Json.to_string (Obs.Json.of_string s) in
+  Alcotest.(check string) "object" {|{"a":1,"b":[true,null,"x"]}|}
+    (roundtrip {| { "a" : 1 , "b" : [ true , null , "x" ] } |});
+  Alcotest.(check string) "negative exponent" "0.001" (roundtrip "1e-3");
+  check "escapes survive"
+    (Obs.Json.of_string {|"a\"b\\c"|} = Obs.Json.Str {|a"b\c|})
+    true;
+  List.iter
+    (fun bad ->
+      check ("rejects " ^ bad)
+        (match Obs.Json.of_string bad with exception Failure _ -> true | _ -> false)
+        true)
+    [ ""; "{"; "[1,]"; "{\"a\"}"; "tru"; "1 2" ]
+
+(* End-to-end: the CLI's profile subcommand with --stats=json must emit
+   machine-readable telemetry for every profiled algorithm. *)
+let test_cli_profile_stats_json () =
+  Test_cli.with_temp (fun path ->
+      ignore
+        (Test_cli.expect_ok
+           (Test_cli.run_capture
+              [ "gen"; "--tasks"; "40"; "--procs"; "8"; "--groups"; "2"; "--seed"; "7"; "-o"; path ]));
+      let out = Test_cli.expect_ok (Test_cli.run_capture [ "profile"; "--stats=json"; path ]) in
+      let rows = parse_lines out in
+      check "profile emitted JSON rows" (List.length rows > 10) true;
+      let labels =
+        List.filter_map (fun row -> member_str "label" row) rows
+        |> List.sort_uniq compare
+      in
+      check "per-algorithm labels present"
+        (List.mem "SGH" labels && List.mem "EVG" labels)
+        true;
+      check "hk phase counter appears"
+        (List.exists (fun row -> member_str "name" row = Some "matching.hk.phases") rows
+        || List.exists (fun row -> member_str "name" row = Some "semimatch.greedy.candidates") rows)
+        true)
+
+let suite =
+  [
+    Alcotest.test_case "disabled probes record nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "counters match engine stats" `Quick test_counters_match_engine_stats;
+    Alcotest.test_case "histogram percentile math" `Quick test_histogram_percentiles;
+    Alcotest.test_case "span aggregates and nesting" `Quick test_span_aggregates;
+    Alcotest.test_case "JSON sink round-trips" `Quick test_json_sink_roundtrip;
+    Alcotest.test_case "JSON parser accepts/rejects" `Quick test_json_parser;
+    Alcotest.test_case "CLI profile --stats=json" `Quick test_cli_profile_stats_json;
+  ]
