@@ -280,6 +280,98 @@ let smoke () =
   Printf.printf "bench --smoke: wrote %s (%d JSON lines, %d counters, all parsed back)\n"
     smoke_out !lines !counters
 
+(* --smoke --jobs J: the multicore acceptance check.  The portfolio grid —
+   every solver of [Portfolio.default_solvers] on a batch of scaled paper
+   instances — is run once sequentially and once fanned out over J domains
+   (one instance per work item, each solved by the full sequential
+   portfolio, so the per-instance result cannot depend on scheduling).  The
+   two makespan vectors must be byte-identical; the wall-clock ratio is the
+   speedup, recorded to BENCH_parallel.json.  On machines with at least 4
+   effective cores a J >= 4 run must reach a 2x speedup. *)
+let parallel_out = "BENCH_parallel.json"
+
+let parallel_grid () =
+  List.concat_map
+    (fun name ->
+      let spec = Experiments.Instances.scaled 8 (find_spec name) in
+      List.init 4 (fun seed ->
+          ( Printf.sprintf "%s#%d" spec.Experiments.Instances.name seed,
+            Experiments.Instances.generate_multiproc ~seed ~weights:Hyper.Weights.Related spec )))
+    [ "FG-5-1-MP"; "HLF-5-1-MP" ]
+
+let run_parallel_grid ~jobs grid =
+  let work = Array.of_list grid in
+  let makespans, wall_s =
+    Obs.Span.time_s (fun () ->
+        Parpool.Pool.map ~jobs
+          ~f:(fun (_, h) -> (Semimatch.Portfolio.solve ~jobs:1 h).Semimatch.Portfolio.best_makespan)
+          work)
+  in
+  (Array.to_list makespans, wall_s)
+
+let smoke_parallel jobs =
+  let grid = parallel_grid () in
+  let seq_makespans, seq_s = run_parallel_grid ~jobs:1 grid in
+  let par_makespans, par_s = run_parallel_grid ~jobs grid in
+  let render ms = String.concat "," (List.map (Printf.sprintf "%.17g") ms) in
+  let identical = render seq_makespans = render par_makespans in
+  if not identical then
+    failwith
+      (Printf.sprintf "bench --smoke --jobs %d: makespans diverged from the sequential run\n1: %s\n%d: %s"
+         jobs (render seq_makespans) jobs (render par_makespans));
+  let speedup = seq_s /. par_s in
+  let cores = Domain.recommended_domain_count () in
+  let buf = Buffer.create 1024 in
+  let add_line json =
+    Buffer.add_string buf (Obs.Json.to_string json);
+    Buffer.add_char buf '\n'
+  in
+  add_line
+    (Obs.Json.Obj
+       [
+         ("type", Obs.Json.Str "meta");
+         ("mode", Obs.Json.Str "parallel");
+         ("cores", Obs.Json.Num (float_of_int cores));
+         ("instances", Obs.Json.Num (float_of_int (List.length grid)));
+       ]);
+  List.iter2
+    (fun (name, _) m ->
+      add_line
+        (Obs.Json.Obj
+           [
+             ("type", Obs.Json.Str "makespan");
+             ("instance", Obs.Json.Str name);
+             ("makespan", Obs.Json.Num m);
+           ]))
+    grid seq_makespans;
+  add_line
+    (Obs.Json.Obj
+       [ ("type", Obs.Json.Str "run"); ("jobs", Obs.Json.Num 1.); ("wall_s", Obs.Json.Num seq_s) ]);
+  add_line
+    (Obs.Json.Obj
+       [
+         ("type", Obs.Json.Str "run");
+         ("jobs", Obs.Json.Num (float_of_int jobs));
+         ("wall_s", Obs.Json.Num par_s);
+       ]);
+  add_line
+    (Obs.Json.Obj
+       [
+         ("type", Obs.Json.Str "speedup");
+         ("jobs", Obs.Json.Num (float_of_int jobs));
+         ("speedup", Obs.Json.Num speedup);
+         ("identical_makespans", Obs.Json.Bool identical);
+       ]);
+  let oc = open_out parallel_out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf
+    "bench --smoke --jobs %d: %d instances, %.3f s sequential, %.3f s parallel (%.2fx), makespans identical; wrote %s\n"
+    jobs (List.length grid) seq_s par_s speedup parallel_out;
+  if jobs >= 4 && cores >= 4 && speedup < 2.0 then
+    failwith
+      (Printf.sprintf "bench --smoke --jobs %d: speedup %.2fx below the 2x acceptance bar on a %d-core machine"
+         jobs speedup cores)
+
 let run_bechamel () =
   let results = benchmark () in
   let rows =
@@ -306,5 +398,18 @@ let run_bechamel () =
       Printf.printf "%-60s %15s\n" name pretty)
     rows
 
+let parsed_jobs () =
+  let j = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then
+        j := int_of_string_opt Sys.argv.(i + 1))
+    Sys.argv;
+  !j
+
 let () =
-  if Array.exists (fun a -> a = "--smoke") Sys.argv then smoke () else run_bechamel ()
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
+    smoke ();
+    Option.iter (fun jobs -> if jobs >= 1 then smoke_parallel jobs) (parsed_jobs ())
+  end
+  else run_bechamel ()

@@ -91,9 +91,9 @@ let table_random_cmd =
     Term.(const run $ scale_arg $ seeds_arg $ csv_arg $ jobs_arg)
 
 let singleproc_cmd =
-  let run scale seeds d csv =
+  let run scale seeds d csv jobs =
     let t0 = Obs.Span.now_ns () in
-    let rows = Experiments.Sp_runner.run ~seeds ~scale ~d () in
+    let rows = Experiments.Sp_runner.run ~seeds ~scale ~d ~jobs () in
     print_string
       (Experiments.Sp_runner.render
          ~title:
@@ -105,7 +105,7 @@ let singleproc_cmd =
   in
   Cmd.v
     (Cmd.info "singleproc" ~doc:"SINGLEPROC-UNIT summary experiments (Sec. V-B)")
-    Term.(const run $ scale_arg $ seeds_arg $ d_arg $ csv_arg)
+    Term.(const run $ scale_arg $ seeds_arg $ d_arg $ csv_arg $ jobs_arg)
 
 let ablations_cmd =
   let run scale seeds =
@@ -117,7 +117,7 @@ let ablations_cmd =
     Term.(const run $ scale_arg $ seeds_arg)
 
 let sweep_cmd =
-  let run seeds weights_name =
+  let run seeds weights_name jobs =
     let weights =
       match weights_name with
       | "unit" -> Hyper.Weights.Unit
@@ -126,7 +126,7 @@ let sweep_cmd =
       | other -> invalid_arg (Printf.sprintf "unknown weight scheme %S" other)
     in
     let t0 = Obs.Span.now_ns () in
-    let results = Experiments.Sweep.run ~seeds ~weights () in
+    let results = Experiments.Sweep.run ~seeds ~jobs ~weights () in
     print_string
       (Printf.sprintf
          "Ranking stability across dv, dh in {2,5,10} and g in {32,128} (%s weights):\n\n"
@@ -140,7 +140,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Check the paper's claim that heuristic rankings are stable across dv/dh/g")
-    Term.(const run $ seeds_arg $ weights_arg)
+    Term.(const run $ seeds_arg $ weights_arg $ jobs_arg)
 
 let weighted_sp_cmd =
   let run seeds =

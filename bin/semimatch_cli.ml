@@ -25,6 +25,11 @@ let stats_arg =
        & info [ "stats" ] ~docv:"FMT"
            ~doc:"Enable telemetry probes and append a metrics report (table, json or csv).")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"J"
+           ~doc:"Number of domains to run on (default 1: sequential).")
+
 let with_stats stats f =
   match stats with
   | None -> f ()
@@ -157,24 +162,49 @@ let info_cmd =
     Term.(const run $ verbose $ dot $ file_arg)
 
 let solve_cmd =
-  let run algorithm refine loads stats file =
+  let run algorithm refine loads portfolio jobs timeout stats file =
     with_stats stats (fun () ->
         let h = Hyper.Io.load file in
-        let a = Gh.run algorithm h in
-        let a, moves =
-          if refine then Semimatch.Local_search.refine h a else (a, 0)
-        in
-        let makespan = Semimatch.Hyp_assignment.makespan h a in
         let lb = Semimatch.Lower_bound.multiproc h in
         let lb_refined = Semimatch.Lower_bound.multiproc_refined h in
         let best_lb = Float.max lb lb_refined in
-        Printf.printf "algorithm: %s%s\n" (Gh.name algorithm)
-          (if refine then Printf.sprintf " + local search (%d moves)" moves else "");
-        Printf.printf "makespan:  %g\n" makespan;
-        Printf.printf "LB (Eq.1): %g  (ratio %.3f)\n" lb (makespan /. lb);
-        Printf.printf "refined LB: %g  (ratio %.3f)\n" lb_refined (makespan /. lb_refined);
-        Printf.printf "optimality gap: at most %.1f%% above the best lower bound\n"
-          (100.0 *. ((makespan /. best_lb) -. 1.0));
+        let report makespan =
+          Printf.printf "makespan:  %g\n" makespan;
+          Printf.printf "LB (Eq.1): %g  (ratio %.3f)\n" lb (makespan /. lb);
+          Printf.printf "refined LB: %g  (ratio %.3f)\n" lb_refined (makespan /. lb_refined);
+          Printf.printf "optimality gap: at most %.1f%% above the best lower bound\n"
+            (100.0 *. ((makespan /. best_lb) -. 1.0))
+        in
+        let a =
+          if portfolio || jobs > 1 then begin
+            let module P = Semimatch.Portfolio in
+            let r = P.solve ~jobs ?timeout_s:timeout h in
+            Printf.printf "portfolio: %d solvers on %d domain%s\n" (List.length r.P.outcomes)
+              jobs
+              (if jobs = 1 then "" else "s");
+            List.iter
+              (fun o ->
+                match o.P.o_makespan with
+                | Some m ->
+                    Printf.printf "  %-10s %12g  (%.3f s)\n" (P.solver_name o.P.o_solver) m
+                      o.P.o_time_s
+                | None -> Printf.printf "  %-10s %12s\n" (P.solver_name o.P.o_solver) "skipped")
+              r.P.outcomes;
+            Printf.printf "winner: %s\n" (P.solver_name r.P.winner);
+            report r.P.best_makespan;
+            r.P.assignment
+          end
+          else begin
+            let a = Gh.run algorithm h in
+            let a, moves =
+              if refine then Semimatch.Local_search.refine h a else (a, 0)
+            in
+            Printf.printf "algorithm: %s%s\n" (Gh.name algorithm)
+              (if refine then Printf.sprintf " + local search (%d moves)" moves else "");
+            report (Semimatch.Hyp_assignment.makespan h a);
+            a
+          end
+        in
         if loads then begin
           let l = Semimatch.Hyp_assignment.loads h a in
           Array.iteri (fun u load -> Printf.printf "P%-6d %g\n" u load) l
@@ -184,13 +214,25 @@ let solve_cmd =
     Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
          & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"sgh, egh, vgh or evg")
   and refine = Arg.(value & flag & info [ "refine" ] ~doc:"apply local-search refinement")
-  and loads = Arg.(value & flag & info [ "loads" ] ~doc:"print per-processor loads") in
+  and loads = Arg.(value & flag & info [ "loads" ] ~doc:"print per-processor loads")
+  and portfolio =
+    Arg.(value & flag
+         & info [ "portfolio" ]
+             ~doc:
+               "Race the full solver portfolio (greedies, local search, annealing) and keep \
+                the best schedule; implied by $(b,--jobs) > 1.  The best makespan is \
+                identical for every job count.")
+  and timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Portfolio wall-clock budget.")
+  in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Run a greedy heuristic on an instance")
-    Term.(const run $ algorithm $ refine $ loads $ stats_arg $ file_arg)
+    (Cmd.info "solve" ~doc:"Run a greedy heuristic (or the parallel portfolio) on an instance")
+    Term.(const run $ algorithm $ refine $ loads $ portfolio $ jobs_arg $ timeout $ stats_arg
+          $ file_arg)
 
 let exact_cmd =
-  let run strategy stats file =
+  let run strategy jobs stats file =
     let h = Hyper.Io.load file in
     if not (is_singleton_unit h) then begin
       prerr_endline
@@ -200,10 +242,20 @@ let exact_cmd =
     end;
     with_stats stats (fun () ->
         let g = bipartite_of_singleton h in
-        let s = Semimatch.Exact_unit.solve ~strategy g in
-        Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
-          s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
-          (Semimatch.Exact_unit.strategy_name strategy))
+        if jobs > 1 then begin
+          (* Race the three matching engines; all compute the same optimum,
+             so only the winner (and its bookkeeping) depends on timing. *)
+          let s, engine = Semimatch.Portfolio.solve_exact_unit ~jobs g in
+          Printf.printf "optimal makespan: %d (%d deadlines tried, %s engine won the race)\n"
+            s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+            (Matching.engine_name engine)
+        end
+        else begin
+          let s = Semimatch.Exact_unit.solve ~strategy g in
+          Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
+            s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+            (Semimatch.Exact_unit.strategy_name strategy)
+        end)
   in
   let strategy_conv =
     Arg.enum
@@ -215,7 +267,7 @@ let exact_cmd =
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact optimum for SINGLEPROC-UNIT instances")
-    Term.(const run $ strategy $ stats_arg $ file_arg)
+    Term.(const run $ strategy $ jobs_arg $ stats_arg $ file_arg)
 
 let compare_cmd =
   let run refine stats file =
@@ -249,7 +301,7 @@ let compare_cmd =
    --stats=json / --stats=csv additionally emit the full labelled telemetry
    snapshots in machine-readable form. *)
 let profile_cmd =
-  let run stats seed file =
+  let run stats seed jobs file =
     let h = Hyper.Io.load file in
     let lb = Semimatch.Lower_bound.multiproc h in
     Obs.set_enabled true;
@@ -272,9 +324,13 @@ let profile_cmd =
       | Some Obs.Sink.Table | None -> ());
       incr machine_sections
     in
-    (* Each algorithm runs against a clean slate, under a span on the
-       monotonic clock; its counters and histograms are snapshotted before
-       the next reset. *)
+    (* Sequentially, each algorithm runs against a clean slate, under a span
+       on the monotonic clock; its counters and histograms are snapshotted
+       before the next reset.  With [jobs > 1] the algorithms share one
+       telemetry state and run concurrently, so each task instead diffs its
+       own domain's shard ([Metrics.local_snapshot] / [diff_since]) — exact
+       per-algorithm attribution without any reset, whatever its siblings
+       do in the meantime. *)
     let run_one label f =
       Obs.reset ();
       let makespan, seconds = Experiments.Runner.time_it ~span:label f in
@@ -291,36 +347,59 @@ let profile_cmd =
       capture label;
       (label, makespan, seconds, counters, histos)
     in
-    let greedy_rows =
+    let run_one_shard label f =
+      let snap = Obs.Metrics.local_snapshot () in
+      let makespan, seconds = Experiments.Runner.time_it ~span:label f in
+      let counters, histos = Obs.Metrics.diff_since snap in
+      (label, makespan, seconds, counters, histos)
+    in
+    let greedy_tasks =
       List.map
         (fun algo ->
-          run_one (Gh.short_name algo) (fun () ->
-              Semimatch.Hyp_assignment.makespan h (Gh.run algo h)))
+          ( Gh.short_name algo,
+            fun () -> Semimatch.Hyp_assignment.makespan h (Gh.run algo h) ))
         Gh.all
     in
-    let ls_row =
-      run_one "EVG+ls" (fun () ->
+    let ls_task =
+      ( "EVG+ls",
+        fun () ->
           let a = Gh.run Gh.Expected_vector_greedy_hyp h in
           let refined, _moves = Semimatch.Local_search.refine h a in
-          Semimatch.Hyp_assignment.makespan h refined)
+          Semimatch.Hyp_assignment.makespan h refined )
     in
-    let sa_row =
-      run_one "SGH+sa" (fun () ->
+    let sa_task =
+      ( "SGH+sa",
+        fun () ->
           let rng = Randkit.Prng.create ~seed in
-          snd (Semimatch.Annealing.solve rng h))
+          snd (Semimatch.Annealing.solve rng h) )
     in
-    let engine_rows =
+    let engine_tasks =
       if not (is_singleton_unit h) then []
       else begin
         let g = bipartite_of_singleton h in
         List.map
           (fun engine ->
-            run_one ("exact-" ^ Matching.engine_name engine) (fun () ->
-                float_of_int (Semimatch.Exact_unit.solve ~engine g).Semimatch.Exact_unit.makespan))
+            ( "exact-" ^ Matching.engine_name engine,
+              fun () ->
+                float_of_int (Semimatch.Exact_unit.solve ~engine g).Semimatch.Exact_unit.makespan
+            ))
           Matching.all_engines
       end
     in
-    let rows = greedy_rows @ [ ls_row; sa_row ] @ engine_rows in
+    let tasks = greedy_tasks @ [ ls_task; sa_task ] @ engine_tasks in
+    let rows =
+      if jobs = 1 then List.map (fun (label, f) -> run_one label f) tasks
+      else begin
+        Obs.reset ();
+        let rows =
+          Parpool.Pool.map_list ~jobs ~f:(fun (label, f) -> run_one_shard label f) tasks
+        in
+        (* One combined machine-readable section: per-label resets are
+           impossible while algorithms share the telemetry state. *)
+        capture "all";
+        rows
+      end
+    in
     Printf.printf "%s: %d tasks, %d processors, %d hyperedges; LB (Eq. 1) %g\n\n" file
       h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) lb;
     let module T = Experiments.Tables in
@@ -381,7 +460,7 @@ let profile_cmd =
        ~doc:
          "Run every algorithm on an instance with telemetry enabled and print a comparative \
           counters/timings table")
-    Term.(const run $ stats_arg $ seed $ file_arg)
+    Term.(const run $ stats_arg $ seed $ jobs_arg $ file_arg)
 
 let simulate_cmd =
   let run algorithm policy width file =

@@ -13,53 +13,51 @@ let algorithms =
   [ Gh.Sorted_greedy_hyp; Gh.Vector_greedy_hyp; Gh.Expected_greedy_hyp; Gh.Expected_vector_greedy_hyp ]
 
 let run ?(seeds = 3) ?(n = 1280) ?(p = 256) ?(dvs = [ 2; 5; 10 ]) ?(dhs = [ 2; 5; 10 ])
-    ?(gs = [ 32; 128 ]) ~weights () =
-  List.concat_map
-    (fun family ->
-      List.concat_map
-        (fun g ->
-          List.concat_map
-            (fun dv ->
-              List.map
-                (fun dh ->
-                  let spec =
-                    {
-                      Instances.name =
-                        Printf.sprintf "%s-n%d-p%d-g%d-dv%d-dh%d"
-                          (Hyper.Generate.family_name family) n p g dv dh;
-                      family;
-                      n;
-                      p;
-                      dv;
-                      dh;
-                      g;
-                    }
-                  in
-                  let replicates =
-                    List.init seeds (fun seed ->
-                        Instances.generate_multiproc ~seed ~weights spec)
-                  in
-                  let lbs = List.map Semimatch.Lower_bound.multiproc replicates in
-                  let ratios =
-                    List.map
-                      (fun algo ->
-                        let rs =
-                          List.map2
-                            (fun h lb -> Gh.makespan algo h /. lb)
-                            replicates lbs
-                        in
-                        (algo, Ds.Stats.median (Array.of_list rs)))
-                      algorithms
-                  in
-                  let ranking =
-                    List.map fst
-                      (List.stable_sort (fun (_, a) (_, b) -> compare a b) ratios)
-                  in
-                  { family; g; dv; dh; ratios; ranking })
-                dhs)
-            dvs)
-        gs)
-    [ Hyper.Generate.Fewg_manyg; Hyper.Generate.Hilo ]
+    ?(gs = [ 32; 128 ]) ?(jobs = 1) ~weights () =
+  let combos =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun g ->
+            List.concat_map
+              (fun dv -> List.map (fun dh -> (family, g, dv, dh)) dhs)
+              dvs)
+          gs)
+      [ Hyper.Generate.Fewg_manyg; Hyper.Generate.Hilo ]
+  in
+  (* Each combo is self-contained (own generator seeds, own instances), so
+     fanning the cross product over domains cannot change any ratio; the
+     result list keeps cross-product order whatever [jobs] is. *)
+  combos
+  |> Parpool.Pool.map_list ~jobs ~f:(fun (family, g, dv, dh) ->
+         let spec =
+           {
+             Instances.name =
+               Printf.sprintf "%s-n%d-p%d-g%d-dv%d-dh%d"
+                 (Hyper.Generate.family_name family) n p g dv dh;
+             family;
+             n;
+             p;
+             dv;
+             dh;
+             g;
+           }
+         in
+         let replicates =
+           List.init seeds (fun seed -> Instances.generate_multiproc ~seed ~weights spec)
+         in
+         let lbs = List.map Semimatch.Lower_bound.multiproc replicates in
+         let ratios =
+           List.map
+             (fun algo ->
+               let rs = List.map2 (fun h lb -> Gh.makespan algo h /. lb) replicates lbs in
+               (algo, Ds.Stats.median (Array.of_list rs)))
+             algorithms
+         in
+         let ranking =
+           List.map fst (List.stable_sort (fun (_, a) (_, b) -> compare a b) ratios)
+         in
+         { family; g; dv; dh; ratios; ranking })
 
 let render results =
   let header =

@@ -25,11 +25,15 @@ val run :
   ?dvs:int list ->
   ?dhs:int list ->
   ?gs:int list ->
+  ?jobs:int ->
   weights:Hyper.Weights.t ->
   unit ->
   combo_result list
 (** Defaults: 3 seeds, n = 1280, p = 256, dvs = dhs = [2; 5; 10],
-    gs = [32; 128]. *)
+    gs = [32; 128].  [jobs] (default 1) fans the parameter combinations out
+    over that many domains; every combination is generated and solved
+    independently of the others, so the results — order included — are
+    identical for every job count. *)
 
 val render : combo_result list -> string
 (** Table of ratios plus a summary line stating whether the best heuristic

@@ -1,55 +1,131 @@
-(* Process-global named counters and histograms.
+(* Process-global named counters and histograms, sharded per domain.
 
-   Instruments intern their handles once at module-initialization time
-   ([counter]/[histogram] hit a hashtable); the per-event operations are a
-   guarded in-place update.  Counters are plain (non-atomic) ints: profiling
-   runs are expected to be single-domain (Parpool jobs = 1) — cross-domain
-   increments may be lost, never crash. *)
+   Handles are interned once at module-initialization time ([counter] /
+   [histogram] take a registry mutex); the per-event operations touch only
+   the calling domain's shard (found through [Domain.DLS]), so probes are
+   lock-free and contention-free however many domains record concurrently.
+   Shards register themselves in a global list on first use and outlive
+   their domain, so metrics recorded by a pool worker survive the worker;
+   [fold_counters] / [summary] / the sinks merge all shards at report time.
 
-type counter = { c_name : string; mutable count : int }
+   Within a shard, updates are plain in-place writes (single writer: the
+   owning domain).  Merging while other domains are still recording is safe
+   but approximate — a merge may miss the very latest increments; report
+   after the parallel section joins (as the pool drivers do) and the sums
+   are exact. *)
+
+(* ---------- registry ---------- *)
+
+type counter = { c_id : int; c_name : string }
+type histogram = { h_id : int; h_name : string }
 
 (* Power-of-two histogram: bucket 0 holds [0,1), bucket i >= 1 holds
    [2^(i-1), 2^i).  62 finite buckets cover every duration / path length we
    care about; the top bucket absorbs the rest. *)
 let num_buckets = 64
 
-type histogram = {
-  h_name : string;
-  mutable n : int;
-  mutable sum : float;
-  mutable lo : float;
-  mutable hi : float;
-  buckets : int array;
-}
-
+let reg_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let num_counters = ref 0
+let num_histograms = ref 0
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+  Mutex.protect reg_mutex (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_id = !num_counters; c_name = name } in
+          Stdlib.incr num_counters;
+          Hashtbl.add counters name c;
+          c)
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        { h_name = name; n = 0; sum = 0.0; lo = infinity; hi = neg_infinity;
-          buckets = Array.make num_buckets 0 }
-      in
-      Hashtbl.add histograms name h;
-      h
+  Mutex.protect reg_mutex (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h = { h_id = !num_histograms; h_name = name } in
+          Stdlib.incr num_histograms;
+          Hashtbl.add histograms name h;
+          h)
 
 let counter_name c = c.c_name
 let histogram_name h = h.h_name
 
-let incr c = if !Config.enabled then c.count <- c.count + 1
-let add c n = if !Config.enabled then c.count <- c.count + n
-let value c = c.count
+(* ---------- per-domain shards ---------- *)
+
+type hshard = {
+  mutable hn : int;
+  mutable hsum : float;
+  mutable hlo : float;
+  mutable hhi : float;
+  hbuckets : int array;
+}
+
+let fresh_hshard () =
+  { hn = 0; hsum = 0.0; hlo = infinity; hhi = neg_infinity; hbuckets = Array.make num_buckets 0 }
+
+type shard = {
+  mutable sc : int array; (* counter values, indexed by counter id *)
+  mutable sh : hshard option array; (* histogram shards, indexed by id *)
+}
+
+(* Every shard ever created, including those of terminated domains. *)
+let shards : shard list ref = ref []
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { sc = [||]; sh = [||] } in
+      Mutex.protect reg_mutex (fun () -> shards := s :: !shards);
+      s)
+
+let local_shard () = Domain.DLS.get shard_key
+
+(* Growth replaces the arrays (merge readers read the field once and may
+   see the smaller array — they just miss the newest entries, which is the
+   documented merge-while-recording approximation). *)
+let counter_slot s id =
+  let sc = s.sc in
+  if id < Array.length sc then sc
+  else begin
+    let bigger = Array.make (max (id + 1) ((2 * Array.length sc) + 8)) 0 in
+    Array.blit sc 0 bigger 0 (Array.length sc);
+    s.sc <- bigger;
+    bigger
+  end
+
+let hist_slot s id =
+  let sh =
+    let sh = s.sh in
+    if id < Array.length sh then sh
+    else begin
+      let bigger = Array.make (max (id + 1) ((2 * Array.length sh) + 4)) None in
+      Array.blit sh 0 bigger 0 (Array.length sh);
+      s.sh <- bigger;
+      bigger
+    end
+  in
+  match sh.(id) with
+  | Some hs -> hs
+  | None ->
+      let hs = fresh_hshard () in
+      sh.(id) <- Some hs;
+      hs
+
+(* ---------- hot path ---------- *)
+
+let incr c =
+  if !Config.enabled then begin
+    let sc = counter_slot (local_shard ()) c.c_id in
+    sc.(c.c_id) <- sc.(c.c_id) + 1
+  end
+
+let add c n =
+  if !Config.enabled then begin
+    let sc = counter_slot (local_shard ()) c.c_id in
+    sc.(c.c_id) <- sc.(c.c_id) + n
+  end
 
 let bucket_of v =
   if not (v >= 1.0) then 0 (* catches v < 1, nan *)
@@ -60,34 +136,90 @@ let bucket_hi i = Float.pow 2.0 (float_of_int i)
 
 let observe h v =
   if !Config.enabled then begin
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.lo then h.lo <- v;
-    if v > h.hi then h.hi <- v;
+    let hs = hist_slot (local_shard ()) h.h_id in
+    hs.hn <- hs.hn + 1;
+    hs.hsum <- hs.hsum +. v;
+    if v < hs.hlo then hs.hlo <- v;
+    if v > hs.hhi then hs.hhi <- v;
     let b = bucket_of v in
-    h.buckets.(b) <- h.buckets.(b) + 1
+    hs.hbuckets.(b) <- hs.hbuckets.(b) + 1
   end
 
-let count h = h.n
-let sum h = h.sum
-let mean h = if h.n = 0 then Float.nan else h.sum /. float_of_int h.n
-let minimum h = if h.n = 0 then Float.nan else h.lo
-let maximum h = if h.n = 0 then Float.nan else h.hi
+(* ---------- merging ---------- *)
+
+let all_shards () = Mutex.protect reg_mutex (fun () -> !shards)
+
+let sum_counter ss c =
+  List.fold_left
+    (fun acc s -> if c.c_id < Array.length s.sc then acc + s.sc.(c.c_id) else acc)
+    0 ss
+
+let value c = sum_counter (all_shards ()) c
+let shard_values c = List.map (fun s -> if c.c_id < Array.length s.sc then s.sc.(c.c_id) else 0) (all_shards ())
+let shard_count () = List.length (all_shards ())
+
+(* Merged histogram data: the shape every statistic is computed from. *)
+type hdata = {
+  d_n : int;
+  d_sum : float;
+  d_lo : float;
+  d_hi : float;
+  d_buckets : int array;
+}
+
+let empty_hdata () =
+  { d_n = 0; d_sum = 0.0; d_lo = infinity; d_hi = neg_infinity; d_buckets = Array.make num_buckets 0 }
+
+let merge_hshard d (hs : hshard) =
+  for i = 0 to num_buckets - 1 do
+    d.(i) <- d.(i) + hs.hbuckets.(i)
+  done
+
+let merged_hdata ss h =
+  let buckets = Array.make num_buckets 0 in
+  let n = ref 0 and sum = ref 0.0 and lo = ref infinity and hi = ref neg_infinity in
+  List.iter
+    (fun s ->
+      match (if h.h_id < Array.length s.sh then s.sh.(h.h_id) else None) with
+      | None -> ()
+      | Some hs ->
+          n := !n + hs.hn;
+          sum := !sum +. hs.hsum;
+          if hs.hlo < !lo then lo := hs.hlo;
+          if hs.hhi > !hi then hi := hs.hhi;
+          merge_hshard buckets hs)
+    ss;
+  { d_n = !n; d_sum = !sum; d_lo = !lo; d_hi = !hi; d_buckets = buckets }
+
+let merged h = merged_hdata (all_shards ()) h
+
+(* ---------- statistics on merged data ---------- *)
+
+let count h = (merged h).d_n
+let sum h = (merged h).d_sum
+
+let mean_of d = if d.d_n = 0 then Float.nan else d.d_sum /. float_of_int d.d_n
+let min_of d = if d.d_n = 0 then Float.nan else d.d_lo
+let max_of d = if d.d_n = 0 then Float.nan else d.d_hi
+
+let mean h = mean_of (merged h)
+let minimum h = min_of (merged h)
+let maximum h = max_of (merged h)
 
 (* Rank-interpolated quantile on the bucketed representation: locate the
    bucket containing rank q·(n−1), interpolate linearly inside it, and clamp
    to the exact observed range (so n equal observations answer that value
    for every q). *)
-let quantile h ~q =
-  if h.n = 0 then Float.nan
+let quantile_of d ~q =
+  if d.d_n = 0 then Float.nan
   else if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q outside [0,1]"
   else begin
-    let rank = q *. float_of_int (h.n - 1) in
-    let raw = ref h.hi in
+    let rank = q *. float_of_int (d.d_n - 1) in
+    let raw = ref d.d_hi in
     let acc = ref 0 in
     (try
        for i = 0 to num_buckets - 1 do
-         let c = h.buckets.(i) in
+         let c = d.d_buckets.(i) in
          if c > 0 then begin
            if rank < float_of_int (!acc + c) then begin
              let frac = (rank -. float_of_int !acc) /. float_of_int c in
@@ -98,8 +230,10 @@ let quantile h ~q =
          end
        done
      with Exit -> ());
-    Float.min h.hi (Float.max h.lo !raw)
+    Float.min d.d_hi (Float.max d.d_lo !raw)
   end
+
+let quantile h ~q = quantile_of (merged h) ~q
 
 type summary = {
   s_count : int;
@@ -112,40 +246,129 @@ type summary = {
   s_p99 : float;
 }
 
-let summary h =
+let summary_of d =
   {
-    s_count = h.n;
-    s_sum = h.sum;
-    s_min = minimum h;
-    s_max = maximum h;
-    s_mean = mean h;
-    s_p50 = quantile h ~q:0.5;
-    s_p90 = quantile h ~q:0.9;
-    s_p99 = quantile h ~q:0.99;
+    s_count = d.d_n;
+    s_sum = d.d_sum;
+    s_min = min_of d;
+    s_max = max_of d;
+    s_mean = mean_of d;
+    s_p50 = quantile_of d ~q:0.5;
+    s_p90 = quantile_of d ~q:0.9;
+    s_p99 = quantile_of d ~q:0.99;
   }
 
-let sorted_by_name to_name tbl =
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
-  |> List.sort (fun a b -> compare (to_name a) (to_name b))
+let summary h = summary_of (merged h)
+
+let registered_sorted () =
+  Mutex.protect reg_mutex (fun () ->
+      let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+      let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+      ( List.sort (fun a b -> compare a.c_name b.c_name) cs,
+        List.sort (fun a b -> compare a.h_name b.h_name) hs,
+        !shards ))
 
 let fold_counters f init =
-  List.fold_left (fun acc c -> f c.c_name c.count acc) init (sorted_by_name (fun c -> c.c_name) counters)
+  let cs, _, ss = registered_sorted () in
+  List.fold_left (fun acc c -> f c.c_name (sum_counter ss c) acc) init cs
 
 let fold_histograms f init =
-  List.fold_left
-    (fun acc h -> f h.h_name (summary h) acc)
-    init
-    (sorted_by_name (fun h -> h.h_name) histograms)
+  let _, hs, ss = registered_sorted () in
+  List.fold_left (fun acc h -> f h.h_name (summary_of (merged_hdata ss h)) acc) init hs
 
-let reset_counter c = c.count <- 0
+(* ---------- local snapshots (per-solver deltas under parallelism) ---------- *)
 
-let reset_histogram h =
-  h.n <- 0;
-  h.sum <- 0.0;
-  h.lo <- infinity;
-  h.hi <- neg_infinity;
-  Array.fill h.buckets 0 num_buckets 0
+(* [local_snapshot]/[diff_since] window the *calling domain's* shard: the
+   difference between two snapshots taken on one domain is exactly what ran
+   there in between, however many other domains were recording concurrently.
+   The CLI's parallel [profile] uses this to attribute metrics per solver.
+   Counter deltas are exact.  Histogram deltas are exact in count, sum and
+   buckets; min/max cannot be un-merged, so they are re-derived from the
+   delta buckets at bucket resolution, clamped to the shard's observed
+   range (exact whenever the snapshot was empty). *)
+
+type snapshot = { snap_c : int array; snap_h : hdata option array }
+
+let hdata_of_hshard hs =
+  {
+    d_n = hs.hn;
+    d_sum = hs.hsum;
+    d_lo = hs.hlo;
+    d_hi = hs.hhi;
+    d_buckets = Array.copy hs.hbuckets;
+  }
+
+let local_snapshot () =
+  let s = local_shard () in
+  {
+    snap_c = Array.copy s.sc;
+    snap_h = Array.map (Option.map hdata_of_hshard) s.sh;
+  }
+
+let diff_since snap =
+  let s = local_shard () in
+  let cs, hs, _ = registered_sorted () in
+  let counter_deltas =
+    List.filter_map
+      (fun c ->
+        let now = if c.c_id < Array.length s.sc then s.sc.(c.c_id) else 0 in
+        let before = if c.c_id < Array.length snap.snap_c then snap.snap_c.(c.c_id) else 0 in
+        if now <> before then Some (c.c_name, now - before) else None)
+      cs
+  in
+  let hist_deltas =
+    List.filter_map
+      (fun h ->
+        let now =
+          if h.h_id < Array.length s.sh then Option.map hdata_of_hshard s.sh.(h.h_id) else None
+        in
+        match now with
+        | None -> None
+        | Some now ->
+            let before =
+              if h.h_id < Array.length snap.snap_h then snap.snap_h.(h.h_id) else None
+            in
+            let d =
+              match before with
+              | None -> now
+              | Some b ->
+                  let buckets = Array.mapi (fun i c -> c - b.d_buckets.(i)) now.d_buckets in
+                  let lo = ref infinity and hi = ref neg_infinity in
+                  Array.iteri
+                    (fun i c ->
+                      if c > 0 then begin
+                        if bucket_lo i < !lo then lo := bucket_lo i;
+                        if bucket_hi i > !hi then hi := bucket_hi i
+                      end)
+                    buckets;
+                  {
+                    d_n = now.d_n - b.d_n;
+                    d_sum = now.d_sum -. b.d_sum;
+                    d_lo = Float.max now.d_lo !lo;
+                    d_hi = Float.min now.d_hi !hi;
+                    d_buckets = buckets;
+                  }
+            in
+            if d.d_n > 0 then Some (h.h_name, summary_of d) else None)
+      hs
+  in
+  (counter_deltas, hist_deltas)
+
+(* ---------- reset ---------- *)
 
 let reset_all () =
-  Hashtbl.iter (fun _ c -> reset_counter c) counters;
-  Hashtbl.iter (fun _ h -> reset_histogram h) histograms
+  Mutex.protect reg_mutex (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.sc 0 (Array.length s.sc) 0;
+          Array.iter
+            (function
+              | None -> ()
+              | Some hs ->
+                  hs.hn <- 0;
+                  hs.hsum <- 0.0;
+                  hs.hlo <- infinity;
+                  hs.hhi <- neg_infinity;
+                  Array.fill hs.hbuckets 0 num_buckets 0)
+            s.sh)
+        !shards)

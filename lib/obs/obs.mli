@@ -4,9 +4,15 @@
     Everything is off by default.  Probe points compile to one guarded
     in-place update; with {!enabled} false they allocate nothing and cost a
     load and a branch, so they can stay in release hot paths (the engine
-    ablation bench verifies this stays in the noise).  Counters are plain
-    ints, not atomics: record from a single domain (run profiling with
-    [Parpool] jobs = 1); concurrent increments may be lost, never crash. *)
+    ablation bench verifies this stays in the noise).
+
+    The substrate is domain-safe: every domain records into its own shard
+    (found through [Domain.DLS]), so probes stay zero-cost single-threaded
+    and lock-free under parallelism — no atomics, no contention, no lost
+    increments.  Shards are merged at report time ({!Metrics.fold_counters},
+    {!Metrics.summary}, the sinks); merge after the parallel section joins
+    (as the [Parpool] drivers do) and the sums are exact.  The historical
+    single-domain restriction ("run profiling with jobs = 1") is lifted. *)
 
 val enabled : bool ref
 (** The master switch shared by every probe.  Prefer {!set_enabled}. *)
@@ -32,10 +38,22 @@ module Metrics : sig
   val counter_name : counter -> string
 
   val incr : counter -> unit
-  (** No-op unless {!enabled}. *)
+  (** No-op unless {!enabled}.  Updates the calling domain's shard only:
+      lock-free and contention-free from any number of domains. *)
 
   val add : counter -> int -> unit
+
   val value : counter -> int
+  (** Sum over every domain's shard. *)
+
+  val shard_values : counter -> int list
+  (** The per-domain shard values behind {!value}, one per registered shard
+      (domains that never recorded report 0), in no particular order.
+      [value c = List.fold_left (+) 0 (shard_values c)] when quiescent. *)
+
+  val shard_count : unit -> int
+  (** Number of domain shards registered so far (a shard outlives its
+      domain, so pool workers stay counted after joining). *)
 
   type histogram
 
@@ -75,11 +93,28 @@ module Metrics : sig
   val summary : histogram -> summary
 
   val fold_counters : (string -> int -> 'a -> 'a) -> 'a -> 'a
-  (** Name-sorted, registered counters (including zeros). *)
+  (** Name-sorted, registered counters (including zeros), merged over all
+      shards. *)
 
   val fold_histograms : (string -> summary -> 'a -> 'a) -> 'a -> 'a
 
+  type snapshot
+  (** A copy of the {e calling domain's} shard at one instant. *)
+
+  val local_snapshot : unit -> snapshot
+
+  val diff_since : snapshot -> (string * int) list * (string * summary) list
+  (** What the calling domain recorded since the snapshot was taken —
+      exact regardless of what other domains did in between, which is how
+      the CLI's parallel [profile] attributes metrics to solvers sharing a
+      pool.  Returns (non-zero counter deltas, non-empty histogram deltas),
+      name-sorted.  Histogram delta count/sum/buckets (hence quantiles) are
+      exact; min/max are bucket-resolution approximations unless the
+      snapshot was empty for that histogram. *)
+
   val reset_all : unit -> unit
+  (** Zero every shard of every metric; registered names and handles stay
+      valid. *)
 end
 
 module Span : sig

@@ -4,7 +4,14 @@
    for wall timing whether or not telemetry is on.  [enter]/[exit]/[timed]
    additionally record into a fixed-capacity ring buffer (the most recent
    [capacity] spans, with nesting depth) and into per-name aggregates, but
-   only when [Config.enabled] is set; disabled spans cost one branch. *)
+   only when [Config.enabled] is set; disabled spans cost one branch.
+
+   Domain safety: nesting depth is domain-local (spans nest within the
+   domain that opened them), while the shared ring and aggregates are
+   guarded by a mutex.  Spans are coarse events (one per algorithm run, not
+   per edge), so a lock at [exit] is free in practice — the per-event
+   counters and histograms, which do sit on hot paths, are the lock-free
+   sharded ones in [Metrics]. *)
 
 external now_ns : unit -> int64 = "obs_monotonic_ns"
 
@@ -20,10 +27,11 @@ type record = { r_name : string; start_ns : int64; stop_ns : int64; depth : int 
 let sentinel = { r_name = ""; start_ns = 0L; stop_ns = 0L; depth = 0 }
 
 let default_capacity = 4096
+let lock = Mutex.create () (* guards the ring and the aggregates *)
 let ring = ref (Array.make default_capacity sentinel)
 let ring_next = ref 0 (* next write slot *)
 let ring_stored = ref 0 (* total records ever written *)
-let current_depth = ref 0
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 type agg = { a_name : string; mutable a_count : int; mutable a_total_ns : int64 }
 
@@ -35,7 +43,7 @@ let inert = { sp_name = ""; sp_start = 0L; sp_live = false }
 
 let enter name =
   if !Config.enabled then begin
-    Stdlib.incr current_depth;
+    Stdlib.incr (Domain.DLS.get depth_key);
     { sp_name = name; sp_start = now_ns (); sp_live = true }
   end
   else inert
@@ -43,24 +51,24 @@ let enter name =
 let exit sp =
   if sp.sp_live then begin
     let stop = now_ns () in
-    Stdlib.decr current_depth;
-    let r =
-      { r_name = sp.sp_name; start_ns = sp.sp_start; stop_ns = stop; depth = !current_depth }
-    in
-    let a = !ring in
-    a.(!ring_next) <- r;
-    ring_next := (!ring_next + 1) mod Array.length a;
-    Stdlib.incr ring_stored;
-    let agg =
-      match Hashtbl.find_opt aggs sp.sp_name with
-      | Some agg -> agg
-      | None ->
-          let agg = { a_name = sp.sp_name; a_count = 0; a_total_ns = 0L } in
-          Hashtbl.add aggs sp.sp_name agg;
-          agg
-    in
-    agg.a_count <- agg.a_count + 1;
-    agg.a_total_ns <- Int64.add agg.a_total_ns (Int64.sub stop sp.sp_start)
+    let depth = Domain.DLS.get depth_key in
+    Stdlib.decr depth;
+    let r = { r_name = sp.sp_name; start_ns = sp.sp_start; stop_ns = stop; depth = !depth } in
+    Mutex.protect lock (fun () ->
+        let a = !ring in
+        a.(!ring_next) <- r;
+        ring_next := (!ring_next + 1) mod Array.length a;
+        Stdlib.incr ring_stored;
+        let agg =
+          match Hashtbl.find_opt aggs sp.sp_name with
+          | Some agg -> agg
+          | None ->
+              let agg = { a_name = sp.sp_name; a_count = 0; a_total_ns = 0L } in
+              Hashtbl.add aggs sp.sp_name agg;
+              agg
+        in
+        agg.a_count <- agg.a_count + 1;
+        agg.a_total_ns <- Int64.add agg.a_total_ns (Int64.sub stop sp.sp_start))
   end
 
 let timed name f =
@@ -71,22 +79,24 @@ let duration_s r = ns_to_s (Int64.sub r.stop_ns r.start_ns)
 
 (* Oldest-first live contents of the ring. *)
 let records () =
-  let a = !ring in
-  let cap = Array.length a in
-  let len = min !ring_stored cap in
-  let first = (!ring_next - len + cap) mod cap in
-  List.init len (fun i -> a.((first + i) mod cap))
+  Mutex.protect lock (fun () ->
+      let a = !ring in
+      let cap = Array.length a in
+      let len = min !ring_stored cap in
+      let first = (!ring_next - len + cap) mod cap in
+      List.init len (fun i -> a.((first + i) mod cap)))
 
-let recorded () = !ring_stored
+let recorded () = Mutex.protect lock (fun () -> !ring_stored)
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Span.set_capacity: capacity must be positive";
-  ring := Array.make n sentinel;
-  ring_next := 0;
-  ring_stored := 0
+  Mutex.protect lock (fun () ->
+      ring := Array.make n sentinel;
+      ring_next := 0;
+      ring_stored := 0)
 
 let aggregates () =
-  Hashtbl.fold (fun _ a acc -> a :: acc) aggs []
+  Mutex.protect lock (fun () -> Hashtbl.fold (fun _ a acc -> a :: acc) aggs [])
   |> List.sort (fun a b -> compare a.a_name b.a_name)
 
 let fold_aggregates f init =
@@ -95,9 +105,10 @@ let fold_aggregates f init =
     init (aggregates ())
 
 let reset () =
-  let a = !ring in
-  Array.fill a 0 (Array.length a) sentinel;
-  ring_next := 0;
-  ring_stored := 0;
-  current_depth := 0;
-  Hashtbl.reset aggs
+  Mutex.protect lock (fun () ->
+      let a = !ring in
+      Array.fill a 0 (Array.length a) sentinel;
+      ring_next := 0;
+      ring_stored := 0;
+      Hashtbl.reset aggs);
+  Domain.DLS.get depth_key := 0

@@ -1,0 +1,29 @@
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t;
+  deadline : int64 option; (* monotonic ns *)
+  inert : bool; (* the [never] token ignores [cancel] *)
+}
+
+let create ?timeout_s () =
+  let deadline =
+    match timeout_s with
+    | None -> None
+    | Some s ->
+        if not (s > 0.0) then invalid_arg "Cancel.create: timeout_s must be positive";
+        Some (Int64.add (Obs.Span.now_ns ()) (Int64.of_float (s *. 1e9)))
+  in
+  { flag = Atomic.make false; deadline; inert = false }
+
+let never = { flag = Atomic.make false; deadline = None; inert = true }
+
+let cancel t = if not t.inert then Atomic.set t.flag true
+
+let is_cancelled t =
+  Atomic.get t.flag
+  || match t.deadline with None -> false | Some d -> Obs.Span.now_ns () >= d
+
+let check t = if is_cancelled t then raise Cancelled
+
+let deadline_ns t = t.deadline

@@ -1,0 +1,35 @@
+(** Cooperative cancellation tokens, shared across domains.
+
+    A token is a single atomic flag, optionally armed with a monotonic-clock
+    deadline.  Long-running work polls {!is_cancelled} (or calls {!check})
+    at convenient points; the pool skips tasks whose batch token has tripped,
+    which is how a worker exception or a [race] winner drains the remaining
+    work promptly instead of letting sibling domains run to completion. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check}, and by pool operations that were cut short by an
+    external cancellation (never by an internal one such as a race win). *)
+
+val create : ?timeout_s:float -> unit -> t
+(** Fresh, untripped token.  [timeout_s] arms a deadline [timeout_s] seconds
+    from now on the monotonic clock ({!Obs.Span.now_ns}): once it passes,
+    the token reads as cancelled without anyone calling {!cancel}.
+    [timeout_s] must be positive. *)
+
+val never : t
+(** A shared token that never trips ({!cancel} on it is ignored).  Useful as
+    a default for code paths that take a token unconditionally. *)
+
+val cancel : t -> unit
+(** Trip the flag (idempotent, domain-safe). *)
+
+val is_cancelled : t -> bool
+(** True once {!cancel} was called or the deadline passed. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if {!is_cancelled}. *)
+
+val deadline_ns : t -> int64 option
+(** The armed monotonic deadline, if any. *)

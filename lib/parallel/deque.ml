@@ -1,0 +1,90 @@
+(* Chase–Lev deque on OCaml 5 seq_cst atomics.
+
+   Indices [top, bottom) are live; physical slot of logical index i is
+   [i land (length buf - 1)].  The owner writes slots only at [bottom], and
+   a grow copies [top, bottom) into a doubled buffer, so for any buffer a
+   thief can observe, slots at logical indices < bottom hold the value of
+   that logical index (live logical ranges never alias physically: aliasing
+   needs bottom - top >= length, which triggers a grow first).  A thief
+   validates its read by CASing [top]; winning the CAS makes the read
+   element its own. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t; (* written by owner only *)
+  buf : 'a option array Atomic.t;
+}
+
+let round_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  go 8
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make (round_pow2 capacity) None);
+  }
+
+let slot buf i = i land (Array.length buf - 1)
+
+(* Owner only.  Copy live elements into a doubled buffer at the same
+   logical indices, then publish it.  Thieves holding the old buffer keep
+   reading valid values for indices below the bottom at publication time. *)
+let grow q t b =
+  let old = Atomic.get q.buf in
+  let bigger = Array.make (2 * Array.length old) None in
+  for i = t to b - 1 do
+    bigger.(slot bigger i) <- old.(slot old i)
+  done;
+  Atomic.set q.buf bigger
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  if b - t >= Array.length buf then grow q t b;
+  let buf = Atomic.get q.buf in
+  buf.(slot buf b) <- Some x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Empty: restore the canonical empty state. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = buf.(slot buf b) in
+    if b > t then begin
+      buf.(slot buf b) <- None;
+      x
+    end
+    else begin
+      (* Last element: race thieves for it via the top CAS. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        buf.(slot buf b) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = buf.(slot buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then x else None
+  end
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)

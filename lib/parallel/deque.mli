@@ -1,0 +1,34 @@
+(** Chase–Lev work-stealing deque (SPMC).
+
+    One {e owner} domain pushes and pops at the bottom in LIFO order; any
+    number of {e thief} domains steal from the top.  The owner side is
+    wait-free except when the circular buffer grows; thieves synchronize on
+    a single compare-and-set of the top index, so a steal either takes the
+    oldest element or fails harmlessly (contention or emptiness).
+
+    Ownership is a protocol, not a runtime check: exactly one domain may
+    call {!push}/{!pop} at a time.  {!steal} is safe concurrently with
+    everything, including a concurrent {!push} that grows the buffer —
+    thieves tolerate stale buffers because logical indices below the
+    observed bottom are never overwritten in any buffer they can hold. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64) is rounded up to a power of two; the buffer
+    grows automatically when exceeded. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when
+    empty (the last element may instead be lost to a concurrent winner of
+    the top CAS). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element.  [None] on emptiness {e or} on a
+    lost CAS race — callers treat both as "try elsewhere". *)
+
+val size : 'a t -> int
+(** Racy snapshot of the element count (>= 0); exact when quiescent. *)

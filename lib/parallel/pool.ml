@@ -1,42 +1,245 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-type 'b outcome = Value of 'b | Error of exn
+(* A batch is self-describing: jobs carry their batch, so a worker that
+   lingers past a batch boundary (it was mid-steal when the previous batch
+   drained) executes whatever it steals against the right pending counter
+   and cancellation tokens, no matter which batch it thinks it is in. *)
+type batch = {
+  tasks : (unit -> unit) array;
+  cursor : int Atomic.t; (* next unclaimed task index *)
+  pending : int Atomic.t; (* tasks not yet executed or skipped *)
+  chunk : int;
+  user_cancel : Cancel.t; (* caller-provided: timeout / external stop *)
+  internal_cancel : Cancel.t; (* tripped by the first task exception *)
+  fail : (int * exn) option Atomic.t; (* smallest-index exception *)
+}
 
-let map ?jobs ~f items =
+type job = { jb : batch; ji : int }
+
+type t = {
+  size : int;
+  deques : job Deque.t array; (* slot s is owned by participant s *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable epoch : int; (* bumped per batch, guarded by [mutex] *)
+  mutable current : batch option; (* guarded by [mutex] *)
+  mutable alive : bool; (* guarded by [mutex] *)
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Keep the smallest-index failure, whoever records last. *)
+let record_min slot i e =
+  let rec go () =
+    let cur = Atomic.get slot in
+    match cur with
+    | Some (j, _) when j <= i -> ()
+    | _ -> if not (Atomic.compare_and_set slot cur (Some (i, e))) then go ()
+  in
+  go ()
+
+let exec job =
+  let b = job.jb in
+  (if not (Cancel.is_cancelled b.internal_cancel || Cancel.is_cancelled b.user_cancel) then
+     try b.tasks.(job.ji) ()
+     with e ->
+       record_min b.fail job.ji e;
+       Cancel.cancel b.internal_cancel);
+  Atomic.decr b.pending
+
+(* Move the next block of tasks from the shared cursor into [dq] (owner
+   push).  Reverse order so the owner pops them in ascending index order. *)
+let claim_block b dq =
+  let n = Array.length b.tasks in
+  let i = Atomic.fetch_and_add b.cursor b.chunk in
+  if i >= n then false
+  else begin
+    let hi = min n (i + b.chunk) in
+    for j = hi - 1 downto i do
+      Deque.push dq { jb = b; ji = j }
+    done;
+    true
+  end
+
+let steal_round pool slot =
+  let k = pool.size in
+  let rec go i = if i = k then None else
+    match Deque.steal pool.deques.((slot + i) mod k) with
+    | Some _ as job -> job
+    | None -> go (i + 1)
+  in
+  go 1
+
+(* Work until [b.pending] hits zero.  Local pops first, then refills from
+   the cursor, then steals; stolen jobs may belong to a newer batch, which
+   is fine (see [batch]).  The final spin covers tasks still executing on
+   other participants. *)
+let participate pool slot b =
+  let dq = pool.deques.(slot) in
+  let rec next () =
+    match Deque.pop dq with
+    | Some _ as job -> job
+    | None -> if claim_block b dq then next () else steal_round pool slot
+  in
+  let rec go () =
+    if Atomic.get b.pending > 0 then begin
+      (match next () with Some job -> exec job | None -> Domain.cpu_relax ());
+      go ()
+    end
+  in
+  go ()
+
+let worker pool slot =
+  let rec loop last_epoch =
+    Mutex.lock pool.mutex;
+    while pool.alive && pool.epoch = last_epoch do
+      Condition.wait pool.cond pool.mutex
+    done;
+    let epoch = pool.epoch and b = pool.current and alive = pool.alive in
+    Mutex.unlock pool.mutex;
+    if alive then begin
+      (match b with Some b -> participate pool slot b | None -> ());
+      loop epoch
+    end
+  in
+  loop 0
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be positive";
+  let pool =
+    {
+      size = jobs;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      epoch = 0;
+      current = None;
+      alive = true;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.alive <- false;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  let ds = pool.domains in
+  pool.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run ?(cancel = Cancel.never) pool tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let b =
+      {
+        tasks;
+        cursor = Atomic.make 0;
+        pending = Atomic.make n;
+        chunk = max 1 (n / (4 * pool.size));
+        user_cancel = cancel;
+        internal_cancel = Cancel.create ();
+        fail = Atomic.make None;
+      }
+    in
+    if pool.size > 1 then begin
+      Mutex.lock pool.mutex;
+      pool.current <- Some b;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
+    end;
+    participate pool 0 b;
+    match Atomic.get b.fail with Some (_, e) -> raise e | None -> ()
+  end
+
+let map ?pool ?(cancel = Cancel.never) ?jobs ~f items =
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Pool.map: jobs must be positive"
+  | _ -> ());
   let n = Array.length items in
   if n = 0 then [||]
   else begin
-    let jobs =
-      let requested = match jobs with Some j -> j | None -> default_jobs () in
-      if requested < 1 then invalid_arg "Pool.map: jobs must be positive"
-      else min requested n
-    in
-    if jobs = 1 then Array.map f items
-    else begin
-      let results = Array.make n None in
-      let next = Atomic.make 0 in
-      let worker () =
-        let rec claim () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            let outcome = try Value (f items.(i)) with e -> Error e in
-            (* Distinct indices: no two domains ever write the same slot. *)
-            results.(i) <- Some outcome;
-            claim ()
-          end
-        in
-        claim ()
-      in
-      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join domains;
-      Array.map
-        (function
-          | Some (Value v) -> v
-          | Some (Error e) -> raise e
-          | None -> assert false)
-        results
-    end
+    let results = Array.make n None in
+    let bodies = Array.init n (fun i () -> results.(i) <- Some (f items.(i))) in
+    (match pool with
+    | Some p -> run ~cancel p bodies
+    | None ->
+        let jobs = min (match jobs with Some j -> j | None -> default_jobs ()) n in
+        if jobs = 1 then
+          (* In-caller fast path: same skip-on-cancel semantics, no pool. *)
+          Array.iter (fun body -> if not (Cancel.is_cancelled cancel) then body ()) bodies
+        else with_pool ~jobs (fun p -> run ~cancel p bodies));
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* No task raised (run would have), so a hole means [cancel]
+               tripped before the batch finished. *)
+            raise Cancel.Cancelled)
+      results
   end
 
-let map_list ?jobs ~f items = Array.to_list (map ?jobs ~f (Array.of_list items))
+let map_list ?pool ?cancel ?jobs ~f items =
+  Array.to_list (map ?pool ?cancel ?jobs ~f (Array.of_list items))
+
+let race ?cancel pool contenders =
+  let k = Array.length contenders in
+  if k = 0 then invalid_arg "Pool.race: no contenders";
+  let token = match cancel with Some c -> c | None -> Cancel.create () in
+  let winner = Atomic.make None in
+  let fail = Atomic.make None in
+  let bodies =
+    Array.init k (fun i () ->
+        match contenders.(i) token with
+        | v ->
+            let rec claim () =
+              match Atomic.get winner with
+              | Some _ -> ()
+              | None ->
+                  if Atomic.compare_and_set winner None (Some (i, v)) then Cancel.cancel token
+                  else claim ()
+            in
+            claim ()
+        | exception e -> record_min fail i e)
+  in
+  run ~cancel:token pool bodies;
+  match Atomic.get winner with
+  | Some r -> r
+  | None -> (
+      match Atomic.get fail with Some (_, e) -> raise e | None -> raise Cancel.Cancelled)
+
+let race_best ?cancel ~better pool contenders =
+  let k = Array.length contenders in
+  if k = 0 then invalid_arg "Pool.race_best: no contenders";
+  let token = match cancel with Some c -> c | None -> Cancel.never in
+  let results = Array.make k None in
+  let fail = Atomic.make None in
+  let bodies =
+    Array.init k (fun i () ->
+        match contenders.(i) token with
+        | v -> results.(i) <- Some v
+        | exception e -> record_min fail i e)
+  in
+  run ~cancel:token pool bodies;
+  let best = ref None in
+  Array.iteri
+    (fun i -> function
+      | None -> ()
+      | Some v -> (
+          match !best with
+          | None -> best := Some (i, v)
+          | Some (_, incumbent) -> if better v incumbent then best := Some (i, v)))
+    results;
+  match !best with
+  | Some r -> r
+  | None -> (
+      match Atomic.get fail with Some (_, e) -> raise e | None -> raise Cancel.Cancelled)

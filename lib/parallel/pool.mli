@@ -1,22 +1,82 @@
-(** Minimal multicore work pool over OCaml 5 domains.
+(** Reusable multicore work pool over OCaml 5 domains.
 
-    Used by the experiment drivers to spread independent instance
-    evaluations across cores.  Work items are claimed from a shared atomic
-    counter, so uneven item costs (e.g. EVG on a p = 4096 instance next to
-    SGH on a tiny one) balance automatically.  With [jobs = 1] everything
-    runs in the calling domain — the default on single-core machines, and
-    the right choice whenever wall-clock timings are being measured. *)
+    A pool owns [jobs - 1] worker domains that sleep between batches; the
+    calling domain is always the [jobs]-th participant, so [jobs = 1] runs
+    everything in the caller with no spawning at all (the right choice on
+    single-core machines and whenever wall-clock timings are measured).
+
+    Work distribution is chunked work stealing: every participant owns a
+    {!Deque} (Chase–Lev), claims contiguous blocks of the batch from a
+    shared cursor into it, pops locally in order, and steals from siblings
+    once both its deque and the cursor run dry.  Uneven item costs (an EVG
+    run on a p = 4096 instance next to an SGH run on a tiny one) therefore
+    balance automatically, while the common case stays a local pop.
+
+    Cancellation is cooperative via {!Cancel} tokens.  A task that raises
+    trips the batch's internal token, so the remaining unstarted tasks are
+    {e skipped} and the pool drains promptly instead of running the batch to
+    completion before re-raising — the smallest-index exception wins.
+
+    A pool is driven by one orchestrating domain at a time: [run]/[map]/
+    [race] must not be called concurrently on the same pool, nor reentrantly
+    from inside a task. *)
+
+type t
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val map : ?jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
-(** [map ~jobs ~f items] applies [f] to every element, preserving order of
-    results.  [f] must be safe to run concurrently on distinct elements
-    (the experiment drivers only share immutable specs).  If any application
-    raises, the first exception (in item order) is re-raised after all
-    domains have joined.  [jobs] defaults to {!default_jobs}; it is clamped
-    to [1 .. Array.length items]. *)
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] participants ([jobs - 1] domains; default
+    {!default_jobs}).  Raises [Invalid_argument] if [jobs < 1]. *)
 
-val map_list : ?jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+val size : t -> int
+(** The number of participants (including the caller). *)
+
+val shutdown : t -> unit
+(** Wake and join the worker domains (idempotent).  A pool that is never
+    shut down keeps its domains blocked, which prevents process exit —
+    prefer {!with_pool} unless the pool's lifetime spans the program. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val run : ?cancel:Cancel.t -> t -> (unit -> unit) array -> unit
+(** Execute every task, in parallel, returning when all have finished or
+    been skipped.  Tasks are skipped (never aborted mid-flight) once
+    [cancel] trips or once any task raises; after the batch drains, the
+    raised exception with the smallest task index is re-raised.  A tripped
+    [cancel] alone does not raise — callers decide what partial completion
+    means ({!map} raises {!Cancel.Cancelled}, {!race} treats it as a win). *)
+
+val map : ?pool:t -> ?cancel:Cancel.t -> ?jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~f items] applies [f] to every element, preserving order of
+    results.  [f] must be safe to run concurrently on distinct elements.
+    Runs on [pool] when given (ignoring [jobs]); otherwise on an ephemeral
+    pool of [jobs] participants (default {!default_jobs}, clamped to the
+    item count).  If any application raises, later items are skipped and the
+    smallest-index exception is re-raised; if [cancel] trips first,
+    {!Cancel.Cancelled} is raised instead. *)
+
+val map_list : ?pool:t -> ?cancel:Cancel.t -> ?jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
 (** List convenience wrapper over {!map}. *)
+
+val race : ?cancel:Cancel.t -> t -> (Cancel.t -> 'a) array -> int * 'a
+(** [race pool contenders] starts every contender and returns
+    [(index, value)] of the {e first} to complete, tripping the shared token
+    so the not-yet-started rest are skipped; running contenders observe the
+    same token and should poll it to stop early.  [cancel] (default a fresh
+    token) lets the caller bound the whole race with a timeout.  With
+    [jobs = 1] the first contender necessarily wins.  If every contender
+    raises, the smallest-index exception is re-raised; if the token trips
+    with no winner, {!Cancel.Cancelled} is raised. *)
+
+val race_best :
+  ?cancel:Cancel.t -> better:('a -> 'a -> bool) -> t -> (Cancel.t -> 'a) array -> int * 'a
+(** [race_best ~better pool contenders] runs {e every} contender to
+    completion (no winner-cancellation, so the outcome is deterministic) and
+    returns the best result: contender [i] beats the incumbent [j < i] only
+    when [better v_i v_j].  Contenders that raise are excluded; if all
+    raise, the smallest-index exception is re-raised.  [cancel] still bounds
+    the whole batch, skipping unstarted contenders ({!Cancel.Cancelled} if
+    none completed). *)

@@ -26,7 +26,12 @@ let default_params h =
 (* Energy bookkeeping: moving task v from e_old to e_new changes
    Σ l² only on the touched processors; each update of load l by δ changes
    the energy by 2lδ + δ². *)
-let refine ?params rng h start =
+(* [should_stop] is polled every [stop_poll_period] iterations so the
+   Metropolis loop stays branch-cheap; stopping early just returns the
+   best-seen assignment, which is always a valid result. *)
+let stop_poll_period = 256
+
+let refine ?params ?(should_stop = fun () -> false) rng h start =
   let params = match params with Some p -> p | None -> default_params h in
   if params.iterations < 0 then invalid_arg "Annealing: negative iteration budget";
   if not (params.cooling > 0.0 && params.cooling <= 1.0) then
@@ -58,7 +63,9 @@ let refine ?params rng h start =
   let best_choice = Array.copy choice in
   let best_makespan = ref (makespan_of ()) in
   let temperature = ref params.initial_temperature in
-  for _ = 1 to params.iterations do
+  (try
+  for iter = 1 to params.iterations do
+    if iter land (stop_poll_period - 1) = 0 && should_stop () then raise Exit;
     let v = Randkit.Prng.int rng (max n1 1) in
     if n1 > 0 && H.task_degree h v > 1 then begin
       let e_old = choice.(v) in
@@ -86,9 +93,10 @@ let refine ?params rng h start =
       end
     end;
     temperature := !temperature *. params.cooling
-  done;
+  done
+  with Exit -> ());
   (Hyp_assignment.of_choices h best_choice, !best_makespan)
 
-let solve ?params rng h =
+let solve ?params ?should_stop rng h =
   let start = Greedy_hyper.run Greedy_hyper.Sorted_greedy_hyp h in
-  refine ?params rng h start
+  refine ?params ?should_stop rng h start

@@ -21,12 +21,22 @@ val default_params : Hyper.Graph.t -> params
 
 val refine :
   ?params:params ->
+  ?should_stop:(unit -> bool) ->
   Randkit.Prng.t ->
   Hyper.Graph.t ->
   Hyp_assignment.t ->
   Hyp_assignment.t * float
 (** [refine rng h start] returns the best assignment found and its makespan.
-    Deterministic in (rng seed, params, start). *)
+    Deterministic in (rng seed, params, start) when [should_stop] never
+    fires.  [should_stop] (default never) is polled every few hundred
+    iterations; once it returns true the loop ends early and the best-seen
+    assignment is returned — {!Portfolio} uses this for cancellation and
+    for cutoff once a sibling solver has already matched the lower bound. *)
 
-val solve : ?params:params -> Randkit.Prng.t -> Hyper.Graph.t -> Hyp_assignment.t * float
+val solve :
+  ?params:params ->
+  ?should_stop:(unit -> bool) ->
+  Randkit.Prng.t ->
+  Hyper.Graph.t ->
+  Hyp_assignment.t * float
 (** [refine] starting from sorted-greedy-hyp. *)

@@ -1,0 +1,129 @@
+module Pool = Parpool.Pool
+module Cancel = Parpool.Cancel
+
+(* Probe points: how many solver slots ran vs were cut off, and how often the
+   cutoff fired at all (meaning some solver hit the lower bound early). *)
+let c_ran = Obs.Metrics.counter "semimatch.portfolio.solvers_ran"
+let c_skipped = Obs.Metrics.counter "semimatch.portfolio.solvers_skipped"
+let h_solver_s = Obs.Metrics.histogram "semimatch.portfolio.solver_s"
+
+type solver =
+  | Greedy of Greedy_hyper.algorithm
+  | Refined of Greedy_hyper.algorithm
+  | Annealed of int
+
+let solver_name = function
+  | Greedy a -> Greedy_hyper.short_name a
+  | Refined a -> Greedy_hyper.short_name a ^ "+ls"
+  | Annealed seed -> Printf.sprintf "anneal@%d" seed
+
+let default_solvers =
+  List.map (fun a -> Greedy a) Greedy_hyper.all
+  @ [ Refined Greedy_hyper.Expected_vector_greedy_hyp; Annealed 1 ]
+
+type outcome = { o_solver : solver; o_makespan : float option; o_time_s : float }
+
+type result = {
+  best_makespan : float;
+  assignment : Hyp_assignment.t;
+  winner : solver;
+  lower_bound : float;
+  outcomes : outcome list;
+}
+
+(* Lock-free incumbent: lower the shared best makespan, never raise it.
+   The CAS loop retries only when another domain moved the value, and since
+   each retry observes a strictly smaller incumbent it terminates. *)
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let run_solver ~should_stop h = function
+  | Greedy a ->
+      let asg = Greedy_hyper.run a h in
+      (asg, Hyp_assignment.makespan h asg)
+  | Refined a ->
+      let start = Greedy_hyper.run a h in
+      let asg, _moves = Local_search.refine h start in
+      (asg, Hyp_assignment.makespan h asg)
+  | Annealed seed ->
+      let rng = Randkit.Prng.create ~seed in
+      Annealing.solve ~should_stop rng h
+
+let solve ?pool ?(jobs = 1) ?(cutoff = true) ?timeout_s ?(solvers = default_solvers) h =
+  if solvers = [] then invalid_arg "Portfolio.solve: solvers must be non-empty";
+  let solvers = Array.of_list solvers in
+  let n = Array.length solvers in
+  (* The refined LB is sound (no schedule beats it), so an incumbent at the
+     LB proves optimality and later solvers cannot improve the value — the
+     only condition under which the cutoff skips work.  This is what keeps
+     the returned makespan identical across job counts. *)
+  let lb = Lower_bound.multiproc_refined h in
+  let token = match timeout_s with Some s -> Cancel.create ~timeout_s:s () | None -> Cancel.never in
+  let best = Atomic.make infinity in
+  let results = Array.make n None in
+  let times = Array.make n 0.0 in
+  let optimal_found () = cutoff && Atomic.get best <= lb in
+  let task i () =
+    if optimal_found () || Cancel.is_cancelled token then Obs.Metrics.incr c_skipped
+    else begin
+      Obs.Metrics.incr c_ran;
+      let should_stop () = Cancel.is_cancelled token || optimal_found () in
+      let (asg, m), dt = Obs.Span.time_s (fun () -> run_solver ~should_stop h solvers.(i)) in
+      Obs.Metrics.observe h_solver_s dt;
+      atomic_min best m;
+      results.(i) <- Some (m, asg);
+      times.(i) <- dt
+    end
+  in
+  let tasks = Array.init n task in
+  (match pool with
+  | Some p -> Pool.run ~cancel:token p tasks
+  | None -> Pool.with_pool ~jobs (fun p -> Pool.run ~cancel:token p tasks));
+  (* A timeout that fires before anything completed would otherwise leave no
+     result at all; fall back to the first solver, uninterrupted. *)
+  if Array.for_all Option.is_none results then begin
+    let (asg, m), dt =
+      Obs.Span.time_s (fun () -> run_solver ~should_stop:(fun () -> false) h solvers.(0))
+    in
+    results.(0) <- Some (m, asg);
+    times.(0) <- dt
+  end;
+  let best_makespan =
+    Array.fold_left
+      (fun acc -> function Some (m, _) -> Float.min acc m | None -> acc)
+      infinity results
+  in
+  let winner_idx = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       match results.(i) with
+       | Some (m, _) when m = best_makespan ->
+           winner_idx := i;
+           raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  let assignment = match results.(!winner_idx) with Some (_, a) -> a | None -> assert false in
+  let outcomes =
+    List.init n (fun i ->
+        {
+          o_solver = solvers.(i);
+          o_makespan = Option.map fst results.(i);
+          o_time_s = times.(i);
+        })
+  in
+  { best_makespan; assignment; winner = solvers.(!winner_idx); lower_bound = lb; outcomes }
+
+let solve_exact_unit ?pool ?(jobs = 1) ?(engines = Matching.all_engines) g =
+  if engines = [] then invalid_arg "Portfolio.solve_exact_unit: engines must be non-empty";
+  let engines = Array.of_list engines in
+  let contenders =
+    Array.map (fun engine _token -> Exact_unit.solve ~engine g) engines
+  in
+  let idx, solution =
+    match pool with
+    | Some p -> Pool.race p contenders
+    | None -> Pool.with_pool ~jobs (fun p -> Pool.race p contenders)
+  in
+  (solution, engines.(idx))

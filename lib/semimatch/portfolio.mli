@@ -1,0 +1,77 @@
+(** A multicore solver portfolio for MULTIPROC (and the matching-engine race
+    for SINGLEPROC-UNIT).
+
+    The heuristics in this library have incomparable strengths: the greedies
+    are fast but myopic, local search fixes single-task mistakes, annealing
+    escapes local optima given budget.  The portfolio runs a selection of
+    them {e in parallel} over a {!Parpool.Pool} and keeps the best schedule,
+    sharing the incumbent makespan through an atomic so late starters can be
+    {e cut off} as soon as some solver already matched the instance's lower
+    bound (below which no schedule exists).
+
+    Determinism: every solver is individually deterministic, and the set of
+    solvers is fixed, so the best {e makespan} returned is independent of
+    [jobs], scheduling, and timing.  With [cutoff:true] (the default) a
+    solver may be skipped, but only once the incumbent equals the lower
+    bound — i.e. only when the skipped solver could not have improved the
+    value anyway; the reported {e winner} can then differ between runs (any
+    solver attaining the optimum may finish first).  With [cutoff:false]
+    every solver always runs and the winner is deterministic too: the
+    earliest solver in list order attaining the best makespan. *)
+
+type solver =
+  | Greedy of Greedy_hyper.algorithm
+  | Refined of Greedy_hyper.algorithm
+      (** greedy start + {!Local_search.refine} *)
+  | Annealed of int  (** {!Annealing.solve} seeded with this integer *)
+
+val solver_name : solver -> string
+(** E.g. "SGH", "EVG+ls", "anneal@7". *)
+
+val default_solvers : solver list
+(** The four greedy heuristics, local-search-refined EVG, and one annealing
+    run (seed 1) — a spread of cheap and thorough. *)
+
+type outcome = {
+  o_solver : solver;
+  o_makespan : float option;  (** [None]: skipped by cutoff or timeout *)
+  o_time_s : float;
+}
+
+type result = {
+  best_makespan : float;
+  assignment : Hyp_assignment.t;
+  winner : solver;
+  lower_bound : float;  (** {!Lower_bound.multiproc_refined} *)
+  outcomes : outcome list;  (** one per solver, in solver-list order *)
+}
+
+val solve :
+  ?pool:Parpool.Pool.t ->
+  ?jobs:int ->
+  ?cutoff:bool ->
+  ?timeout_s:float ->
+  ?solvers:solver list ->
+  Hyper.Graph.t ->
+  result
+(** [solve h] runs the portfolio and returns the best schedule found.
+    Runs on [pool] when given (ignoring [jobs]), else on an ephemeral pool
+    of [jobs] participants (default 1: fully sequential and deterministic).
+    [timeout_s] bounds the wall clock: running annealers stop early at their
+    next poll and unstarted solvers are skipped — at least the first solver
+    always completes, so a result is always returned.  [solvers] must be
+    non-empty.  Raises [Invalid_argument] on infeasible instances. *)
+
+val solve_exact_unit :
+  ?pool:Parpool.Pool.t ->
+  ?jobs:int ->
+  ?engines:Matching.engine list ->
+  Bipartite.Graph.t ->
+  Exact_unit.solution * Matching.engine
+(** Race the maximum-matching engines on the same SINGLEPROC-UNIT instance
+    and return the first solution to arrive with the engine that produced
+    it.  All engines compute the same optimal makespan (their matchings have
+    identical cardinality), so the solution value is engine- and
+    timing-independent; only [deadlines_tried] bookkeeping and the winning
+    engine vary.  With [jobs = 1] the first engine in [engines] (default
+    {!Matching.all_engines}) wins deterministically. *)

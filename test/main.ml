@@ -13,6 +13,9 @@ let () =
       ("simulator", Test_simulator.suite);
       ("randomized", Test_randomized.suite);
       ("parallel", Test_parallel.suite);
+      ("property", Test_property.suite);
+      ("differential", Test_differential.suite);
+      ("determinism", Test_determinism.suite);
       ("invariants", Test_invariants.suite);
       ("annealing", Test_annealing.suite);
       ("golden", Test_golden.suite);

@@ -1,4 +1,6 @@
 module Pool = Parpool.Pool
+module Cancel = Parpool.Cancel
+module Deque = Parpool.Deque
 
 let check = Alcotest.(check bool)
 
@@ -65,6 +67,183 @@ let test_experiment_results_identical_across_jobs () =
     (fun row -> check "identical ratios" true (strip row = strip sequential))
     via_pool
 
+let test_early_failure_drains () =
+  (* A failure must skip the remaining work, not run the batch to completion
+     before re-raising: with the failure up front, the vast majority of the
+     1000 tasks are never executed.  The bound is loose (a few tasks may
+     already be claimed into deques before the token trips) but far below
+     the full batch, and the test also proves the pool neither hangs nor
+     loses the original exception. *)
+  let executed = Atomic.make 0 in
+  let items = Array.init 1000 Fun.id in
+  (match
+     Pool.map ~jobs:4
+       ~f:(fun x ->
+         Atomic.incr executed;
+         if x = 0 then failwith "first";
+         x)
+       items
+   with
+  | exception Failure msg -> Alcotest.(check string) "original exception" "first" msg
+  | _ -> Alcotest.fail "expected exception");
+  let ran = Atomic.get executed in
+  check "skipped most of the batch" true (ran < 900)
+
+let test_map_cancelled_token () =
+  let token = Cancel.create () in
+  Cancel.cancel token;
+  Alcotest.check_raises "tripped before start" Cancel.Cancelled (fun () ->
+      ignore (Pool.map ~cancel:token ~jobs:2 ~f:Fun.id (Array.init 10 Fun.id)))
+
+let test_map_timeout () =
+  (* A microscopic deadline trips between items; Cancelled must surface
+     rather than a partial result. *)
+  let token = Cancel.create ~timeout_s:1e-6 () in
+  match
+    Pool.map ~cancel:token ~jobs:1
+      ~f:(fun x ->
+        ignore (Sys.opaque_identity (Hashtbl.hash x));
+        Unix.sleepf 0.002;
+        x)
+      (Array.init 50 Fun.id)
+  with
+  | exception Cancel.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Cancelled"
+
+let test_race_first_wins_sequential () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let idx, v =
+        Pool.race pool
+          [| (fun _ -> "first"); (fun _ -> Alcotest.fail "loser must be skipped") |]
+      in
+      Alcotest.(check int) "winner index" 0 idx;
+      Alcotest.(check string) "winner value" "first" v)
+
+let test_race_cancels_losers () =
+  (* The loser spins on the shared token; the race only returns because the
+     winner trips it, so returning at all is the assertion. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let idx, v =
+        Pool.race pool
+          [|
+            (fun token ->
+              while not (Cancel.is_cancelled token) do
+                Domain.cpu_relax ()
+              done;
+              "spinner");
+            (fun _ -> "quick");
+          |]
+      in
+      check "some contender won" true (idx = 0 || idx = 1);
+      check "value matches winner" true
+        ((idx = 0 && v = "spinner") || (idx = 1 && v = "quick")))
+
+let test_race_all_raise () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.race pool [| (fun _ -> failwith "a"); (fun _ -> failwith "b") |]
+      with
+      | exception Failure msg -> Alcotest.(check string) "smallest index" "a" msg
+      | _ -> Alcotest.fail "expected exception")
+
+let test_race_best_deterministic () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let contenders = [| (fun _ -> 5); (fun _ -> 3); (fun _ -> 3); (fun _ -> 7) |] in
+      let idx, v = Pool.race_best ~better:(fun a b -> a < b) pool contenders in
+      Alcotest.(check int) "best value" 3 v;
+      Alcotest.(check int) "earliest index wins ties" 1 idx)
+
+let test_race_best_excludes_raisers () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let idx, v =
+        Pool.race_best ~better:(fun a b -> a < b) pool
+          [| (fun _ -> failwith "broken"); (fun _ -> 42) |]
+      in
+      Alcotest.(check int) "surviving index" 1 idx;
+      Alcotest.(check int) "surviving value" 42 v)
+
+let test_pool_reuse () =
+  (* One persistent pool across several batches: epochs must not leak state
+     from batch to batch. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let out = Pool.map ~pool ~f:(fun x -> x + round) (Array.init 100 Fun.id) in
+        Alcotest.(check (array int)) "round result" (Array.init 100 (fun i -> i + round)) out
+      done)
+
+let test_cancel_deadline () =
+  let t = Cancel.create ~timeout_s:1e-9 () in
+  Unix.sleepf 0.002;
+  check "deadline passed" true (Cancel.is_cancelled t);
+  check "never is inert" false (Cancel.is_cancelled Cancel.never);
+  Cancel.cancel Cancel.never;
+  check "never cannot trip" false (Cancel.is_cancelled Cancel.never)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "size" 100 (Deque.size d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 100) (Deque.pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "steal order" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "pop order" (Some 99) (Deque.pop d);
+  let d2 = Deque.create () in
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d2);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d2)
+
+let test_deque_concurrent_steal () =
+  (* One owner pushes/pops, three thieves steal; every element must be taken
+     exactly once. *)
+  let n = 20_000 in
+  let d = Deque.create () in
+  let taken = Array.make n (Atomic.make 0) in
+  for i = 0 to n - 1 do
+    taken.(i) <- Atomic.make 0
+  done;
+  let stop = Atomic.make false in
+  let thief () =
+    let count = ref 0 in
+    while not (Atomic.get stop) do
+      match Deque.steal d with
+      | Some x ->
+          Atomic.incr taken.(x);
+          incr count
+      | None -> Domain.cpu_relax ()
+    done;
+    (* Drain whatever is left after the owner finished. *)
+    let rec drain () =
+      match Deque.steal d with
+      | Some x ->
+          Atomic.incr taken.(x);
+          incr count;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    !count
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  let popped = ref 0 in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    if i land 7 = 0 then
+      match Deque.pop d with
+      | Some x ->
+          Atomic.incr taken.(x);
+          incr popped
+      | None -> ()
+  done;
+  Atomic.set stop true;
+  let stolen = List.fold_left (fun acc t -> acc + Domain.join t) 0 thieves in
+  Alcotest.(check int) "every element taken once" n (stolen + !popped);
+  Array.iteri
+    (fun i c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "element %d taken %d times" i (Atomic.get c))
+    taken
+
 let suite =
   [
     Alcotest.test_case "empty input" `Quick test_empty;
@@ -76,4 +255,16 @@ let suite =
     Alcotest.test_case "list wrapper" `Quick test_map_list;
     Alcotest.test_case "experiments identical across jobs" `Quick
       test_experiment_results_identical_across_jobs;
+    Alcotest.test_case "early failure drains promptly" `Quick test_early_failure_drains;
+    Alcotest.test_case "map on a cancelled token" `Quick test_map_cancelled_token;
+    Alcotest.test_case "map timeout" `Quick test_map_timeout;
+    Alcotest.test_case "race: first wins sequentially" `Quick test_race_first_wins_sequential;
+    Alcotest.test_case "race: winner cancels losers" `Quick test_race_cancels_losers;
+    Alcotest.test_case "race: all raise" `Quick test_race_all_raise;
+    Alcotest.test_case "race_best: deterministic ties" `Quick test_race_best_deterministic;
+    Alcotest.test_case "race_best: excludes raisers" `Quick test_race_best_excludes_raisers;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "cancel deadlines" `Quick test_cancel_deadline;
+    Alcotest.test_case "deque LIFO/FIFO and growth" `Quick test_deque_lifo_fifo;
+    Alcotest.test_case "deque concurrent steal" `Quick test_deque_concurrent_steal;
   ]
