@@ -13,7 +13,19 @@
    --smoke runs a scaled-down grid with Obs telemetry enabled and writes
    BENCH_smoke.json (JSON lines: bench rows + the full metrics snapshot),
    validating every line through Obs.Json; `dune runtest` exercises it so
-   the telemetry pipeline cannot rot. *)
+   the telemetry pipeline cannot rot.  It also exports the recorded spans
+   as a Chrome trace (BENCH_trace.json, openable in ui.perfetto.dev).
+
+   The regression gate rides on the same workloads:
+
+     bench --write-baseline --baseline BENCH_baseline.json
+     bench --smoke --baseline BENCH_baseline.json --check
+
+   --check re-times every baseline group and fails (exit 1) when a group
+   exceeds its median/MAD tolerance band (see Experiments.Bench_gate); on
+   success it appends one row to BENCH_trajectory.json.  The undocumented
+   --slowdown X flag multiplies the measured medians — the CI dry-run uses
+   it to prove an injected 3x regression actually trips the gate. *)
 
 open Bechamel
 open Toolkit
@@ -195,6 +207,7 @@ let benchmark () =
    then re-parses the artifact with Obs.Json to prove the machine format
    round-trips. *)
 let smoke_out = "BENCH_smoke.json"
+let trace_out = "BENCH_trace.json"
 
 let smoke () =
   Obs.set_enabled true;
@@ -277,8 +290,11 @@ let smoke () =
       with End_of_file -> ());
   if !lines < 10 then failwith "bench --smoke: suspiciously short artifact";
   if !counters = 0 then failwith "bench --smoke: telemetry snapshot recorded no counters";
-  Printf.printf "bench --smoke: wrote %s (%d JSON lines, %d counters, all parsed back)\n"
-    smoke_out !lines !counters
+  (* The spans recorded during the run above, as a Chrome trace artifact. *)
+  Obs.Trace.write_file trace_out;
+  Printf.printf
+    "bench --smoke: wrote %s (%d JSON lines, %d counters, all parsed back) and %s\n" smoke_out
+    !lines !counters trace_out
 
 (* --smoke --jobs J: the multicore acceptance check.  The portfolio grid —
    every solver of [Portfolio.default_solvers] on a batch of scaled paper
@@ -398,18 +414,93 @@ let run_bechamel () =
       Printf.printf "%-60s %15s\n" name pretty)
     rows
 
-let parsed_jobs () =
-  let j = ref None in
+(* ---------- benchmark-regression gate (Experiments.Bench_gate) ---------- *)
+
+module Gate = Experiments.Bench_gate
+
+let trajectory_out = "BENCH_trajectory.json"
+
+(* The gated workloads mirror the smoke groups: the two scaled paper
+   instances through every multiprocessor heuristic, plus the exact solver
+   through each matching engine.  Instances are generated up front so the
+   thunks time pure solving. *)
+let gate_workloads () =
+  let heuristics =
+    List.concat_map
+      (fun name ->
+        let spec = Experiments.Instances.scaled 16 (find_spec name) in
+        let h = Experiments.Instances.generate_multiproc ~seed:0 ~weights:Hyper.Weights.Unit spec in
+        List.map
+          (fun algo ->
+            ( Printf.sprintf "%s/%s" spec.Experiments.Instances.name (Gh.short_name algo),
+              fun () -> ignore (Gh.run algo h) ))
+          Gh.all)
+      [ "FG-5-1-MP"; "HLF-5-1-MP" ]
+  in
+  let sp_spec = Experiments.Instances.scaled_singleproc 16 (find_sp_spec "FG-20-1") in
+  let sp = Experiments.Instances.generate_singleproc ~seed:0 sp_spec in
+  let exact =
+    List.map
+      (fun engine ->
+        ( Printf.sprintf "%s/exact-%s" sp_spec.Experiments.Instances.sp_name
+            (Matching.engine_name engine),
+          fun () -> ignore (Semimatch.Exact_unit.solve ~engine sp) ))
+      Matching.all_engines
+  in
+  heuristics @ exact
+
+let gate_write_baseline path =
+  (* Telemetry off: the gate times un-instrumented code, and must do so
+     identically at baseline-write and check time. *)
+  Obs.set_enabled false;
+  let b = Gate.baseline_of_workloads (gate_workloads ()) in
+  Gate.write_baseline path b;
+  Printf.printf "bench --write-baseline: wrote %s (%d groups, calib %.1fms)\n" path
+    (List.length b.Gate.b_groups) (1e3 *. b.Gate.b_calib_s)
+
+let gate_check ?slowdown path =
+  Obs.set_enabled false;
+  let b = Gate.load_baseline path in
+  let verdicts, calib_s = Gate.check ?slowdown b (gate_workloads ()) in
+  print_string (Gate.render verdicts);
+  if Gate.all_pass verdicts then begin
+    Gate.append_trajectory trajectory_out ~calib_s verdicts;
+    Printf.printf "bench --check: %d groups within tolerance of %s; appended %s\n"
+      (List.length verdicts) path trajectory_out
+  end
+  else begin
+    Printf.eprintf "bench --check: benchmark regression against %s (see table above)\n" path;
+    exit 1
+  end
+
+(* ---------- ad-hoc argv parsing (this is not a cmdliner binary) ---------- *)
+
+let flag_value name =
+  let v = ref None in
   Array.iteri
-    (fun i a ->
-      if a = "--jobs" && i + 1 < Array.length Sys.argv then
-        j := int_of_string_opt Sys.argv.(i + 1))
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then v := Some Sys.argv.(i + 1))
     Sys.argv;
-  !j
+  !v
+
+let has_flag name = Array.exists (fun a -> a = name) Sys.argv
+let parsed_jobs () = Option.bind (flag_value "--jobs") int_of_string_opt
 
 let () =
-  if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
-    smoke ();
-    Option.iter (fun jobs -> if jobs >= 1 then smoke_parallel jobs) (parsed_jobs ())
+  let baseline = flag_value "--baseline" in
+  let slowdown = Option.bind (flag_value "--slowdown") float_of_string_opt in
+  let require_baseline what =
+    match baseline with
+    | Some path -> path
+    | None ->
+        Printf.eprintf "bench %s requires --baseline FILE\n" what;
+        exit 2
+  in
+  if has_flag "--write-baseline" then gate_write_baseline (require_baseline "--write-baseline")
+  else begin
+    if has_flag "--smoke" then begin
+      smoke ();
+      Option.iter (fun jobs -> if jobs >= 1 then smoke_parallel jobs) (parsed_jobs ())
+    end;
+    if has_flag "--check" then gate_check ?slowdown (require_baseline "--check")
+    else if not (has_flag "--smoke") then run_bechamel ()
   end
-  else run_bechamel ()

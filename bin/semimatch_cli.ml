@@ -30,16 +30,57 @@ let jobs_arg =
        & info [ "jobs"; "j" ] ~docv:"J"
            ~doc:"Number of domains to run on (default 1: sequential).")
 
-let with_stats stats f =
-  match stats with
-  | None -> f ()
-  | Some fmt ->
-      Obs.set_enabled true;
-      Obs.reset ();
-      let result = f () in
-      print_newline ();
-      Obs.Sink.emit fmt;
-      result
+(* --trace FILE: export the spans/events recorded during the command as a
+   Chrome trace-event file (one track per domain, flow arrows linking pool
+   submission to execution). *)
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Enable telemetry and write a Chrome trace-event file; open it at \
+              $(b,ui.perfetto.dev) (or chrome://tracing).")
+
+(* --events[=text|json]: print the structured event log after the run. *)
+let events_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let events_arg =
+  Arg.(value
+       & opt ~vopt:(Some `Text) (some events_conv) None
+       & info [ "events" ] ~docv:"FMT"
+           ~doc:
+             "Enable telemetry and print the structured event log (incumbents, cutoffs, \
+              phases...) as text or json lines.")
+
+(* Every telemetry surface shares one switch: any of --stats / --trace /
+   --events enables the probes; each then renders its own view of the run. *)
+let with_telemetry ?(trace = None) ?(events = None) stats f =
+  if stats = None && trace = None && events = None then f ()
+  else begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    let result = f () in
+    (match stats with
+    | None -> ()
+    | Some fmt ->
+        print_newline ();
+        Obs.Sink.emit fmt);
+    (match events with
+    | None -> ()
+    | Some `Text ->
+        print_newline ();
+        print_string (Obs.Events.render_text ())
+    | Some `Json ->
+        print_newline ();
+        print_string (Obs.Events.render_jsonl ()));
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.write_file path;
+        Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n" path);
+    result
+  end
+
+let with_stats stats f = with_telemetry stats f
 
 (* SINGLEPROC-UNIT detection and embedding, shared by [exact] and
    [profile]: singleton unit-weight configurations are plain bipartite
@@ -162,8 +203,8 @@ let info_cmd =
     Term.(const run $ verbose $ dot $ file_arg)
 
 let solve_cmd =
-  let run algorithm refine loads portfolio jobs timeout stats file =
-    with_stats stats (fun () ->
+  let run algorithm refine loads portfolio jobs timeout stats trace events file =
+    with_telemetry ~trace ~events stats (fun () ->
         let h = Hyper.Io.load file in
         let lb = Semimatch.Lower_bound.multiproc h in
         let lb_refined = Semimatch.Lower_bound.multiproc_refined h in
@@ -229,10 +270,10 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a greedy heuristic (or the parallel portfolio) on an instance")
     Term.(const run $ algorithm $ refine $ loads $ portfolio $ jobs_arg $ timeout $ stats_arg
-          $ file_arg)
+          $ trace_arg $ events_arg $ file_arg)
 
 let exact_cmd =
-  let run strategy jobs stats file =
+  let run strategy jobs stats trace events file =
     let h = Hyper.Io.load file in
     if not (is_singleton_unit h) then begin
       prerr_endline
@@ -240,7 +281,7 @@ let exact_cmd =
          MULTIPROC is NP-complete - use 'solve' instead.";
       exit 1
     end;
-    with_stats stats (fun () ->
+    with_telemetry ~trace ~events stats (fun () ->
         let g = bipartite_of_singleton h in
         if jobs > 1 then begin
           (* Race the three matching engines; all compute the same optimum,
@@ -267,7 +308,7 @@ let exact_cmd =
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact optimum for SINGLEPROC-UNIT instances")
-    Term.(const run $ strategy $ jobs_arg $ stats_arg $ file_arg)
+    Term.(const run $ strategy $ jobs_arg $ stats_arg $ trace_arg $ events_arg $ file_arg)
 
 let compare_cmd =
   let run refine stats file =
@@ -301,7 +342,7 @@ let compare_cmd =
    --stats=json / --stats=csv additionally emit the full labelled telemetry
    snapshots in machine-readable form. *)
 let profile_cmd =
-  let run stats seed jobs file =
+  let run stats trace seed jobs file =
     let h = Hyper.Io.load file in
     let lb = Semimatch.Lower_bound.multiproc h in
     Obs.set_enabled true;
@@ -388,11 +429,15 @@ let profile_cmd =
     in
     let tasks = greedy_tasks @ [ ls_task; sa_task ] @ engine_tasks in
     let rows =
-      if jobs = 1 then List.map (fun (label, f) -> run_one label f) tasks
+      (* --trace forces the shard-diff path even sequentially: the per-label
+         [Obs.reset] of the clean-slate path would wipe the span ring the
+         trace is built from. *)
+      if jobs = 1 && trace = None then List.map (fun (label, f) -> run_one label f) tasks
       else begin
         Obs.reset ();
         let rows =
-          Parpool.Pool.map_list ~jobs ~f:(fun (label, f) -> run_one_shard label f) tasks
+          if jobs = 1 then List.map (fun (label, f) -> run_one_shard label f) tasks
+          else Parpool.Pool.map_list ~jobs ~f:(fun (label, f) -> run_one_shard label f) tasks
         in
         (* One combined machine-readable section: per-label resets are
            impossible while algorithms share the telemetry state. *)
@@ -448,6 +493,11 @@ let profile_cmd =
     end;
     Printf.printf "span timings use the monotonic clock (Obs.Span); %d algorithms profiled\n"
       (List.length labels);
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.write_file path;
+        Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n" path);
     match stats with
     | Some (Obs.Sink.Json | Obs.Sink.Csv) ->
         print_newline ();
@@ -460,7 +510,7 @@ let profile_cmd =
        ~doc:
          "Run every algorithm on an instance with telemetry enabled and print a comparative \
           counters/timings table")
-    Term.(const run $ stats_arg $ seed $ jobs_arg $ file_arg)
+    Term.(const run $ stats_arg $ trace_arg $ seed $ jobs_arg $ file_arg)
 
 let simulate_cmd =
   let run algorithm policy width file =

@@ -25,6 +25,11 @@ let run ?(stats = fresh_stats ()) g ~caps =
   let bfs () =
     stats.phases <- stats.phases + 1;
     Obs.Metrics.incr c_phases;
+    (* Phase event: the per-phase augmentation trajectory is the paper's
+       phase-structure argument made visible in the event log. *)
+    if Obs.is_enabled () then
+      Obs.Events.emit ~level:Obs.Events.Debug "hk.phase"
+        [ Obs.Events.int "phase" stats.phases; Obs.Events.int "augmentations" stats.augmentations ];
     Queue.clear queue;
     Array.fill dist 0 g.G.n1 inf;
     for v = 0 to g.G.n1 - 1 do

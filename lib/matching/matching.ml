@@ -23,6 +23,17 @@ let solve_with_stats ?(engine = Hopcroft_karp) ?capacities g =
     | Push_relabel -> Push_relabel_engine.run ~stats:counters g ~caps
   in
   let size = Array.fold_left (fun acc m -> if m >= 0 then acc + 1 else acc) 0 mate1 in
+  (* One event per engine run, whatever the engine: enough for the event
+     log to show which engine ran when (and how hard) inside a race. *)
+  if Obs.is_enabled () then
+    Obs.Events.emit "matching.solved"
+      [
+        Obs.Events.str "engine" (engine_name engine);
+        Obs.Events.int "size" size;
+        Obs.Events.int "phases" counters.Engine_common.phases;
+        Obs.Events.int "augmentations" counters.Engine_common.augmentations;
+        Obs.Events.int "scans" counters.Engine_common.scans;
+      ];
   ( { mate1; size },
     {
       phases = counters.Engine_common.phases;

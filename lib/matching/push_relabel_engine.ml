@@ -94,6 +94,9 @@ let run ?(stats = fresh_stats ()) g ~caps =
   let relabel_now () =
     stats.phases <- stats.phases + 1;
     Obs.Metrics.incr c_global_relabels;
+    if Obs.is_enabled () then
+      Obs.Events.emit ~level:Obs.Events.Debug "pr.global_relabel"
+        [ Obs.Events.int "round" stats.phases; Obs.Events.int "pushes_so_far" stats.augmentations ];
     exact_heights st ~psi ~d1 ~limit ~rev_off ~rev_adj;
     for u = 0 to g.G.n2 - 1 do
       if caps.(u) = 0 then psi.(u) <- limit

@@ -1,5 +1,7 @@
 module Metrics = Metrics
 module Span = Span
+module Events = Events
+module Trace = Trace
 module Sink = Sink
 module Json = Json
 
@@ -9,7 +11,8 @@ let is_enabled () = !Config.enabled
 
 let reset () =
   Metrics.reset_all ();
-  Span.reset ()
+  Span.reset ();
+  Events.reset ()
 
 let with_recording f =
   let was = !Config.enabled in

@@ -21,8 +21,8 @@ val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero all counters and histograms, clear the span trace and aggregates.
-    Registered names survive (handles stay valid). *)
+(** Zero all counters and histograms, clear the span trace, aggregates and
+    event log.  Registered names survive (handles stay valid). *)
 
 val with_recording : (unit -> 'a) -> 'a
 (** [with_recording f] resets, enables, runs [f], and restores the previous
@@ -130,15 +130,40 @@ module Span : sig
 
   type t
 
-  val enter : string -> t
+  val enter : ?flow:int -> string -> t
   val exit : t -> unit
   (** Record a named span into the trace ring and per-name aggregates when
-      {!enabled}; otherwise free.  Spans nest: depth is tracked. *)
+      {!enabled}; otherwise free.  Spans nest: depth is tracked.  [flow]
+      (default 0 = none) tags the record with a cross-domain flow id so
+      {!Obs.Trace} can draw an arrow from, say, a task's submission to its
+      execution on another domain. *)
 
-  val timed : string -> (unit -> 'a) -> 'a
+  val timed : ?flow:int -> string -> (unit -> 'a) -> 'a
   (** [timed name f] wraps [f] in {!enter}/{!exit} (exception-safe). *)
 
-  type record = { r_name : string; start_ns : int64; stop_ns : int64; depth : int }
+  val instant : ?flow:int -> string -> unit
+  (** Record a zero-duration point-in-time marker (no aggregate update) —
+      the flow-endpoint primitive.  No-op unless {!enabled}. *)
+
+  val new_flows : int -> int
+  (** [new_flows n] reserves [n] fresh process-unique nonzero flow ids and
+      returns the first (use [first .. first + n - 1]); returns 0 when
+      [n <= 0].  Ids never repeat within a process run. *)
+
+  val with_depth_guard : (unit -> 'a) -> 'a
+  (** Save the calling domain's nesting depth, run [f], restore it — so a
+      span leaked inside [f] (entered but never exited) cannot skew the
+      recorded depth of every later span on this domain.  {!Parpool.Pool}
+      wraps each task it executes in this guard. *)
+
+  type record = {
+    r_name : string;
+    start_ns : int64;
+    stop_ns : int64;
+    depth : int;
+    dom : int;  (** id of the domain that recorded the span *)
+    flow : int;  (** cross-domain flow id, 0 = none *)
+  }
 
   val duration_s : record -> float
 
@@ -156,7 +181,103 @@ module Span : sig
 
   val aggregates : unit -> agg list
   val fold_aggregates : (string -> count:int -> total_s:float -> 'a -> 'a) -> 'a -> 'a
+
   val reset : unit -> unit
+  (** Clear the ring and the aggregates (all domains' records), but —
+      by contract — only the {e calling} domain's nesting depth: depth is
+      domain-local state that other domains may be mid-span on, so it
+      cannot be zeroed remotely.  Long-lived worker domains must bound
+      their own depth drift; the {!Parpool.Pool} does so by wrapping every
+      task in {!with_depth_guard}, which makes a leaked span's skew end at
+      the task boundary. *)
+end
+
+module Json : sig
+  (** Minimal JSON used by the sinks and their round-trip tests — declared
+      before {!Events} and {!Trace} so their signatures share this [t]. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val of_string : string -> t
+  (** Raises [Failure] on malformed input. *)
+
+  val member : string -> t -> t option
+  val to_float : t -> float option
+  val to_str : t -> string option
+end
+
+module Events : sig
+  (** Leveled, domain-safe structured event log: bounded ring of
+      timestamped key→value records emitted at coarse decision points
+      (portfolio incumbent improvements, LB cutoffs, annealing temperature
+      epochs, Hopcroft–Karp phases).  No-ops unless {!enabled}. *)
+
+  type level = Debug | Info | Warn
+
+  val level_name : level -> string
+  val level_of_string : string -> level option
+
+  val set_level : level -> unit
+  (** Minimum level recorded by {!emit} (default [Debug]: record
+      everything; the ring is bounded, so filtering is usually better done
+      at render time). *)
+
+  val get_level : unit -> level
+
+  type field = string * Json.t
+
+  val str : string -> string -> field
+  val num : string -> float -> field
+  val int : string -> int -> field
+  val bool : string -> bool -> field
+
+  val emit : ?level:level -> string -> field list -> unit
+  (** Record one event (monotonic timestamp, emitting domain id) when
+      {!enabled} and [level >= set_level]; otherwise one load and a
+      branch. *)
+
+  type record = {
+    e_ts_ns : int64;
+    e_dom : int;
+    e_level : level;
+    e_name : string;
+    e_fields : field list;
+  }
+
+  val records : unit -> record list
+  (** Oldest-first live contents of the ring. *)
+
+  val recorded : unit -> int
+  val set_capacity : int -> unit
+  (** Resize the ring (clears it).  Default 8192. *)
+
+  val to_json : record -> Json.t
+  val render_jsonl : ?min_level:level -> unit -> string
+  val render_text : ?min_level:level -> unit -> string
+  val write_jsonl : ?min_level:level -> string -> unit
+  val reset : unit -> unit
+end
+
+module Trace : sig
+  (** Chrome/Perfetto trace-event JSON assembled from the {!Span} ring and
+      the {!Events} log: one track per recording domain ("X" slices with
+      thread metadata), flow arrows pairing records that share a flow id,
+      counter tracks sampled at span boundaries, and the event log as
+      thread-scoped instants.  Open the written file in
+      {{:https://ui.perfetto.dev}ui.perfetto.dev} or [chrome://tracing]. *)
+
+  val to_json : unit -> Json.t
+  (** [Obj] with a ["traceEvents"] list — parseable by {!Obs.Json}. *)
+
+  val render : unit -> string
+  val write_file : string -> unit
 end
 
 module Sink : sig
@@ -176,22 +297,3 @@ module Sink : sig
   val write_file : ?label:string -> string -> format -> unit
 end
 
-module Json : sig
-  (** Minimal JSON used by the sinks and their round-trip tests. *)
-
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : t -> string
-  val of_string : string -> t
-  (** Raises [Failure] on malformed input. *)
-
-  val member : string -> t -> t option
-  val to_float : t -> float option
-  val to_str : t -> string option
-end

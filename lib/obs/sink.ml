@@ -15,8 +15,13 @@ let format_of_string = function
   | "csv" -> Some Csv
   | _ -> None
 
-let fmt_float f =
-  if Float.is_nan f then "-"
+(* [nan] means "no data" (empty histogram min/mean, zero-count span mean).
+   Each format gets a sentinel it can afford: the table prints "-", CSV
+   leaves the cell empty (a numeric parser reads the column cleanly), and
+   the JSON renderer never goes through here — [Json.to_string] emits
+   non-finite numbers as [null], so every emitted line stays valid JSON. *)
+let fmt_float ?(nan_as = "-") f =
+  if not (Float.is_finite f) then nan_as
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
@@ -72,8 +77,8 @@ let rows () =
   in
   List.rev counters @ List.rev histograms @ List.rev spans
 
-let json_field_to_string = function
-  | Json.Num f -> fmt_float f
+let json_field_to_string ?nan_as = function
+  | Json.Num f -> fmt_float ?nan_as f
   | Json.Str s -> s
   | other -> Json.to_string other
 
@@ -115,8 +120,24 @@ let render_json ?label rows =
   Buffer.contents buf
 
 (* CSV with a fixed header: kind-specific fields are mapped onto the union
-   schema, absent cells stay empty. *)
+   schema, absent cells stay empty.  Cells are RFC 4180-quoted when they
+   contain a separator, quote or newline (metric names are clean ASCII, but
+   user-supplied [?label]s are not guaranteed to be), and NaN cells are
+   left empty rather than poisoning a numeric column. *)
 let csv_columns = [ "value"; "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99"; "total_s"; "mean_s" ]
+
+let csv_quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
 
 let render_csv ?label rows =
   let buf = Buffer.create 1024 in
@@ -128,12 +149,12 @@ let render_csv ?label rows =
     (fun r ->
       let cell col =
         match List.assoc_opt col r.fields with
-        | Some v -> json_field_to_string v
+        | Some v -> json_field_to_string ~nan_as:"" v
         | None -> ""
       in
       let cells = [ r.kind; r.name ] @ List.map cell csv_columns in
       let cells = match label with Some l -> l :: cells | None -> cells in
-      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_string buf (String.concat "," (List.map csv_quote cells));
       Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf

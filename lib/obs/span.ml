@@ -3,15 +3,20 @@
    [now_ns]/[time_s] always read the clock — experiment harnesses use them
    for wall timing whether or not telemetry is on.  [enter]/[exit]/[timed]
    additionally record into a fixed-capacity ring buffer (the most recent
-   [capacity] spans, with nesting depth) and into per-name aggregates, but
-   only when [Config.enabled] is set; disabled spans cost one branch.
+   [capacity] spans, with nesting depth, recording-domain id and optional
+   flow id) and into per-name aggregates, but only when [Config.enabled] is
+   set; disabled spans cost one branch.
 
    Domain safety: nesting depth is domain-local (spans nest within the
    domain that opened them), while the shared ring and aggregates are
    guarded by a mutex.  Spans are coarse events (one per algorithm run, not
    per edge), so a lock at [exit] is free in practice — the per-event
    counters and histograms, which do sit on hot paths, are the lock-free
-   sharded ones in [Metrics]. *)
+   sharded ones in [Metrics].
+
+   Flow ids connect causally-related records across domains (a task
+   submitted on one domain, executed on another); [Trace] pairs them into
+   Chrome trace-event flow arrows.  Id 0 means "no flow". *)
 
 external now_ns : unit -> int64 = "obs_monotonic_ns"
 
@@ -22,9 +27,16 @@ let time_s f =
   let result = f () in
   (result, ns_to_s (Int64.sub (now_ns ()) t0))
 
-type record = { r_name : string; start_ns : int64; stop_ns : int64; depth : int }
+type record = {
+  r_name : string;
+  start_ns : int64;
+  stop_ns : int64;
+  depth : int;
+  dom : int; (* id of the domain that recorded the span *)
+  flow : int; (* cross-domain flow id, 0 = none *)
+}
 
-let sentinel = { r_name = ""; start_ns = 0L; stop_ns = 0L; depth = 0 }
+let sentinel = { r_name = ""; start_ns = 0L; stop_ns = 0L; depth = 0; dom = 0; flow = 0 }
 
 let default_capacity = 4096
 let lock = Mutex.create () (* guards the ring and the aggregates *)
@@ -33,47 +45,94 @@ let ring_next = ref 0 (* next write slot *)
 let ring_stored = ref 0 (* total records ever written *)
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Flow ids are process-global so submit/execute pairs agree whichever
+   domains they land on; 0 is reserved for "no flow". *)
+let flow_counter = Atomic.make 1
+
+let new_flows n = if n <= 0 then 0 else Atomic.fetch_and_add flow_counter n
+
 type agg = { a_name : string; mutable a_count : int; mutable a_total_ns : int64 }
 
 let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
 
-type t = { sp_name : string; sp_start : int64; sp_live : bool }
+type t = { sp_name : string; sp_start : int64; sp_flow : int; sp_live : bool }
 
-let inert = { sp_name = ""; sp_start = 0L; sp_live = false }
+let inert = { sp_name = ""; sp_start = 0L; sp_flow = 0; sp_live = false }
 
-let enter name =
+let self_id () = (Domain.self () :> int)
+
+let enter ?(flow = 0) name =
   if !Config.enabled then begin
     Stdlib.incr (Domain.DLS.get depth_key);
-    { sp_name = name; sp_start = now_ns (); sp_live = true }
+    { sp_name = name; sp_start = now_ns (); sp_flow = flow; sp_live = true }
   end
   else inert
+
+let push_record r update_agg =
+  Mutex.protect lock (fun () ->
+      let a = !ring in
+      a.(!ring_next) <- r;
+      ring_next := (!ring_next + 1) mod Array.length a;
+      Stdlib.incr ring_stored;
+      if update_agg then begin
+        let agg =
+          match Hashtbl.find_opt aggs r.r_name with
+          | Some agg -> agg
+          | None ->
+              let agg = { a_name = r.r_name; a_count = 0; a_total_ns = 0L } in
+              Hashtbl.add aggs r.r_name agg;
+              agg
+        in
+        agg.a_count <- agg.a_count + 1;
+        agg.a_total_ns <- Int64.add agg.a_total_ns (Int64.sub r.stop_ns r.start_ns)
+      end)
 
 let exit sp =
   if sp.sp_live then begin
     let stop = now_ns () in
     let depth = Domain.DLS.get depth_key in
     Stdlib.decr depth;
-    let r = { r_name = sp.sp_name; start_ns = sp.sp_start; stop_ns = stop; depth = !depth } in
-    Mutex.protect lock (fun () ->
-        let a = !ring in
-        a.(!ring_next) <- r;
-        ring_next := (!ring_next + 1) mod Array.length a;
-        Stdlib.incr ring_stored;
-        let agg =
-          match Hashtbl.find_opt aggs sp.sp_name with
-          | Some agg -> agg
-          | None ->
-              let agg = { a_name = sp.sp_name; a_count = 0; a_total_ns = 0L } in
-              Hashtbl.add aggs sp.sp_name agg;
-              agg
-        in
-        agg.a_count <- agg.a_count + 1;
-        agg.a_total_ns <- Int64.add agg.a_total_ns (Int64.sub stop sp.sp_start))
+    push_record
+      {
+        r_name = sp.sp_name;
+        start_ns = sp.sp_start;
+        stop_ns = stop;
+        depth = !depth;
+        dom = self_id ();
+        flow = sp.sp_flow;
+      }
+      true
   end
 
-let timed name f =
-  let sp = enter name in
+let timed ?flow name f =
+  let sp = enter ?flow name in
   Fun.protect ~finally:(fun () -> exit sp) f
+
+(* A zero-duration record at the current instant: flow endpoints and other
+   point-in-time markers.  Depth is the current nesting depth (the instant
+   sits inside whatever spans are open); no aggregate is updated. *)
+let instant ?(flow = 0) name =
+  if !Config.enabled then begin
+    let now = now_ns () in
+    push_record
+      {
+        r_name = name;
+        start_ns = now;
+        stop_ns = now;
+        depth = !(Domain.DLS.get depth_key);
+        dom = self_id ();
+        flow;
+      }
+      false
+  end
+
+(* Save/restore the calling domain's nesting depth around [f]: a span leaked
+   inside [f] (entered, never exited) cannot skew the depths of later spans
+   on this domain.  The pool wraps every task in this guard. *)
+let with_depth_guard f =
+  let d = Domain.DLS.get depth_key in
+  let saved = !d in
+  Fun.protect ~finally:(fun () -> d := saved) f
 
 let duration_s r = ns_to_s (Int64.sub r.stop_ns r.start_ns)
 

@@ -1,0 +1,177 @@
+(* Chrome/Perfetto trace-event export, assembled from the Span ring and the
+   Events log (load the file in ui.perfetto.dev or chrome://tracing).
+
+   Mapping:
+   - every completed span becomes a complete ("X") slice on the track of
+     the domain that recorded it (pid 1, tid = domain id), with its nesting
+     depth and flow id in [args];
+   - zero-duration records ([Span.instant]) become thread-scoped instant
+     ("i") events, as do the records of the [Events] log;
+   - flow ids shared by at least two records are paired into flow arrows —
+     an "s" (start) at the earliest record, an "f" (bp "e", end) at each
+     later one — which is how a [Pool] task submitted on one domain is
+     visually linked to its execution on another;
+   - counter tracks ("C") are sampled at span boundaries: "span.depth.d<n>"
+     steps to [depth + 1] when a slice opens and back to [depth] when it
+     closes, and "spans.completed" counts closed slices cumulatively.
+
+   Timestamps are microseconds rebased to the earliest record, so they stay
+   well inside the 9-significant-digit JSON float rendering. *)
+
+type event = (string * Json.t) list
+
+let us ~t0 ns = Int64.to_float (Int64.sub ns t0) /. 1e3
+
+let thread_meta ~tid name : event =
+  [
+    ("name", Json.Str "thread_name");
+    ("ph", Json.Str "M");
+    ("pid", Json.Num 1.0);
+    ("tid", Json.Num (float_of_int tid));
+    ("args", Json.Obj [ ("name", Json.Str name) ]);
+  ]
+
+let process_meta : event =
+  [
+    ("name", Json.Str "process_name");
+    ("ph", Json.Str "M");
+    ("pid", Json.Num 1.0);
+    ("args", Json.Obj [ ("name", Json.Str "semimatch") ]);
+  ]
+
+let base ~ph ~name ~tid ~ts : event =
+  [
+    ("name", Json.Str name);
+    ("ph", Json.Str ph);
+    ("pid", Json.Num 1.0);
+    ("tid", Json.Num (float_of_int tid));
+    ("ts", Json.Num ts);
+  ]
+
+let counter ~name ~ts ~key ~value : event =
+  [
+    ("name", Json.Str name);
+    ("ph", Json.Str "C");
+    ("pid", Json.Num 1.0);
+    ("ts", Json.Num ts);
+    ("args", Json.Obj [ (key, Json.Num value) ]);
+  ]
+
+let events_of_spans ~t0 spans =
+  List.concat_map
+    (fun (r : Span.record) ->
+      let ts = us ~t0 r.Span.start_ns in
+      let args =
+        ( "args",
+          Json.Obj
+            [
+              ("depth", Json.Num (float_of_int r.Span.depth));
+              ("flow", Json.Num (float_of_int r.Span.flow));
+            ] )
+      in
+      if r.Span.stop_ns = r.Span.start_ns then
+        [ base ~ph:"i" ~name:r.Span.r_name ~tid:r.Span.dom ~ts @ [ ("s", Json.Str "t"); args ] ]
+      else
+        [
+          base ~ph:"X" ~name:r.Span.r_name ~tid:r.Span.dom ~ts
+          @ [ ("dur", Json.Num (us ~t0 r.Span.stop_ns -. ts)); ("cat", Json.Str "span"); args ];
+        ])
+    spans
+
+(* Flow arrows: records sharing a nonzero flow id, earliest first.  Lone
+   endpoints (a submitted task that never ran) are dropped — every "s" in
+   the output has at least one matching "f". *)
+let flow_events ~t0 spans =
+  let by_flow : (int, Span.record list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Span.record) ->
+      if r.Span.flow <> 0 then
+        Hashtbl.replace by_flow r.Span.flow
+          (r :: (Option.value ~default:[] (Hashtbl.find_opt by_flow r.Span.flow))))
+    spans;
+  Hashtbl.fold
+    (fun flow rs acc ->
+      match List.sort (fun a b -> Int64.compare a.Span.start_ns b.Span.start_ns) rs with
+      | first :: (_ :: _ as rest) ->
+          let endpoint ph (r : Span.record) =
+            base ~ph ~name:"pool.flow" ~tid:r.Span.dom ~ts:(us ~t0 r.Span.start_ns)
+            @ [ ("cat", Json.Str "flow"); ("id", Json.Num (float_of_int flow)) ]
+            @ (if ph = "f" then [ ("bp", Json.Str "e") ] else [])
+          in
+          endpoint "s" first :: List.map (endpoint "f") rest @ acc
+      | _ -> acc)
+    by_flow []
+
+(* Counter-track samples at span boundaries (slices only, instants carry no
+   depth change). *)
+let counter_events ~t0 spans =
+  let slices = List.filter (fun (r : Span.record) -> r.Span.stop_ns <> r.Span.start_ns) spans in
+  let depth_samples =
+    List.concat_map
+      (fun (r : Span.record) ->
+        let track = Printf.sprintf "span.depth.d%d" r.Span.dom in
+        [
+          counter ~name:track ~ts:(us ~t0 r.Span.start_ns) ~key:"depth"
+            ~value:(float_of_int (r.Span.depth + 1));
+          counter ~name:track ~ts:(us ~t0 r.Span.stop_ns) ~key:"depth"
+            ~value:(float_of_int r.Span.depth);
+        ])
+      slices
+  in
+  let completed =
+    List.sort (fun a b -> Int64.compare a.Span.stop_ns b.Span.stop_ns) slices
+    |> List.mapi (fun i (r : Span.record) ->
+           counter ~name:"spans.completed" ~ts:(us ~t0 r.Span.stop_ns) ~key:"count"
+             ~value:(float_of_int (i + 1)))
+  in
+  depth_samples @ completed
+
+let events_of_log ~t0 log =
+  List.map
+    (fun (e : Events.record) ->
+      base ~ph:"i" ~name:e.Events.e_name ~tid:e.Events.e_dom ~ts:(us ~t0 e.Events.e_ts_ns)
+      @ [
+          ("s", Json.Str "t");
+          ("cat", Json.Str "event");
+          ("args", Json.Obj (("level", Json.Str (Events.level_name e.Events.e_level)) :: e.Events.e_fields));
+        ])
+    log
+
+let to_json () =
+  let spans = Span.records () in
+  let log = Events.records () in
+  let t0 =
+    List.fold_left
+      (fun acc (r : Span.record) -> if Int64.compare r.Span.start_ns acc < 0 then r.Span.start_ns else acc)
+      (List.fold_left
+         (fun acc (e : Events.record) -> if Int64.compare e.Events.e_ts_ns acc < 0 then e.Events.e_ts_ns else acc)
+         Int64.max_int log)
+      spans
+  in
+  let t0 = if t0 = Int64.max_int then 0L else t0 in
+  let doms =
+    List.sort_uniq compare
+      (List.map (fun (r : Span.record) -> r.Span.dom) spans
+      @ List.map (fun (e : Events.record) -> e.Events.e_dom) log)
+  in
+  let metadata =
+    process_meta
+    :: List.map (fun d -> thread_meta ~tid:d (Printf.sprintf "domain-%d" d)) doms
+  in
+  let body =
+    events_of_spans ~t0 spans @ flow_events ~t0 spans @ counter_events ~t0 spans
+    @ events_of_log ~t0 log
+  in
+  let ts_of ev = match List.assoc_opt "ts" ev with Some (Json.Num f) -> f | _ -> -1.0 in
+  let body = List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b)) body in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (fun ev -> Json.Obj ev) (metadata @ body)));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let render () = Json.to_string (to_json ())
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ()))

@@ -1,5 +1,14 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Telemetry probes (all free when Obs is disabled): batch/task volume and
+   steal traffic as counters, submit/execute as spans.  Task [i] of a batch
+   carries flow id [flow_base + i] on both its submit instant and its
+   execution span, which is what lets Obs.Trace draw the arrow from the
+   submitting domain's track to the (possibly different) executing one. *)
+let c_batches = Obs.Metrics.counter "parallel.pool.batches"
+let c_tasks = Obs.Metrics.counter "parallel.pool.tasks"
+let c_steals = Obs.Metrics.counter "parallel.pool.steals"
+
 (* A batch is self-describing: jobs carry their batch, so a worker that
    lingers past a batch boundary (it was mid-steal when the previous batch
    drained) executes whatever it steals against the right pending counter
@@ -9,6 +18,7 @@ type batch = {
   cursor : int Atomic.t; (* next unclaimed task index *)
   pending : int Atomic.t; (* tasks not yet executed or skipped *)
   chunk : int;
+  flow_base : int; (* task i's trace flow id is flow_base + i; 0 = untraced *)
   user_cancel : Cancel.t; (* caller-provided: timeout / external stop *)
   internal_cancel : Cancel.t; (* tripped by the first task exception *)
   fail : (int * exn) option Atomic.t; (* smallest-index exception *)
@@ -42,10 +52,20 @@ let record_min slot i e =
 let exec job =
   let b = job.jb in
   (if not (Cancel.is_cancelled b.internal_cancel || Cancel.is_cancelled b.user_cancel) then
-     try b.tasks.(job.ji) ()
-     with e ->
-       record_min b.fail job.ji e;
-       Cancel.cancel b.internal_cancel);
+     (* The depth guard bounds span-nesting drift at the task boundary: a
+        task that leaks a span cannot skew the depths recorded by every
+        later task on this participant (see Obs.Span.reset's contract). *)
+     Obs.Span.with_depth_guard (fun () ->
+         let sp =
+           Obs.Span.enter
+             ~flow:(if b.flow_base = 0 then 0 else b.flow_base + job.ji)
+             "pool.task"
+         in
+         (try b.tasks.(job.ji) ()
+          with e ->
+            record_min b.fail job.ji e;
+            Cancel.cancel b.internal_cancel);
+         Obs.Span.exit sp));
   Atomic.decr b.pending
 
 (* Move the next block of tasks from the shared cursor into [dq] (owner
@@ -66,7 +86,9 @@ let steal_round pool slot =
   let k = pool.size in
   let rec go i = if i = k then None else
     match Deque.steal pool.deques.((slot + i) mod k) with
-    | Some _ as job -> job
+    | Some _ as job ->
+        Obs.Metrics.incr c_steals;
+        job
     | None -> go (i + 1)
   in
   go 1
@@ -139,12 +161,24 @@ let with_pool ?jobs f =
 let run ?(cancel = Cancel.never) pool tasks =
   let n = Array.length tasks in
   if n > 0 then begin
+    (* Submit probe: one span covering publication, one flow-start instant
+       per task inside it.  [new_flows] is only consulted when telemetry is
+       on, so untraced batches stay allocation-free. *)
+    let flow_base = if Obs.is_enabled () then Obs.Span.new_flows n else 0 in
+    let submit = Obs.Span.enter "pool.submit" in
+    if flow_base <> 0 then
+      for i = 0 to n - 1 do
+        Obs.Span.instant ~flow:(flow_base + i) "pool.submit.task"
+      done;
+    Obs.Metrics.incr c_batches;
+    Obs.Metrics.add c_tasks n;
     let b =
       {
         tasks;
         cursor = Atomic.make 0;
         pending = Atomic.make n;
         chunk = max 1 (n / (4 * pool.size));
+        flow_base;
         user_cancel = cancel;
         internal_cancel = Cancel.create ();
         fail = Atomic.make None;
@@ -157,6 +191,7 @@ let run ?(cancel = Cancel.never) pool tasks =
       Condition.broadcast pool.cond;
       Mutex.unlock pool.mutex
     end;
+    Obs.Span.exit submit;
     participate pool 0 b;
     match Atomic.get b.fail with Some (_, e) -> raise e | None -> ()
   end

@@ -19,7 +19,15 @@
 
     A pool is driven by one orchestrating domain at a time: [run]/[map]/
     [race] must not be called concurrently on the same pool, nor reentrantly
-    from inside a task. *)
+    from inside a task.
+
+    Telemetry (free when [Obs] is disabled): every batch records a
+    ["pool.submit"] span with one flow-start instant per task, every
+    executed task a ["pool.task"] span carrying the same flow id — so
+    [Obs.Trace] can draw submission→execution arrows across domains — and
+    [parallel.pool.batches]/[tasks]/[steals] count the traffic.  Each task
+    runs under [Obs.Span.with_depth_guard], so a span leaked by a task
+    cannot skew later spans' recorded nesting depth. *)
 
 type t
 

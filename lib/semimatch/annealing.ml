@@ -31,6 +31,11 @@ let default_params h =
    best-seen assignment, which is always a valid result. *)
 let stop_poll_period = 256
 
+(* Temperature-epoch events every [epoch_period] iterations (~10 per run at
+   the default budget): enough to reconstruct the cooling trajectory in the
+   event log without weighing on the Metropolis loop. *)
+let epoch_period = 2048
+
 let refine ?params ?(should_stop = fun () -> false) rng h start =
   let params = match params with Some p -> p | None -> default_params h in
   if params.iterations < 0 then invalid_arg "Annealing: negative iteration budget";
@@ -66,6 +71,13 @@ let refine ?params ?(should_stop = fun () -> false) rng h start =
   (try
   for iter = 1 to params.iterations do
     if iter land (stop_poll_period - 1) = 0 && should_stop () then raise Exit;
+    if iter land (epoch_period - 1) = 0 && Obs.is_enabled () then
+      Obs.Events.emit ~level:Obs.Events.Debug "annealing.epoch"
+        [
+          Obs.Events.int "iter" iter;
+          Obs.Events.num "temperature" !temperature;
+          Obs.Events.num "best_makespan" !best_makespan;
+        ];
     let v = Randkit.Prng.int rng (max n1 1) in
     if n1 > 0 && H.task_degree h v > 1 then begin
       let e_old = choice.(v) in

@@ -39,8 +39,11 @@ let refine ?(max_passes = 50) h a =
   let stamp = Array.make h.H.n2 (-1) and index_of = Array.make h.H.n2 (-1) in
   let no_move = ([||], [||]) in
   let moves = ref 0 in
+  let pass_no = ref 0 in
   let pass () =
     Obs.Metrics.incr c_rounds;
+    incr pass_no;
+    let moves_before = !moves in
     let improved = ref false in
     for v = 0 to h.H.n1 - 1 do
       (* Greedily accept moves while v still improves; the stamp trick needs
@@ -68,6 +71,15 @@ let refine ?(max_passes = 50) h a =
         improved := true
       end
     done;
+    (* One event per full pass over the tasks: coarse enough for any
+       instance size, yet it shows the improvement tail flatten. *)
+    if Obs.is_enabled () then
+      Obs.Events.emit ~level:Obs.Events.Debug "local_search.pass"
+        [
+          Obs.Events.int "pass" !pass_no;
+          Obs.Events.int "moves" (!moves - moves_before);
+          Obs.Events.bool "improved" !improved;
+        ];
     !improved
   in
   let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in

@@ -33,10 +33,13 @@ type result = {
 
 (* Lock-free incumbent: lower the shared best makespan, never raise it.
    The CAS loop retries only when another domain moved the value, and since
-   each retry observes a strictly smaller incumbent it terminates. *)
+   each retry observes a strictly smaller incumbent it terminates.  Returns
+   whether [v] became the new incumbent (the event log wants to know). *)
 let rec atomic_min a v =
   let cur = Atomic.get a in
-  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+  if v < cur then
+    if Atomic.compare_and_set a cur v then true else atomic_min a v
+  else false
 
 let run_solver ~should_stop h = function
   | Greedy a ->
@@ -65,13 +68,36 @@ let solve ?pool ?(jobs = 1) ?(cutoff = true) ?timeout_s ?(solvers = default_solv
   let times = Array.make n 0.0 in
   let optimal_found () = cutoff && Atomic.get best <= lb in
   let task i () =
-    if optimal_found () || Cancel.is_cancelled token then Obs.Metrics.incr c_skipped
+    let name = solver_name solvers.(i) in
+    if optimal_found () || Cancel.is_cancelled token then begin
+      Obs.Metrics.incr c_skipped;
+      (* Why the slot never ran: the LB cutoff proved optimality, or the
+         caller's timeout/cancellation fired first. *)
+      if Obs.is_enabled () then
+        if optimal_found () then
+          Obs.Events.emit "portfolio.cutoff"
+            [ Obs.Events.str "solver" name; Obs.Events.num "lower_bound" lb ]
+        else
+          Obs.Events.emit ~level:Obs.Events.Warn "portfolio.cancelled"
+            [ Obs.Events.str "solver" name ]
+    end
     else begin
       Obs.Metrics.incr c_ran;
       let should_stop () = Cancel.is_cancelled token || optimal_found () in
       let (asg, m), dt = Obs.Span.time_s (fun () -> run_solver ~should_stop h solvers.(i)) in
       Obs.Metrics.observe h_solver_s dt;
-      atomic_min best m;
+      let improved = atomic_min best m in
+      if Obs.is_enabled () then begin
+        if improved then
+          Obs.Events.emit "portfolio.incumbent"
+            [ Obs.Events.str "solver" name; Obs.Events.num "makespan" m ];
+        Obs.Events.emit "portfolio.solver.done"
+          [
+            Obs.Events.str "solver" name;
+            Obs.Events.num "makespan" m;
+            Obs.Events.num "time_s" dt;
+          ]
+      end;
       results.(i) <- Some (m, asg);
       times.(i) <- dt
     end

@@ -3,6 +3,8 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
+      ("gate", Test_gate.suite);
       ("ds", Test_ds.suite);
       ("bipartite", Test_bipartite.suite);
       ("matching", Test_matching.suite);

@@ -168,6 +168,96 @@ let test_json_parser () =
         true)
     [ ""; "{"; "[1,]"; "{\"a\"}"; "tru"; "1 2" ]
 
+(* NaN has no JSON literal: empty-histogram statistics must come out as
+   [null] and still round-trip through Obs.Json; the CSV sink leaves the
+   cell empty and the table prints "-". *)
+let test_nan_sentinels () =
+  Obs.with_recording (fun () ->
+      ignore (Obs.Metrics.histogram "empty.histogram");
+      let json_out = Obs.Sink.render Obs.Sink.Json in
+      check "sink output contains no bare nan"
+        (not (Test_cli.contains ~needle:"nan" json_out))
+        true;
+      let row =
+        List.find
+          (fun r -> member_str "name" r = Some "empty.histogram")
+          (parse_lines json_out)
+      in
+      check "empty histogram min is null" (Obs.Json.member "min" row = Some Obs.Json.Null) true;
+      check "empty histogram mean is null" (Obs.Json.member "mean" row = Some Obs.Json.Null) true;
+      (* The full line re-parses and re-renders identically: null is stable. *)
+      let reprinted = Obs.Json.to_string (Obs.Json.of_string (Obs.Json.to_string row)) in
+      Alcotest.(check string) "null round-trips" (Obs.Json.to_string row) reprinted;
+      let csv = Obs.Sink.render Obs.Sink.Csv in
+      check "CSV leaves nan cells empty"
+        (List.exists
+           (fun line ->
+             (* count=0, sum=0, then empty min/max/mean cells *)
+             Test_cli.contains ~needle:"empty.histogram" line
+             && Test_cli.contains ~needle:",0,0,,," line
+             && not (Test_cli.contains ~needle:"nan" line))
+           (String.split_on_char '\n' csv))
+        true;
+      let table = Obs.Sink.render Obs.Sink.Table in
+      check "table prints a dash" (Test_cli.contains ~needle:"min=-" table) true)
+
+(* RFC 4180: a hostile --stats label full of quotes and separators must be
+   quoted, not splice extra CSV columns. *)
+let test_csv_hostile_label () =
+  Obs.with_recording (fun () ->
+      Obs.Metrics.incr (Obs.Metrics.counter "csv.quoting.counter");
+      let label = {|evil "label", with, commas|} in
+      let csv = Obs.Sink.render ~label Obs.Sink.Csv in
+      let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+      let header = List.hd lines in
+      let cols = List.length (String.split_on_char ',' header) in
+      check "label is RFC 4180 quoted"
+        (Test_cli.contains ~needle:{|"evil ""label"", with, commas"|} csv)
+        true;
+      (* Counting commas outside quotes: every data row splits into exactly
+         the header's column count. *)
+      let fields line =
+        let n = ref 1 and in_quotes = ref false in
+        String.iter
+          (fun c ->
+            if c = '"' then in_quotes := not !in_quotes
+            else if c = ',' && not !in_quotes then incr n)
+          line;
+        !n
+      in
+      List.iter
+        (fun line -> check_int "row width matches header" cols (fields line))
+        (List.tl lines))
+
+let test_events_basics () =
+  Obs.with_recording (fun () ->
+      Obs.Events.emit "test.event"
+        [ Obs.Events.str "who" "obs-test"; Obs.Events.int "n" 3; Obs.Events.bool "ok" true ];
+      Obs.Events.emit ~level:Obs.Events.Warn "test.warning" [ Obs.Events.num "x" 1.5 ];
+      check_int "two events recorded" 2 (Obs.Events.recorded ());
+      let records = Obs.Events.records () in
+      let first = List.hd records in
+      check "fields survive"
+        (first.Obs.Events.e_fields
+        = [ ("who", Obs.Json.Str "obs-test"); ("n", Obs.Json.Num 3.0); ("ok", Obs.Json.Bool true) ])
+        true;
+      check "dom is the recording domain" (first.Obs.Events.e_dom = (Domain.self () :> int)) true;
+      let json = Obs.Events.to_json first in
+      check "to_json carries the name" (member_str "event" json = Some "test.event") true;
+      check "to_json carries the fields" (member_str "who" json = Some "obs-test") true;
+      (* Level gating at emit time. *)
+      Obs.Events.set_level Obs.Events.Warn;
+      Fun.protect
+        ~finally:(fun () -> Obs.Events.set_level Obs.Events.Debug)
+        (fun () ->
+          Obs.Events.emit ~level:Obs.Events.Info "test.filtered" [];
+          check_int "below-level events are dropped" 2 (Obs.Events.recorded ())));
+  (* Disabled: emit must record nothing. *)
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.Events.emit "test.disabled" [];
+  check_int "disabled events record nothing" 0 (Obs.Events.recorded ())
+
 (* End-to-end: the CLI's profile subcommand with --stats=json must emit
    machine-readable telemetry for every profiled algorithm. *)
 let test_cli_profile_stats_json () =
@@ -199,5 +289,8 @@ let suite =
     Alcotest.test_case "span aggregates and nesting" `Quick test_span_aggregates;
     Alcotest.test_case "JSON sink round-trips" `Quick test_json_sink_roundtrip;
     Alcotest.test_case "JSON parser accepts/rejects" `Quick test_json_parser;
+    Alcotest.test_case "NaN sentinels per sink format" `Quick test_nan_sentinels;
+    Alcotest.test_case "CSV quotes hostile labels" `Quick test_csv_hostile_label;
+    Alcotest.test_case "structured event log basics" `Quick test_events_basics;
     Alcotest.test_case "CLI profile --stats=json" `Quick test_cli_profile_stats_json;
   ]
