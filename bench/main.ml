@@ -460,7 +460,14 @@ let gate_write_baseline path =
 
 let gate_check ?slowdown path =
   Obs.set_enabled false;
-  let b = Gate.load_baseline path in
+  let b =
+    (* Unreadable or malformed baseline: one-line error, exit 2, no
+       backtrace — same contract as the CLI's user-error paths. *)
+    try Gate.load_baseline path with
+    | Sys_error msg | Failure msg ->
+        Printf.eprintf "bench: cannot load baseline %s: %s\n" path msg;
+        exit 2
+  in
   let verdicts, calib_s = Gate.check ?slowdown b (gate_workloads ()) in
   print_string (Gate.render verdicts);
   if Gate.all_pass verdicts then begin

@@ -208,6 +208,27 @@ let robustness_cmd =
     (Cmd.info "robustness" ~doc:"Heuristic rankings on off-paper instance families")
     Term.(const run $ seeds_arg)
 
+let faults_cmd =
+  let run seeds json =
+    let t0 = Obs.Span.now_ns () in
+    let rows = Experiments.Fault_sweep.run ~seeds () in
+    print_string (Experiments.Fault_sweep.render rows);
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0));
+    match json with
+    | None -> ()
+    | Some path ->
+        Experiments.Fault_sweep.write_json path rows;
+        Printf.printf "wrote %s\n" path
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write rows as JSON lines to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Fault sweep: repaired-makespan/LB ratio vs fraction of processors killed")
+    Term.(const run $ seeds_arg $ json_arg)
+
 let all_cmd =
   let run scale seeds =
     run_multiproc ~weights:Hyper.Weights.Unit
@@ -247,4 +268,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; table2_cmd; table3_cmd; table_random_cmd; singleproc_cmd; weighted_sp_cmd; online_cmd; ablations_cmd; sweep_cmd; hardness_cmd; bounds_cmd; robustness_cmd; all_cmd ]))
+          [ table1_cmd; table2_cmd; table3_cmd; table_random_cmd; singleproc_cmd; weighted_sp_cmd; online_cmd; ablations_cmd; sweep_cmd; hardness_cmd; bounds_cmd; robustness_cmd; faults_cmd; all_cmd ]))

@@ -10,6 +10,34 @@
 open Cmdliner
 
 module Gh = Semimatch.Greedy_hyper
+module Faults = Semimatch.Faults
+
+(* Error-path contract: user mistakes (bad file, bad spec, unwritable
+   output) print one line on stderr and exit 2 — never a backtrace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("semimatch_cli: " ^ msg);
+      exit 2)
+    fmt
+
+let load_instance file =
+  try Hyper.Io.load file with
+  | Sys_error msg -> die "%s" msg
+  | Failure msg -> die "%s" msg
+  | Invalid_argument msg -> die "invalid instance %s: %s" file msg
+
+let save_instance file h =
+  try Hyper.Io.save file h with Sys_error msg -> die "%s" msg
+
+let write_trace path =
+  (try Obs.Trace.write_file path with Sys_error msg -> die "%s" msg);
+  Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n" path
+
+let parse_faults spec = try Faults.of_string spec with Failure msg -> die "%s" msg
+
+let degradation_for h plan =
+  try Faults.degradation plan ~p:h.Hyper.Graph.n2 with Failure msg -> die "%s" msg
 
 let family_conv =
   Arg.enum [ ("fewg", Hyper.Generate.Fewg_manyg); ("hilo", Hyper.Generate.Hilo) ]
@@ -75,8 +103,7 @@ let with_telemetry ?(trace = None) ?(events = None) stats f =
     (match trace with
     | None -> ()
     | Some path ->
-        Obs.Trace.write_file path;
-        Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n" path);
+        write_trace path);
     result
   end
 
@@ -122,7 +149,7 @@ let gen_cmd =
   let run family n p dv dh g weights seed output =
     let rng = Randkit.Prng.create ~seed in
     let h = Hyper.Generate.generate rng ~family ~n ~p ~dv ~dh ~g ~weights in
-    Hyper.Io.save output h;
+    save_instance output h;
     Printf.printf "wrote %s: %d tasks, %d processors, %d hyperedges, %d pins\n" output
       h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) (Hyper.Graph.num_pins h)
   in
@@ -155,7 +182,7 @@ let gen_sp_cmd =
           Bipartite.Fewg_manyg.generate rng ~n1:n ~n2:p ~g ~d
     in
     let h = Hyper.Graph.of_bipartite graph in
-    Hyper.Io.save output h;
+    save_instance output h;
     Printf.printf "wrote %s: SINGLEPROC-UNIT, %d tasks, %d processors, %d edges\n" output
       h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h)
   in
@@ -176,7 +203,7 @@ let gen_sp_cmd =
 
 let info_cmd =
   let run verbose dot file =
-    let h = Hyper.Io.load file in
+    let h = load_instance file in
     Printf.printf "%s: %d tasks, %d processors, %d hyperedges, %d pins\n" file h.Hyper.Graph.n1
       h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) (Hyper.Graph.num_pins h);
     let mn, mx = Hyper.Graph.min_max_h_size h in
@@ -202,10 +229,30 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Print instance statistics and lower bounds")
     Term.(const run $ verbose $ dot $ file_arg)
 
+(* Shared by solve --faults --repair and simulate --faults --repair: price
+   the degraded machine into the repair decisions and report the outcome. *)
+let repair_report h d (a : Semimatch.Hyp_assignment.t) =
+  let r = Semimatch.Repair.repair ~cost:(Faults.finish_time d) ~dead:d.Faults.dead h a in
+  Printf.printf "repair: %d affected, %d moved, %d infeasible%s\n"
+    (List.length r.Semimatch.Repair.affected)
+    (List.length r.Semimatch.Repair.moved)
+    (List.length r.Semimatch.Repair.infeasible)
+    (if r.Semimatch.Repair.resolved_from_scratch then " (from-scratch re-solve won)" else "");
+  if r.Semimatch.Repair.infeasible <> [] then
+    Printf.printf "infeasible tasks: %s\n"
+      (String.concat ", " (List.map string_of_int r.Semimatch.Repair.infeasible));
+  Printf.printf "repaired makespan: %g  (surviving-machine LB %g, ratio %.3f)\n"
+    r.Semimatch.Repair.makespan r.Semimatch.Repair.lower_bound
+    (if r.Semimatch.Repair.lower_bound > 0.0 then
+       r.Semimatch.Repair.makespan /. r.Semimatch.Repair.lower_bound
+     else 1.0);
+  r
+
 let solve_cmd =
-  let run algorithm refine loads portfolio jobs timeout stats trace events file =
+  let run algorithm refine loads portfolio jobs timeout deadline_ms faults repair stats trace
+      events file =
     with_telemetry ~trace ~events stats (fun () ->
-        let h = Hyper.Io.load file in
+        let h = load_instance file in
         let lb = Semimatch.Lower_bound.multiproc h in
         let lb_refined = Semimatch.Lower_bound.multiproc_refined h in
         let best_lb = Float.max lb lb_refined in
@@ -217,6 +264,17 @@ let solve_cmd =
             (100.0 *. ((makespan /. best_lb) -. 1.0))
         in
         let a =
+          match deadline_ms with
+          | Some ms ->
+              let module D = Semimatch.Deadline in
+              let r = D.solve ~jobs ~budget_s:(ms /. 1000.0) h in
+              Printf.printf "deadline: %g ms budget, answered by the %s tier in %.1f ms%s\n" ms
+                (D.tier_name r.D.tier)
+                (1000.0 *. r.D.elapsed_s)
+                (if r.D.degraded then " (degraded)" else "");
+              report r.D.makespan;
+              r.D.assignment
+          | None ->
           if portfolio || jobs > 1 then begin
             let module P = Semimatch.Portfolio in
             let r = P.solve ~jobs ?timeout_s:timeout h in
@@ -249,7 +307,30 @@ let solve_cmd =
         if loads then begin
           let l = Semimatch.Hyp_assignment.loads h a in
           Array.iteri (fun u load -> Printf.printf "P%-6d %g\n" u load) l
-        end)
+        end;
+        match faults with
+        | None ->
+            if repair then die "--repair needs --faults SPEC"
+        | Some spec ->
+            let plan = parse_faults spec in
+            let d = degradation_for h plan in
+            let killed = Array.fold_left (fun n x -> if x then n + 1 else n) 0 d.Faults.dead in
+            Printf.printf "\nfaults: %s (%d dead processor%s)\n" (Faults.to_string plan) killed
+              (if killed = 1 then "" else "s");
+            if repair then ignore (repair_report h d a)
+            else begin
+              let affected =
+                List.filter
+                  (fun v ->
+                    let e = a.Semimatch.Hyp_assignment.choice.(v) in
+                    let hit = ref false in
+                    Hyper.Graph.iter_h_procs h e (fun u -> if d.Faults.dead.(u) then hit := true);
+                    !hit)
+                  (List.init h.Hyper.Graph.n1 Fun.id)
+              in
+              Printf.printf "affected tasks: %d (rerun with --repair to re-place them)\n"
+                (List.length affected)
+            end)
   in
   let algorithm =
     Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
@@ -266,15 +347,35 @@ let solve_cmd =
   and timeout =
     Arg.(value & opt (some float) None
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Portfolio wall-clock budget.")
+  and deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:
+               "Solve under a hard wall-clock budget via the graceful-degradation cascade \
+                (greedy, then portfolio, then exact on tiny instances); always returns the \
+                best feasible schedule found.")
+  and faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:
+               "Degrade the machine after solving: comma-separated crash:P[@T], slow:PxF, \
+                stall:P@T+D.  Reports the tasks hit; add $(b,--repair) to re-place them.")
+  and repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:
+               "Incrementally repair the schedule on the degraded machine (requires \
+                $(b,--faults)): re-places only the affected tasks and reports repaired \
+                makespan, repair cost and the surviving-machine lower bound.")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a greedy heuristic (or the parallel portfolio) on an instance")
-    Term.(const run $ algorithm $ refine $ loads $ portfolio $ jobs_arg $ timeout $ stats_arg
-          $ trace_arg $ events_arg $ file_arg)
+    Term.(const run $ algorithm $ refine $ loads $ portfolio $ jobs_arg $ timeout $ deadline
+          $ faults $ repair $ stats_arg $ trace_arg $ events_arg $ file_arg)
 
 let exact_cmd =
   let run strategy jobs stats trace events file =
-    let h = Hyper.Io.load file in
+    let h = load_instance file in
     if not (is_singleton_unit h) then begin
       prerr_endline
         "exact: instance is not SINGLEPROC-UNIT (needs singleton unit-weight configurations);\n\
@@ -313,7 +414,7 @@ let exact_cmd =
 let compare_cmd =
   let run refine stats file =
     with_stats stats (fun () ->
-        let h = Hyper.Io.load file in
+        let h = load_instance file in
         let lb = Semimatch.Lower_bound.multiproc h in
         Printf.printf "lower bound (Eq. 1): %g\n\n%-30s %12s %8s\n" lb "algorithm" "makespan" "vs LB";
         List.iter
@@ -343,7 +444,7 @@ let compare_cmd =
    snapshots in machine-readable form. *)
 let profile_cmd =
   let run stats trace seed jobs file =
-    let h = Hyper.Io.load file in
+    let h = load_instance file in
     let lb = Semimatch.Lower_bound.multiproc h in
     Obs.set_enabled true;
     let machine = Buffer.create 1024 in
@@ -496,8 +597,7 @@ let profile_cmd =
     (match trace with
     | None -> ()
     | Some path ->
-        Obs.Trace.write_file path;
-        Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n" path);
+        write_trace path);
     match stats with
     | Some (Obs.Sink.Json | Obs.Sink.Csv) ->
         print_newline ();
@@ -513,8 +613,8 @@ let profile_cmd =
     Term.(const run $ stats_arg $ trace_arg $ seed $ jobs_arg $ file_arg)
 
 let simulate_cmd =
-  let run algorithm policy width file =
-    let h = Hyper.Io.load file in
+  let run algorithm policy width faults repair file =
+    let h = load_instance file in
     let a = Gh.run algorithm h in
     let policy =
       match policy with
@@ -524,32 +624,72 @@ let simulate_cmd =
       | other -> (
           match int_of_string_opt other with
           | Some seed -> Simulator.Random_order seed
-          | None -> invalid_arg "policy must be fifo, spt, lpt or a seed")
+          | None -> die "policy must be fifo, spt, lpt or a seed (got %S)" other)
     in
-    let t = Simulator.run ~policy h a in
     Printf.printf "algorithm %s, policy %s\n" (Gh.name algorithm) (Simulator.policy_name policy);
-    Printf.printf "makespan %g, average task completion %.3f\n\n" t.Simulator.makespan
-      (Simulator.average_completion t);
-    print_string (Simulator.gantt ~width ~proc_names:(Printf.sprintf "P%d") t)
+    match faults with
+    | None ->
+        if repair then die "--repair needs --faults SPEC";
+        let t = Simulator.run ~policy h a in
+        Printf.printf "makespan %g, average task completion %.3f\n\n" t.Simulator.makespan
+          (Simulator.average_completion t);
+        print_string (Simulator.gantt ~width ~proc_names:(Printf.sprintf "P%d") t)
+    | Some spec ->
+        let plan = parse_faults spec in
+        let d = degradation_for h plan in
+        Printf.printf "faults: %s\n" (Faults.to_string plan);
+        let choice =
+          if repair then (repair_report h d a).Semimatch.Repair.choice
+          else a.Semimatch.Hyp_assignment.choice
+        in
+        let t = Simulator.run_degraded ~policy d h choice in
+        if t.Simulator.lost <> [] then
+          Printf.printf "lost tasks (%d): %s\n"
+            (List.length t.Simulator.lost)
+            (String.concat ", " (List.map string_of_int t.Simulator.lost))
+        else if not repair then print_string "no tasks lost\n";
+        if t.Simulator.unscheduled <> [] then
+          Printf.printf "unscheduled tasks (%d): %s\n"
+            (List.length t.Simulator.unscheduled)
+            (String.concat ", " (List.map string_of_int t.Simulator.unscheduled));
+        Printf.printf "degraded makespan %g\n\n" t.Simulator.d_trace.Simulator.makespan;
+        print_string (Simulator.gantt ~width ~proc_names:(Printf.sprintf "P%d") t.Simulator.d_trace)
   in
   let algorithm =
     Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
          & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"sgh, egh, vgh or evg")
   and policy =
     Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"P" ~doc:"fifo, spt, lpt or a seed")
-  and width = Arg.(value & opt int 72 & info [ "width" ] ~docv:"W" ~doc:"gantt width") in
+  and width = Arg.(value & opt int 72 & info [ "width" ] ~docv:"W" ~doc:"gantt width")
+  and faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:
+               "Inject machine faults into the run: comma-separated crash:P[@T], slow:PxF, \
+                stall:P@T+D.  Parts on a crashed processor are lost with their tasks.")
+  and repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:
+               "Repair the schedule before executing it (requires $(b,--faults)): affected \
+                tasks are re-placed on the surviving machine, so nothing is lost.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Execute a schedule event-by-event and draw a Gantt chart")
-    Term.(const run $ algorithm $ policy $ width $ file_arg)
+    Term.(const run $ algorithm $ policy $ width $ faults $ repair $ file_arg)
 
 let () =
   let info =
     Cmd.info "semimatch_cli" ~doc:"Semi-matching scheduling under resource constraints"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
-            exact_cmd;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
+           exact_cmd;
+         ])
+  in
+  (* Cmdliner reports usage errors (unknown flag, bad value) as 124; the
+     CLI's error-exit contract is 2 across the board. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,96 @@
+module Faults = Semimatch.Faults
+module Repair = Semimatch.Repair
+
+type row = {
+  kill_fraction : float;
+  affected_mean : float;
+  moved_mean : float;
+  infeasible_mean : float;
+  repair_ratio : float;
+  resolve_ratio : float;
+  resolve_wins : int;
+}
+
+let fractions = [ 0.05; 0.125; 0.25; 0.5 ]
+
+let mean xs =
+  match xs with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* A replicate prices its makespans against its own surviving-machine LB;
+   an empty surviving machine (possible only at extreme kill fractions)
+   contributes the neutral ratio 1. *)
+let ratio m lb = if lb > 0.0 then m /. lb else 1.0
+
+let run_row ?(seeds = 5) ?(n = 320) ?(p = 64) ~kill_fraction () =
+  let replicate seed =
+    let rng = Randkit.Prng.create ~seed:(seed + 1) in
+    let h =
+      Hyper.Generate.generate rng ~family:Hyper.Generate.Fewg_manyg ~n ~p ~dv:5 ~dh:3 ~g:8
+        ~weights:Hyper.Weights.Related
+    in
+    let a = Semimatch.Greedy_hyper.run Semimatch.Greedy_hyper.Expected_vector_greedy_hyp h in
+    let plan = Faults.random_crashes rng ~p ~kill_fraction in
+    let d = Faults.degradation plan ~p in
+    let r = Repair.repair ~dead:d.Faults.dead h a in
+    let s = Repair.resolve ~dead:d.Faults.dead h in
+    (r, s)
+  in
+  let reps = List.init seeds replicate in
+  let medians f = Ds.Stats.median (Array.of_list (List.map f reps)) in
+  {
+    kill_fraction;
+    affected_mean = mean (List.map (fun (r, _) -> float_of_int (List.length r.Repair.affected)) reps);
+    moved_mean = mean (List.map (fun (r, _) -> float_of_int (List.length r.Repair.moved)) reps);
+    infeasible_mean =
+      mean (List.map (fun (r, _) -> float_of_int (List.length r.Repair.infeasible)) reps);
+    repair_ratio = medians (fun (r, _) -> ratio r.Repair.makespan r.Repair.lower_bound);
+    resolve_ratio = medians (fun (_, s) -> ratio s.Repair.makespan s.Repair.lower_bound);
+    resolve_wins =
+      List.length (List.filter (fun (r, _) -> r.Repair.resolved_from_scratch) reps);
+  }
+
+let run ?seeds () = List.map (fun kill_fraction -> run_row ?seeds ~kill_fraction ()) fractions
+
+let render rows =
+  let header =
+    [ "Killed"; "affected"; "moved"; "infeasible"; "repair/LB"; "resolve/LB"; "net used" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          Printf.sprintf "%g%%" (100.0 *. r.kill_fraction);
+          Printf.sprintf "%.1f" r.affected_mean;
+          Printf.sprintf "%.1f" r.moved_mean;
+          Printf.sprintf "%.1f" r.infeasible_mean;
+          Tables.fmt_ratio r.repair_ratio;
+          Tables.fmt_ratio r.resolve_ratio;
+          string_of_int r.resolve_wins;
+        ])
+      rows
+  in
+  "Fault sweep: incremental repair vs from-scratch re-solve after killing a\n\
+   random processor subset (FewgManyg, related weights, n=320, p=64):\n\n"
+  ^ Tables.render ~header ~rows:body ()
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          let json =
+            Obs.Json.Obj
+              [
+                ("kill_fraction", Obs.Json.Num r.kill_fraction);
+                ("affected_mean", Obs.Json.Num r.affected_mean);
+                ("moved_mean", Obs.Json.Num r.moved_mean);
+                ("infeasible_mean", Obs.Json.Num r.infeasible_mean);
+                ("repair_ratio", Obs.Json.Num r.repair_ratio);
+                ("resolve_ratio", Obs.Json.Num r.resolve_ratio);
+                ("resolve_wins", Obs.Json.Num (float_of_int r.resolve_wins));
+              ]
+          in
+          output_string oc (Obs.Json.to_string json ^ "\n"))
+        rows)

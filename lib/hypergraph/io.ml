@@ -10,6 +10,12 @@ let to_string h =
 
 let fail line_no msg = failwith (Printf.sprintf "Hyper.Io: line %d: %s" line_no msg)
 
+(* Header sizes bound allocations ([Graph.create] builds arrays of n1+1 and
+   n2 slots), so a hostile 20-byte header must not be able to request
+   terabytes: cap them here, with a line-numbered error, before any
+   allocation happens. *)
+let max_side = 100_000_000
+
 let of_string text =
   let lines = String.split_on_char '\n' text in
   let header = ref None in
@@ -24,7 +30,10 @@ let of_string text =
         | "hypergraph" :: rest -> (
             if !header <> None then fail line_no "duplicate header";
             match List.map int_of_string_opt rest with
-            | [ Some n1; Some n2 ] -> header := Some (n1, n2)
+            | [ Some n1; Some n2 ] ->
+                if n1 < 0 || n2 < 0 then fail line_no "sizes must be non-negative";
+                if n1 > max_side || n2 > max_side then fail line_no "sizes out of range";
+                header := Some (n1, n2)
             | _ -> fail line_no "expected: hypergraph <n1> <n2>")
         | "h" :: task :: weight :: procs -> (
             if !header = None then fail line_no "hyperedge before header";

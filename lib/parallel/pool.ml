@@ -8,6 +8,8 @@ let default_jobs () = Domain.recommended_domain_count ()
 let c_batches = Obs.Metrics.counter "parallel.pool.batches"
 let c_tasks = Obs.Metrics.counter "parallel.pool.tasks"
 let c_steals = Obs.Metrics.counter "parallel.pool.steals"
+let c_retries = Obs.Metrics.counter "parallel.pool.retries"
+let c_task_failures = Obs.Metrics.counter "parallel.pool.task_failures"
 
 (* A batch is self-describing: jobs carry their batch, so a worker that
    lingers past a batch boundary (it was mid-steal when the previous batch
@@ -251,6 +253,78 @@ let race ?cancel pool contenders =
   | Some r -> r
   | None -> (
       match Atomic.get fail with Some (_, e) -> raise e | None -> raise Cancel.Cancelled)
+
+type failure = { f_index : int; f_attempts : int; f_exn : exn }
+
+(* No Unix dependency in this library, so between attempts we spin on the
+   monotonic clock.  Backoffs are tens of milliseconds at most, and the
+   domain yields on every iteration, so this is cheap enough. *)
+let spin_sleep ~cancel s =
+  if s > 0.0 then begin
+    let until = Int64.add (Obs.Span.now_ns ()) (Int64.of_float (s *. 1e9)) in
+    while Obs.Span.now_ns () < until && not (Cancel.is_cancelled cancel) do
+      Domain.cpu_relax ()
+    done
+  end
+
+let run_with_retry ?(cancel = Cancel.never) ?(retries = 2) ?(backoff_s = 0.01) ?timeout_s pool
+    bodies =
+  if retries < 0 then invalid_arg "Pool.run_with_retry: retries must be >= 0";
+  if not (backoff_s >= 0.0) then invalid_arg "Pool.run_with_retry: backoff_s must be >= 0";
+  (match timeout_s with
+  | Some s when not (s > 0.0) -> invalid_arg "Pool.run_with_retry: timeout_s must be positive"
+  | _ -> ());
+  let n = Array.length bodies in
+  (* Slots the batch never reaches (caller cancellation) keep this sentinel:
+     zero attempts, cancelled. *)
+  let results =
+    Array.init n (fun i -> Error { f_index = i; f_attempts = 0; f_exn = Cancel.Cancelled })
+  in
+  let task i () =
+    let rec attempt k =
+      if Cancel.is_cancelled cancel then
+        results.(i) <- Error { f_index = i; f_attempts = k; f_exn = Cancel.Cancelled }
+      else begin
+        (* One fresh token per attempt so a per-task timeout restarts from
+           zero on retry; tripping the caller's token still stops the task
+           (cooperatively — the body must poll). *)
+        let token =
+          match timeout_s with Some s -> Cancel.create ~timeout_s:s () | None -> cancel
+        in
+        match bodies.(i) token with
+        | v -> results.(i) <- Ok v
+        | exception e ->
+            if k < retries then begin
+              let pause = backoff_s *. Float.pow 2.0 (float_of_int k) in
+              Obs.Metrics.incr c_retries;
+              if Obs.is_enabled () then
+                Obs.Events.emit ~level:Obs.Events.Warn "pool.retry"
+                  [
+                    Obs.Events.int "task" i;
+                    Obs.Events.int "attempt" (k + 1);
+                    Obs.Events.num "backoff_s" pause;
+                    Obs.Events.str "exn" (Printexc.to_string e);
+                  ];
+              spin_sleep ~cancel pause;
+              attempt (k + 1)
+            end
+            else begin
+              Obs.Metrics.incr c_task_failures;
+              if Obs.is_enabled () then
+                Obs.Events.emit ~level:Obs.Events.Warn "pool.task.failed"
+                  [
+                    Obs.Events.int "task" i;
+                    Obs.Events.int "attempts" (k + 1);
+                    Obs.Events.str "exn" (Printexc.to_string e);
+                  ];
+              results.(i) <- Error { f_index = i; f_attempts = k + 1; f_exn = e }
+            end
+      end
+    in
+    attempt 0
+  in
+  run ~cancel pool (Array.init n task);
+  results
 
 let race_best ?cancel ~better pool contenders =
   let k = Array.length contenders in

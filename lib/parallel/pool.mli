@@ -79,6 +79,39 @@ val race : ?cancel:Cancel.t -> t -> (Cancel.t -> 'a) array -> int * 'a
     raises, the smallest-index exception is re-raised; if the token trips
     with no winner, {!Cancel.Cancelled} is raised. *)
 
+type failure = {
+  f_index : int;  (** which task *)
+  f_attempts : int;  (** attempts actually made; [0] = never started *)
+  f_exn : exn;  (** the last attempt's exception *)
+}
+
+val run_with_retry :
+  ?cancel:Cancel.t ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?timeout_s:float ->
+  t ->
+  (Cancel.t -> 'a) array ->
+  ('a, failure) result array
+(** Hardened batch execution: every task gets up to [1 + retries] attempts
+    (default [retries = 2]), with exponential backoff between them
+    ([backoff_s] · 2{^k}, default 10 ms) — and a raising task records a
+    structured {!failure} instead of poisoning the batch, so sibling tasks
+    always run to their own conclusion.  This function never raises from a
+    task (contrast {!run}).
+
+    [timeout_s] bounds each {e attempt}: the task's token trips that long
+    after the attempt starts (cooperative — the body must poll it; a body
+    that ignores its token is not interrupted).  Without [timeout_s] the
+    body receives [cancel] itself.  [cancel] bounds the whole batch:
+    unstarted tasks are skipped and unfinished retry loops stop, both
+    recording a failure with [f_exn = Cancel.Cancelled] ([f_attempts = 0]
+    when the task never started).
+
+    Telemetry: every retry emits a ["pool.retry"] warning (task, attempt,
+    backoff, exception) and every exhausted task a ["pool.task.failed"]
+    warning; [parallel.pool.retries]/[task_failures] count them. *)
+
 val race_best :
   ?cancel:Cancel.t -> better:('a -> 'a -> bool) -> t -> (Cancel.t -> 'a) array -> int * 'a
 (** [race_best ~better pool contenders] runs {e every} contender to

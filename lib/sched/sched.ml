@@ -115,8 +115,15 @@ let schedule_of_choices t choices =
     lower_bound = Semimatch.Lower_bound.multiproc h;
   }
 
-let solve ?(algorithm = default_algorithm) t =
-  match algorithm with
+let solve ?(algorithm = default_algorithm) ?deadline_s t =
+  match deadline_s with
+  | Some budget_s ->
+      (* A wall-clock budget turns solving over to the graceful-degradation
+         cascade: always a feasible schedule, best effort within budget. *)
+      let r = Semimatch.Deadline.solve ~budget_s t.hyper in
+      schedule_of_choices t r.Semimatch.Deadline.assignment.Semimatch.Hyp_assignment.choice
+  | None -> (
+      match algorithm with
   | Greedy a ->
       let result = Semimatch.Greedy_hyper.run a t.hyper in
       schedule_of_choices t result.Semimatch.Hyp_assignment.choice
@@ -133,7 +140,7 @@ let solve ?(algorithm = default_algorithm) t =
           let s = Semimatch.Exact_unit.solve g in
           (* Bipartite edge order mirrors hyperedge order, so edge ids are
              hyperedge ids. *)
-          schedule_of_choices t s.Semimatch.Exact_unit.assignment.Semimatch.Bip_assignment.edge)
+          schedule_of_choices t s.Semimatch.Exact_unit.assignment.Semimatch.Bip_assignment.edge))
 
 let pp_schedule ppf s =
   Format.fprintf ppf "@[<v>makespan: %g  (lower bound %.3g)@," s.makespan s.lower_bound;

@@ -69,9 +69,13 @@ type schedule = {
   lower_bound : float;  (** the paper's Eq. 1 bound for this instance *)
 }
 
-val solve : ?algorithm:algorithm -> instance -> schedule
+val solve : ?algorithm:algorithm -> ?deadline_s:float -> instance -> schedule
 (** Raises [Invalid_argument] if [Exact_unit_sequential] is requested on an
-    instance that is not single-processor unit-time. *)
+    instance that is not single-processor unit-time.  [deadline_s] switches
+    to the {!Semimatch.Deadline} graceful-degradation cascade (greedy →
+    portfolio → exact) under that wall-clock budget, ignoring [algorithm]:
+    a feasible schedule is always returned, its quality bounded by the
+    budget. *)
 
 val pp_schedule : Format.formatter -> schedule -> unit
 (** Multi-line human-readable report. *)

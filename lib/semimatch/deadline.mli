@@ -1,0 +1,52 @@
+(** Deadline-bounded graceful degradation for MULTIPROC solving.
+
+    [solve ~budget_s h] spends a wall-clock budget on a cascade of solver
+    tiers and always returns the best {e feasible} schedule found when the
+    budget trips — never an exception, never an empty hand:
+
+    - {b greedy}: sorted-greedy-hyp runs first, uninterrupted.  It is the
+      floor of the cascade; even a zero (or negative) budget returns its
+      schedule.
+    - {b portfolio}: with budget remaining, {!Portfolio.solve} races the
+      remaining heuristics (greedies, local search, annealing) under the
+      leftover wall clock.
+    - {b exact}: with budget still remaining and a search space of at most
+      [200_000] configurations (Π d_v), {!Brute_force.multiproc} settles the
+      instance optimally.  The bound keeps the exact tier off any instance
+      large enough that the portfolio's answer matters, so a generous budget
+      reproduces [Portfolio.solve] byte-for-byte there.
+
+    The result is {e degraded} when the budget cut solvers off before they
+    could have mattered: the portfolio tier never started, or some of its
+    solvers were skipped while the incumbent still sat above the lower
+    bound.  Every tier completion emits a ["deadline.tier"] event and every
+    degradation a ["deadline.degraded"] warning, so traces show why quality
+    dropped. *)
+
+type tier = Tier_greedy | Tier_portfolio | Tier_exact
+
+val tier_name : tier -> string
+(** ["greedy"], ["portfolio"], ["exact"]. *)
+
+type result = {
+  assignment : Hyp_assignment.t;
+  makespan : float;
+  tier : tier;  (** the tier that produced [assignment] *)
+  degraded : bool;
+  lower_bound : float;  (** {!Lower_bound.multiproc_refined} *)
+  portfolio : Portfolio.result option;  (** when that tier ran *)
+  elapsed_s : float;
+}
+
+val solve :
+  ?pool:Parpool.Pool.t ->
+  ?jobs:int ->
+  ?solvers:Portfolio.solver list ->
+  budget_s:float ->
+  Hyper.Graph.t ->
+  result
+(** Ties between tiers resolve toward the later tier (portfolio over greedy,
+    exact over both), so an undegraded run returns the portfolio's exact
+    bytes.  [pool]/[jobs]/[solvers] are passed through to
+    {!Portfolio.solve}.  Raises [Invalid_argument] only on infeasible
+    instances (a task with no configuration). *)

@@ -1,0 +1,146 @@
+type fault =
+  | Crash of { proc : int; at : float }
+  | Slowdown of { proc : int; factor : float }
+  | Stall of { proc : int; at : float; dur : float }
+
+type plan = fault list
+
+let spec_fail fmt = Printf.ksprintf (fun msg -> failwith ("Faults: " ^ msg)) fmt
+
+(* One token of the comma-separated spec: kind ':' payload. *)
+let fault_of_token tok =
+  let bad () = spec_fail "bad fault %S (want crash:P[@T], slow:PxF or stall:P@T+D)" tok in
+  let int_or s = match int_of_string_opt s with Some v -> v | None -> bad () in
+  let float_or s = match float_of_string_opt s with Some v -> v | None -> bad () in
+  match String.index_opt tok ':' with
+  | None -> bad ()
+  | Some i -> (
+      let kind = String.sub tok 0 i in
+      let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+      let split_on c s =
+        match String.index_opt s c with
+        | None -> None
+        | Some j -> Some (String.sub s 0 j, String.sub s (j + 1) (String.length s - j - 1))
+      in
+      match kind with
+      | "crash" -> (
+          match split_on '@' rest with
+          | None -> Crash { proc = int_or rest; at = 0.0 }
+          | Some (p, t) -> Crash { proc = int_or p; at = float_or t })
+      | "slow" -> (
+          match split_on 'x' rest with
+          | Some (p, f) -> Slowdown { proc = int_or p; factor = float_or f }
+          | None -> bad ())
+      | "stall" -> (
+          match split_on '@' rest with
+          | Some (p, td) -> (
+              match split_on '+' td with
+              | Some (t, d) -> Stall { proc = int_or p; at = float_or t; dur = float_or d }
+              | None -> bad ())
+          | None -> bad ())
+      | _ -> bad ())
+
+let of_string spec =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> fun tokens ->
+  if tokens = [] then spec_fail "empty fault spec";
+  List.map fault_of_token tokens
+
+let fault_to_string = function
+  | Crash { proc; at } ->
+      if at = 0.0 then Printf.sprintf "crash:%d" proc else Printf.sprintf "crash:%d@%g" proc at
+  | Slowdown { proc; factor } -> Printf.sprintf "slow:%dx%g" proc factor
+  | Stall { proc; at; dur } -> Printf.sprintf "stall:%d@%g+%g" proc at dur
+
+let to_string plan = String.concat "," (List.map fault_to_string plan)
+
+let random_crashes rng ~p ~kill_fraction =
+  if not (kill_fraction >= 0.0 && kill_fraction < 1.0) then
+    invalid_arg "Faults.random_crashes: kill_fraction must be in [0, 1)";
+  let k = min (p - 1) (int_of_float (Float.round (kill_fraction *. float_of_int p))) in
+  if k <= 0 then []
+  else
+    Randkit.Prng.sample_without_replacement rng ~k ~n:p
+    |> Array.to_list
+    |> List.sort compare
+    |> List.map (fun proc -> Crash { proc; at = 0.0 })
+
+type degradation = {
+  p : int;
+  dead : bool array;
+  crash_at : float array;
+  speed : float array;
+  stalls : (float * float) array array;
+}
+
+let healthy ~p =
+  {
+    p;
+    dead = Array.make p false;
+    crash_at = Array.make p infinity;
+    speed = Array.make p 1.0;
+    stalls = Array.make p [||];
+  }
+
+(* Merge overlapping/adjacent windows so [finish_time] can scan linearly. *)
+let merge_windows ws =
+  let ws = List.sort compare ws in
+  let rec go = function
+    | (s1, e1) :: (s2, e2) :: rest when s2 <= e1 -> go ((s1, Float.max e1 e2) :: rest)
+    | w :: rest -> w :: go rest
+    | [] -> []
+  in
+  Array.of_list (go ws)
+
+let degradation plan ~p =
+  let d = healthy ~p in
+  let windows = Array.make p [] in
+  let check_proc u = if u < 0 || u >= p then spec_fail "processor %d out of range (p = %d)" u p in
+  List.iter
+    (fun f ->
+      match f with
+      | Crash { proc; at } ->
+          check_proc proc;
+          if at < 0.0 then spec_fail "crash time must be >= 0";
+          d.dead.(proc) <- true;
+          d.crash_at.(proc) <- Float.min d.crash_at.(proc) at
+      | Slowdown { proc; factor } ->
+          check_proc proc;
+          if not (factor >= 1.0) then spec_fail "slowdown factor must be >= 1 (got %g)" factor;
+          d.speed.(proc) <- d.speed.(proc) *. factor
+      | Stall { proc; at; dur } ->
+          check_proc proc;
+          if at < 0.0 || dur < 0.0 then spec_fail "stall times must be >= 0";
+          if dur > 0.0 then windows.(proc) <- (at, at +. dur) :: windows.(proc))
+    plan;
+  { d with stalls = Array.map merge_windows windows }
+
+(* Work-conserving: chaining parts is equivalent to one block of their total
+   stretched length, so this closed form prices whole loads and single parts
+   alike ([Simulator.run_degraded] relies on that). *)
+let advance d u ~from ~work =
+  let t = ref from and rem = ref work in
+  Array.iter
+    (fun (s, e) ->
+      if e > !t && !rem > 0.0 then
+        if s > !t then begin
+          let avail = s -. !t in
+          if !rem <= avail then begin
+            t := !t +. !rem;
+            rem := 0.0
+          end
+          else begin
+            rem := !rem -. avail;
+            t := e
+          end
+        end
+        else t := e)
+    d.stalls.(u);
+  !t +. !rem
+
+let finish_time d u load =
+  if load <= 0.0 then 0.0
+  else if d.dead.(u) then infinity
+  else advance d u ~from:0.0 ~work:(d.speed.(u) *. load)

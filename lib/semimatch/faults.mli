@@ -1,0 +1,71 @@
+(** Seeded machine-fault plans and the degraded-machine model they induce.
+
+    A fault plan is a list of processor-level incidents: permanent crashes,
+    permanent slowdowns, and transient stalls.  {!degradation} folds a plan
+    into the static per-processor view the rest of the stack consumes — a
+    dead set for {!Repair} to avoid, a speed factor and pause windows for
+    {!finish_time} to price — while the event-level consequences (which
+    parts are lost at a crash) stay with [Simulator.run_degraded].
+
+    The textual spec grammar (CLI [--faults], comma-separated):
+    {v
+    crash:P[@T]     processor P fails at time T (default 0)
+    slow:PxF        P runs F times slower, permanently (F >= 1)
+    stall:P@T+D     P is unavailable during [T, T+D)
+    v} *)
+
+type fault =
+  | Crash of { proc : int; at : float }
+  | Slowdown of { proc : int; factor : float }
+  | Stall of { proc : int; at : float; dur : float }
+
+type plan = fault list
+
+val of_string : string -> plan
+(** Parse the spec grammar above.  Raises [Failure] with a one-line message
+    on malformed input (processor ranges are checked later, by
+    {!degradation}, which knows the machine size). *)
+
+val to_string : plan -> string
+(** Inverse of {!of_string} (canonical form). *)
+
+val random_crashes : Randkit.Prng.t -> p:int -> kill_fraction:float -> plan
+(** [kill_fraction] of the [p] processors crash at time 0; the victim set is
+    drawn without replacement from the given generator, so plans are
+    reproducible per seed.  At least one processor always survives.
+    Raises [Invalid_argument] unless [0 <= kill_fraction < 1]. *)
+
+type degradation = {
+  p : int;
+  dead : bool array;  (** crashed processors, whatever the crash time *)
+  crash_at : float array;  (** crash instant; [infinity] for healthy procs *)
+  speed : float array;  (** cumulative slowdown factor, [>= 1.] *)
+  stalls : (float * float) array array;
+      (** per-processor pause windows [(start, stop)], merged and sorted *)
+}
+
+val degradation : plan -> p:int -> degradation
+(** Fold a plan into the static view.  Multiple slowdowns of one processor
+    multiply; overlapping stall windows are merged.  Raises [Failure] on
+    out-of-range processors, factors below 1, or negative times. *)
+
+val healthy : p:int -> degradation
+(** No faults at all (identity speeds, no stalls). *)
+
+val advance : degradation -> int -> from:float -> work:float -> float
+(** [advance d u ~from ~work] is the instant at which [work] seconds of
+    {e already-stretched} processing started at [from] on processor [u]
+    completes, pausing across the stall windows it meets.  Work-conserving:
+    chaining [advance] over consecutive parts equals one call on their sum,
+    which is why {!finish_time} prices whole loads.  Crash times are {e not}
+    consulted — the caller decides what a crash means for in-flight work. *)
+
+val finish_time : degradation -> int -> float -> float
+(** [finish_time d u load] is the completion time of [load] units of raw
+    work started at time 0 on processor [u]: the work is stretched by
+    [speed.(u)] and paused across every stall window it meets.  [0.] when
+    [load = 0.]; [infinity] when [u] is dead and [load > 0.] — dead
+    processors never finish anything, which is exactly the cost
+    {!Repair.repair} needs to price dead placements out.  This closed form
+    equals the event-level finish of [Simulator.run_degraded] for any
+    per-processor part order, because parts run back-to-back. *)

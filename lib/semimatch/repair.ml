@@ -1,0 +1,280 @@
+module H = Hyper.Graph
+
+let c_affected = Obs.Metrics.counter "semimatch.repair.affected"
+let c_moved = Obs.Metrics.counter "semimatch.repair.moved"
+let c_infeasible = Obs.Metrics.counter "semimatch.repair.infeasible"
+
+type t = {
+  assignment : Hyp_assignment.t option;
+  choice : int array;
+  affected : int list;
+  moved : int list;
+  infeasible : int list;
+  makespan : float;
+  lower_bound : float;
+  resolved_from_scratch : bool;
+}
+
+let default_cost _u load = load
+
+let edge_alive h dead e =
+  let ok = ref true in
+  H.iter_h_procs h e (fun u -> if dead.(u) then ok := false);
+  !ok
+
+(* Surviving configurations of a task, in input order (the greedy tie-break
+   discipline of the rest of the library). *)
+let surviving_edges h dead v =
+  let acc = ref [] in
+  H.iter_task_hyperedges h v (fun e -> if edge_alive h dead e then acc := e :: !acc);
+  List.rev !acc
+
+let check_args h dead =
+  if Array.length dead <> h.H.n2 then
+    invalid_arg "Repair: dead must have one slot per processor"
+
+(* Effective makespan of a load vector under the caller's cost model.  Dead
+   processors carry no load by construction, and [cost u 0. = 0.], so the
+   fold is safe over the whole machine. *)
+let eff_makespan cost loads =
+  let m = ref 0.0 in
+  Array.iteri (fun u l -> if l > 0.0 then m := Float.max !m (cost u l)) loads;
+  !m
+
+let eff_metric cost loads =
+  let mx = ref 0.0 and sq = ref 0.0 in
+  Array.iteri
+    (fun u l ->
+      if l > 0.0 then begin
+        let c = cost u l in
+        mx := Float.max !mx c;
+        sq := !sq +. (c *. c)
+      end)
+    loads;
+  (!mx, !sq)
+
+let add_edge h loads e sign =
+  let w = sign *. H.h_weight h e in
+  H.iter_h_procs h e (fun u -> loads.(u) <- loads.(u) +. w)
+
+(* The surviving machine as a standalone instance: feasible tasks only,
+   surviving configurations only, surviving processors renumbered densely.
+   [task_of] / [orig_edge] translate the sub-solution back. *)
+type survivor = {
+  sub : H.t;
+  task_of : int array;  (* sub task id -> original task id *)
+  orig_edge : int array array;  (* per sub task, k-th surviving edge's original id *)
+}
+
+let surviving_machine h dead ~feasible =
+  let proc_of = Array.make h.H.n2 (-1) in
+  let n_surv = ref 0 in
+  Array.iteri
+    (fun u d ->
+      if not d then begin
+        proc_of.(u) <- !n_surv;
+        incr n_surv
+      end)
+    dead;
+  if feasible = [] || !n_surv = 0 then None
+  else begin
+    let task_of = Array.of_list feasible in
+    let n1 = Array.length task_of in
+    let orig_edge = Array.make n1 [||] in
+    let hyperedges = ref [] in
+    for i = n1 - 1 downto 0 do
+      let edges = surviving_edges h dead task_of.(i) in
+      orig_edge.(i) <- Array.of_list edges;
+      List.iter
+        (fun e ->
+          let procs = Array.map (fun u -> proc_of.(u)) (H.h_procs h e) in
+          hyperedges := (i, procs, H.h_weight h e) :: !hyperedges)
+        (List.rev edges)
+    done;
+    let sub = H.create ~n1 ~n2:!n_surv ~hyperedges:!hyperedges in
+    Some { sub; task_of; orig_edge }
+  end
+
+(* Map a sub-instance assignment back to original hyperedge ids.  The
+   sub-graph's hyperedges were inserted grouped by task in surviving-edge
+   order, and [Graph.create] preserves relative order within a task, so the
+   k-th sub-edge of sub-task [i] is [orig_edge.(i).(k)]. *)
+let choice_of_sub s (asg : Hyp_assignment.t) choice =
+  Array.iteri
+    (fun i e ->
+      let k = e - s.sub.H.task_off.(i) in
+      choice.(s.task_of.(i)) <- s.orig_edge.(i).(k))
+    asg.Hyp_assignment.choice
+
+let loads_of_choice h choice =
+  let loads = Array.make h.H.n2 0.0 in
+  Array.iter (fun e -> if e >= 0 then add_edge h loads e 1.0) choice;
+  loads
+
+(* Greedy re-insertion: fewest surviving options first (ties by task id),
+   each task onto the configuration with the cheapest resulting bottleneck
+   among its own processors (ties by input order). *)
+let reinsert h cost loads tasks_edges =
+  let order =
+    List.sort
+      (fun (v1, es1) (v2, es2) ->
+        match compare (List.length es1) (List.length es2) with
+        | 0 -> compare v1 v2
+        | c -> c)
+      tasks_edges
+  in
+  List.map
+    (fun (v, edges) ->
+      let best = ref (-1) and best_cost = ref infinity in
+      List.iter
+        (fun e ->
+          let w = H.h_weight h e in
+          let bottleneck = ref 0.0 in
+          H.iter_h_procs h e (fun u ->
+              bottleneck := Float.max !bottleneck (cost u (loads.(u) +. w)));
+          if !bottleneck < !best_cost then begin
+            best_cost := !bottleneck;
+            best := e
+          end)
+        edges;
+      add_edge h loads !best 1.0;
+      (v, !best))
+    order
+
+(* Warm-started local search restricted to the re-placed tasks: try every
+   surviving configuration of each, accept a switch only on strict
+   lexicographic improvement of (max effective load, Σ cost²). *)
+let restricted_search h dead cost loads choice tasks ~max_passes =
+  let improved = ref true and passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    List.iter
+      (fun v ->
+        let cur = choice.(v) in
+        let cur_metric = eff_metric cost loads in
+        let best_e = ref cur and best_metric = ref cur_metric in
+        List.iter
+          (fun e ->
+            if e <> cur then begin
+              add_edge h loads cur (-1.0);
+              add_edge h loads e 1.0;
+              let m = eff_metric cost loads in
+              add_edge h loads e (-1.0);
+              add_edge h loads cur 1.0;
+              if compare m !best_metric < 0 then begin
+                best_metric := m;
+                best_e := e
+              end
+            end)
+          (surviving_edges h dead v);
+        if !best_e <> cur then begin
+          add_edge h loads cur (-1.0);
+          add_edge h loads !best_e 1.0;
+          choice.(v) <- !best_e;
+          improved := true
+        end)
+      tasks
+  done
+
+let survivor_lower_bound = function
+  | None -> 0.0
+  | Some s -> Lower_bound.multiproc_refined s.sub
+
+let finish h cost ~affected ~infeasible ~resolved_from_scratch old_choice choice =
+  let moved = ref [] in
+  Array.iteri
+    (fun v e ->
+      let was = match old_choice with None -> -1 | Some old -> old.(v) in
+      if e >= 0 && e <> was then moved := v :: !moved)
+    choice;
+  let moved = List.rev !moved in
+  let makespan = eff_makespan cost (loads_of_choice h choice) in
+  let assignment = if infeasible = [] then Some (Hyp_assignment.of_choices h choice) else None in
+  Obs.Metrics.add c_moved (List.length moved);
+  {
+    assignment;
+    choice;
+    affected;
+    moved;
+    infeasible;
+    makespan;
+    lower_bound = 0.0;
+    resolved_from_scratch;
+  }
+
+let resolve ?(cost = default_cost) ~dead h =
+  check_args h dead;
+  let feasible = ref [] and infeasible = ref [] in
+  for v = h.H.n1 - 1 downto 0 do
+    if surviving_edges h dead v = [] then infeasible := v :: !infeasible
+    else feasible := v :: !feasible
+  done;
+  let machine = surviving_machine h dead ~feasible:!feasible in
+  let choice = Array.make h.H.n1 (-1) in
+  (match machine with
+  | None -> ()
+  | Some s ->
+      let asg = Greedy_hyper.run Greedy_hyper.Expected_vector_greedy_hyp s.sub in
+      choice_of_sub s asg choice);
+  let t =
+    finish h cost ~affected:!feasible ~infeasible:!infeasible ~resolved_from_scratch:true None
+      choice
+  in
+  { t with lower_bound = survivor_lower_bound machine }
+
+let repair ?(max_passes = 8) ?(cost = default_cost) ~dead h (a : Hyp_assignment.t) =
+  check_args h dead;
+  if not (Hyp_assignment.is_valid h a) then invalid_arg "Repair.repair: invalid assignment";
+  let old = a.Hyp_assignment.choice in
+  (* Partition the tasks: affected ones sit on a dead processor; of those,
+     the feasible ones have some surviving configuration to move to. *)
+  let affected = ref [] and infeasible = ref [] and to_place = ref [] in
+  for v = h.H.n1 - 1 downto 0 do
+    if not (edge_alive h dead old.(v)) then begin
+      affected := v :: !affected;
+      match surviving_edges h dead v with
+      | [] -> infeasible := v :: !infeasible
+      | edges -> to_place := (v, edges) :: !to_place
+    end
+  done;
+  let affected = !affected and infeasible = !infeasible in
+  Obs.Metrics.add c_affected (List.length affected);
+  Obs.Metrics.add c_infeasible (List.length infeasible);
+  if Obs.is_enabled () then begin
+    Obs.Events.emit "repair.start"
+      [
+        Obs.Events.int "affected" (List.length affected);
+        Obs.Events.int "infeasible" (List.length infeasible);
+      ];
+    if infeasible <> [] then
+      Obs.Events.emit ~level:Obs.Events.Warn "repair.infeasible"
+        [ Obs.Events.int "tasks" (List.length infeasible) ]
+  end;
+  (* Incremental candidate: keep the unaffected placements, greedily
+     re-insert the displaced tasks, then polish only those. *)
+  let choice = Array.copy old in
+  List.iter (fun v -> choice.(v) <- -1) affected;
+  let loads = loads_of_choice h choice in
+  let placed = reinsert h cost loads !to_place in
+  List.iter (fun (v, e) -> choice.(v) <- e) placed;
+  restricted_search h dead cost loads choice (List.map fst placed) ~max_passes;
+  let incremental = eff_makespan cost loads in
+  (* Safety net: the from-scratch re-solve on the surviving machine.  Repair
+     must never lose to it, so take whichever schedule prices better. *)
+  let scratch = resolve ~cost ~dead h in
+  let final =
+    if scratch.makespan < incremental then
+      finish h cost ~affected ~infeasible ~resolved_from_scratch:true (Some old) scratch.choice
+    else finish h cost ~affected ~infeasible ~resolved_from_scratch:false (Some old) choice
+  in
+  let final = { final with lower_bound = scratch.lower_bound } in
+  if Obs.is_enabled () then
+    Obs.Events.emit "repair.done"
+      [
+        Obs.Events.num "makespan" final.makespan;
+        Obs.Events.int "moved" (List.length final.moved);
+        Obs.Events.bool "resolved_from_scratch" final.resolved_from_scratch;
+        Obs.Events.num "lower_bound" final.lower_bound;
+      ];
+  final

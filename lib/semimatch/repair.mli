@@ -1,0 +1,60 @@
+(** Incremental semi-matching repair after processor failures.
+
+    Given a schedule and a set of dead processors, only the {e affected}
+    tasks — those whose chosen configuration touches a dead processor — are
+    re-placed: greedy re-insertion onto the cheapest surviving configuration
+    (fewest-options-first, the same order discipline as the greedies), then
+    a warm-started local search restricted to the touched tasks.  Unaffected
+    tasks keep their placement, which is the whole point: repair cost is
+    measured in tasks moved, not in schedules recomputed.
+
+    As a safety net, {!repair} also runs the from-scratch {!resolve} on the
+    surviving machine and returns whichever is better, so an incremental
+    repair is never worse than throwing the old schedule away — the
+    [resolved_from_scratch] flag records when the net was needed.
+
+    Tasks with no surviving configuration are {e reported}, never raised
+    over: they appear in [infeasible], their [choice] slot is [-1], and the
+    rest of the schedule is still valid. *)
+
+type t = {
+  assignment : Hyp_assignment.t option;
+      (** the repaired schedule; [None] iff some task is infeasible *)
+  choice : int array;
+      (** per-task chosen hyperedge id, [-1] for infeasible tasks — usable
+          even when [assignment] is [None] *)
+  affected : int list;  (** tasks whose old configuration touched a dead processor *)
+  moved : int list;  (** tasks whose final choice differs from the old one *)
+  infeasible : int list;  (** tasks with no surviving configuration *)
+  makespan : float;
+      (** max over processors of [cost u load_u] for the scheduled tasks;
+          [0.] when nothing is scheduled *)
+  lower_bound : float;
+      (** {!Lower_bound.multiproc_refined} of the surviving machine (feasible
+          tasks, surviving configurations, surviving processors); [0.] when
+          either side is empty *)
+  resolved_from_scratch : bool;
+      (** true when the from-scratch re-solve beat the incremental repair *)
+}
+
+val repair :
+  ?max_passes:int ->
+  ?cost:(int -> float -> float) ->
+  dead:bool array ->
+  Hyper.Graph.t ->
+  Hyp_assignment.t ->
+  t
+(** [repair ~dead h a] re-places the tasks of [a] that sit on dead
+    processors.  [dead] must have length [n2].  [cost u load] is the
+    completion time of [load] raw work on processor [u] (default: the load
+    itself); pass [Faults.finish_time d] to price slowdowns and stalls into
+    the repair decisions.  It must be monotone in the load and map zero load
+    to [0.].  [max_passes] (default 8) bounds the restricted local search.
+    Never raises on dead/infeasible structure — only on malformed arguments
+    ([Invalid_argument]). *)
+
+val resolve : ?cost:(int -> float -> float) -> dead:bool array -> Hyper.Graph.t -> t
+(** From-scratch comparison point: forget the old schedule and run
+    expected-vector-greedy on the surviving machine.  Same reporting
+    contract as {!repair}; [affected] and [moved] list every feasible task
+    and [resolved_from_scratch] is [true]. *)

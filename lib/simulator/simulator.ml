@@ -84,6 +84,73 @@ let run ?(policy = Fifo) h a =
   let events = List.sort (fun a b -> compare (a.start, a.proc) (b.start, b.proc)) !events in
   { events; task_completion; proc_busy; makespan = !makespan }
 
+module F = Semimatch.Faults
+
+type degraded_trace = { d_trace : trace; lost : int list; unscheduled : int list }
+
+(* Parts on one processor run back-to-back, so the degraded run needs no
+   event heap: walk each processor's policy-ordered queue, advancing a local
+   clock through stall windows via [Faults.advance].  A part that would
+   outlive the processor's crash is lost together with everything queued
+   behind it.  With [Faults.healthy] this reproduces [run] exactly. *)
+let run_degraded ?(policy = Fifo) (d : F.degradation) h choice =
+  let n1 = h.H.n1 and n2 = h.H.n2 in
+  if d.F.p <> n2 then invalid_arg "Simulator.run_degraded: degradation/machine size mismatch";
+  if Array.length choice <> n1 then invalid_arg "Simulator.run_degraded: choice length mismatch";
+  let unscheduled = ref [] in
+  let queues = Array.make n2 [] in
+  for v = n1 - 1 downto 0 do
+    let e = choice.(v) in
+    if e = -1 then unscheduled := v :: !unscheduled
+    else begin
+      if e < h.H.task_off.(v) || e >= h.H.task_off.(v + 1) then
+        invalid_arg "Simulator.run_degraded: chosen hyperedge does not belong to the task";
+      let w = H.h_weight h e in
+      H.iter_h_procs h e (fun u -> queues.(u) <- { p_task = v; p_len = w } :: queues.(u))
+    end
+  done;
+  let task_completion = Array.make n1 0.0 in
+  let proc_busy = Array.make n2 0.0 in
+  let makespan = ref 0.0 in
+  let events = ref [] in
+  let lost_flag = Array.make n1 false in
+  for u = 0 to n2 - 1 do
+    let t = ref 0.0 and crashed = ref false in
+    List.iter
+      (fun part ->
+        if !crashed then lost_flag.(part.p_task) <- true
+        else begin
+          let work = part.p_len *. d.F.speed.(u) in
+          let finish = F.advance d u ~from:!t ~work in
+          if finish <= d.F.crash_at.(u) then begin
+            events := { task = part.p_task; proc = u; start = !t; finish } :: !events;
+            proc_busy.(u) <- proc_busy.(u) +. work;
+            if finish > task_completion.(part.p_task) then task_completion.(part.p_task) <- finish;
+            if finish > !makespan then makespan := finish;
+            t := finish
+          end
+          else begin
+            crashed := true;
+            lost_flag.(part.p_task) <- true
+          end
+        end)
+      (order_queue policy queues.(u))
+  done;
+  let lost = ref [] in
+  for v = n1 - 1 downto 0 do
+    if lost_flag.(v) then begin
+      lost := v :: !lost;
+      task_completion.(v) <- infinity
+    end
+  done;
+  List.iter (fun v -> task_completion.(v) <- infinity) !unscheduled;
+  let events = List.sort (fun a b -> compare (a.start, a.proc) (b.start, b.proc)) !events in
+  {
+    d_trace = { events; task_completion; proc_busy; makespan = !makespan };
+    lost = !lost;
+    unscheduled = !unscheduled;
+  }
+
 let average_completion trace =
   let n = Array.length trace.task_completion in
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 trace.task_completion /. float_of_int n

@@ -36,6 +36,35 @@ type trace = {
 val run : ?policy:policy -> Hyper.Graph.t -> Semimatch.Hyp_assignment.t -> trace
 (** Simulate the realized configurations of the assignment. *)
 
+type degraded_trace = {
+  d_trace : trace;
+  lost : int list;
+      (** tasks that lost a part to a processor crash (sorted, unique);
+          their [task_completion] slot is [infinity] *)
+  unscheduled : int list;
+      (** tasks whose choice was [-1] (e.g. infeasible after {!Semimatch.Repair});
+          also [infinity] in [task_completion] *)
+}
+
+val run_degraded :
+  ?policy:policy ->
+  Semimatch.Faults.degradation ->
+  Hyper.Graph.t ->
+  int array ->
+  degraded_trace
+(** [run_degraded d h choice] executes a schedule on a degraded machine.
+    [choice] is a per-task chosen hyperedge id with [-1] meaning the task is
+    not scheduled at all (the shape {!Semimatch.Repair} reports).  Each part
+    of weight [w] on processor [u] takes [w · speed.(u)] and pauses across
+    [u]'s stall windows; a part that would finish after [u]'s crash instant
+    is lost, along with everything queued behind it, and its task lands in
+    [lost].  Since parts run back-to-back, the makespan of a fully executed
+    schedule equals [max_u Faults.finish_time d u load_u] — the repaired
+    load-vector maximum — for every ordering policy.  With
+    [Faults.healthy] this is byte-identical to {!run}.  Raises
+    [Invalid_argument] when [d.p <> n2], [choice] has the wrong length, or a
+    non-[-1] choice is not a hyperedge of its task. *)
+
 val average_completion : trace -> float
 (** Mean task completion time; 0 for empty task sets. *)
 

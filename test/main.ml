@@ -13,6 +13,7 @@ let () =
       ("harvey", Test_harvey.suite);
       ("io", Test_io.suite);
       ("simulator", Test_simulator.suite);
+      ("faults", Test_faults.suite);
       ("randomized", Test_randomized.suite);
       ("parallel", Test_parallel.suite);
       ("property", Test_property.suite);

@@ -110,9 +110,111 @@ let test_simulate () =
       check "mentions makespan" true (contains ~needle:"makespan" out);
       check "draws rows" true (contains ~needle:"P0" out))
 
+(* --- error paths: every operator mistake is one short diagnostic on
+   stderr and exit 2, never an OCaml backtrace. --- *)
+
+let run_capture_err args =
+  let command = Filename.quote_command cli args ^ " 2>&1" in
+  let ic = Unix.open_process_in command in
+  let output = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  (status, output)
+
+let expect_clean_failure name (status, output) =
+  (match status with
+  | Unix.WEXITED 2 -> ()
+  | Unix.WEXITED c -> Alcotest.failf "%s: expected exit 2, got %d: %s" name c output
+  | _ -> Alcotest.failf "%s: CLI killed: %s" name output);
+  check (name ^ ": no backtrace") false (contains ~needle:"Raised at" output);
+  check (name ^ ": no raw exception") false (contains ~needle:"Fatal error" output);
+  output
+
+let count_lines s =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let test_missing_instance_file () =
+  let out =
+    expect_clean_failure "missing file" (run_capture_err [ "solve"; "/nonexistent/instance.hg" ])
+  in
+  check "names the program" true (contains ~needle:"semimatch_cli:" out);
+  Alcotest.(check int) "one-line diagnostic" 1 (count_lines out)
+
+let test_corrupt_instance_file () =
+  with_temp (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "hypergraph 2 2\nh 0 not-a-weight 0\n");
+      let out = expect_clean_failure "corrupt file" (run_capture_err [ "solve"; path ]) in
+      check "line-numbered parse error" true (contains ~needle:"line 2" out);
+      Alcotest.(check int) "one-line diagnostic" 1 (count_lines out))
+
+let test_unknown_flag () =
+  ignore (expect_clean_failure "unknown flag" (run_capture_err [ "solve"; "--frobnicate"; "x" ]));
+  ignore (expect_clean_failure "unknown command" (run_capture_err [ "frobnicate" ]))
+
+let test_unwritable_trace () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture [ "gen"; "--tasks"; "20"; "--procs"; "4"; "--groups"; "2"; "-o"; path ]));
+      let out =
+        expect_clean_failure "unwritable trace"
+          (run_capture_err [ "solve"; "--trace"; "/nonexistent-dir/t.json"; path ])
+      in
+      check "names the path" true (contains ~needle:"/nonexistent-dir/t.json" out))
+
+let test_bad_fault_spec () =
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture [ "gen"; "--tasks"; "20"; "--procs"; "4"; "--groups"; "2"; "-o"; path ]));
+      let out =
+        expect_clean_failure "bad fault spec"
+          (run_capture_err [ "solve"; "--faults"; "flood:3"; path ])
+      in
+      check "explains the grammar" true (contains ~needle:"crash:P" out);
+      let out =
+        expect_clean_failure "fault proc out of range"
+          (run_capture_err [ "simulate"; "--faults"; "crash:99"; path ])
+      in
+      check "range check names p" true (contains ~needle:"out of range" out);
+      ignore
+        (expect_clean_failure "--repair without --faults"
+           (run_capture_err [ "solve"; "--repair"; path ]));
+      ignore
+        (expect_clean_failure "bad policy"
+           (run_capture_err [ "simulate"; "--policy"; "zzz"; path ])))
+
+let test_faulted_solve_and_simulate () =
+  (* The happy path of the new flags: repair after crashes, a deadline
+     budget, and a degraded simulation all work end to end. *)
+  with_temp (fun path ->
+      ignore
+        (expect_ok
+           (run_capture
+              [ "gen"; "--tasks"; "40"; "--procs"; "8"; "--groups"; "2"; "--seed"; "5"; "-o"; path ]));
+      let out =
+        expect_ok (run_capture [ "solve"; "--faults"; "crash:0,slow:1x2"; "--repair"; path ])
+      in
+      check "prints the plan" true (contains ~needle:"crash:0" out);
+      check "prints repair stats" true (contains ~needle:"moved" out);
+      check "prints repaired makespan" true (contains ~needle:"repaired makespan" out);
+      let out = expect_ok (run_capture [ "solve"; "--deadline"; "5000"; path ]) in
+      check "names the winning tier" true (contains ~needle:"tier" out);
+      let out =
+        expect_ok
+          (run_capture [ "simulate"; "--faults"; "crash:0"; "--repair"; "--width"; "40"; path ])
+      in
+      check "degraded makespan reported" true (contains ~needle:"makespan" out))
+
 let suite =
   [
     Alcotest.test_case "gen/info/solve roundtrip" `Quick test_gen_info_solve_roundtrip;
+    Alcotest.test_case "missing instance file" `Quick test_missing_instance_file;
+    Alcotest.test_case "corrupt instance file" `Quick test_corrupt_instance_file;
+    Alcotest.test_case "unknown flag and command" `Quick test_unknown_flag;
+    Alcotest.test_case "unwritable trace path" `Quick test_unwritable_trace;
+    Alcotest.test_case "bad fault specs" `Quick test_bad_fault_spec;
+    Alcotest.test_case "faulted solve and simulate" `Quick test_faulted_solve_and_simulate;
     Alcotest.test_case "compare lists all heuristics" `Quick test_compare_lists_all;
     Alcotest.test_case "exact on SINGLEPROC file" `Quick test_exact_on_singleproc;
     Alcotest.test_case "exact rejects MULTIPROC" `Quick test_exact_rejects_multiproc;

@@ -209,6 +209,80 @@ let test_robustness () =
   check "renders" true
     (contains ~needle:"zipf" (Experiments.Robustness.render [ row ]))
 
+let test_robustness_render_golden () =
+  (* Golden row shape: header columns, one body line per row, the winning
+     heuristic named in its short form — and rows reproducible per seed. *)
+  let mk family =
+    Experiments.Robustness.run_row ~seeds:2 ~n:60 ~p:12 ~dv:2 ~dh:3 ~family
+      ~weights:Hyper.Weights.Related ()
+  in
+  let uni = mk Experiments.Robustness.Uniform in
+  let zipf = mk (Experiments.Robustness.Powerlaw 1.5) in
+  let text = Experiments.Robustness.render [ uni; zipf ] in
+  List.iter
+    (fun needle -> check ("render column: " ^ needle) true (contains ~needle text))
+    [ "Family"; "LB"; "best"; uni.Experiments.Robustness.label; zipf.Experiments.Robustness.label ];
+  List.iter
+    (fun row ->
+      check "label carries the family" true
+        (contains
+           ~needle:(Experiments.Robustness.family_label row.Experiments.Robustness.family)
+           row.Experiments.Robustness.label);
+      check "LB positive" true (row.Experiments.Robustness.lb > 0.0);
+      Alcotest.(check int) "one ratio per heuristic" 4
+        (List.length row.Experiments.Robustness.ratios);
+      List.iter
+        (fun (_, x) -> check "ratio >= 1" true (x >= 1.0 -. 1e-9))
+        row.Experiments.Robustness.ratios)
+    [ uni; zipf ];
+  let uni' = mk Experiments.Robustness.Uniform in
+  check "run_row deterministic per seed" true (uni' = uni)
+
+let test_fault_sweep_row () =
+  let row = Experiments.Fault_sweep.run_row ~seeds:2 ~n:48 ~p:12 ~kill_fraction:0.25 () in
+  Alcotest.(check (float 1e-9)) "fraction echoed" 0.25 row.Experiments.Fault_sweep.kill_fraction;
+  check "repair ratio >= 1" true (row.Experiments.Fault_sweep.repair_ratio >= 1.0 -. 1e-9);
+  check "resolve ratio >= 1" true (row.Experiments.Fault_sweep.resolve_ratio >= 1.0 -. 1e-9);
+  (* Repair keeps the min of incremental and from-scratch, so its median
+     ratio can never sit above the re-solve's. *)
+  check "repair <= resolve" true
+    (row.Experiments.Fault_sweep.repair_ratio
+    <= row.Experiments.Fault_sweep.resolve_ratio +. 1e-9);
+  check "counts are sane" true
+    (row.Experiments.Fault_sweep.affected_mean >= 0.0
+    && row.Experiments.Fault_sweep.moved_mean >= 0.0
+    && row.Experiments.Fault_sweep.infeasible_mean >= 0.0
+    && row.Experiments.Fault_sweep.resolve_wins >= 0
+    && row.Experiments.Fault_sweep.resolve_wins <= 2);
+  let row' = Experiments.Fault_sweep.run_row ~seeds:2 ~n:48 ~p:12 ~kill_fraction:0.25 () in
+  check "row deterministic per seed" true (row' = row)
+
+let test_fault_sweep_render_and_json () =
+  let rows =
+    List.map
+      (fun kill_fraction ->
+        Experiments.Fault_sweep.run_row ~seeds:1 ~n:32 ~p:8 ~kill_fraction ())
+      [ 0.125; 0.25 ]
+  in
+  let text = Experiments.Fault_sweep.render rows in
+  List.iter
+    (fun needle -> check ("sweep column: " ^ needle) true (contains ~needle text))
+    [ "Killed"; "affected"; "moved"; "infeasible"; "repair/LB"; "resolve/LB"; "12.5%"; "25%" ];
+  let path = Filename.temp_file "fault_sweep" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Experiments.Fault_sweep.write_json path rows;
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "one JSON object per row" 2 (List.length lines);
+      List.iter
+        (fun line -> check "row fields present" true (contains ~needle:"\"kill_fraction\"" line))
+        lines)
+
 let test_ablations_smoke () =
   let text = Experiments.Ablations.run_all ~seeds:1 ~scale:16 () in
   List.iter
@@ -225,6 +299,9 @@ let suite =
     Alcotest.test_case "hardness study" `Quick test_hardness;
     Alcotest.test_case "bound quality study" `Quick test_bounds;
     Alcotest.test_case "robustness study" `Quick test_robustness;
+    Alcotest.test_case "robustness render golden" `Quick test_robustness_render_golden;
+    Alcotest.test_case "fault sweep row" `Quick test_fault_sweep_row;
+    Alcotest.test_case "fault sweep render and json" `Quick test_fault_sweep_render_and_json;
     Alcotest.test_case "ablations smoke" `Quick test_ablations_smoke;
     Alcotest.test_case "scaling" `Quick test_scaled;
     Alcotest.test_case "per-seed determinism" `Quick test_generate_deterministic_per_seed;

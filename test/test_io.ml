@@ -91,10 +91,56 @@ let parser_structured_fuzz_prop =
       | exception Failure _ -> true
       | exception Invalid_argument _ -> true)
 
+(* The only acceptable parser outcomes on arbitrary bytes: a valid graph, a
+   line-numbered [Failure], or [Invalid_argument] from semantic validation.
+   Anything else (Not_found, array bounds, Out_of_memory from a hostile
+   header) is a parser hole. *)
+let total_on text =
+  match Io.of_string text with
+  | h -> H.num_hyperedges h >= 0
+  | exception Failure msg ->
+      String.length msg >= 9 && String.sub msg 0 9 = "Hyper.Io:"
+  | exception Invalid_argument _ -> true
+
+let parser_hostile_bytes_prop =
+  (* Unrestricted byte strings: NUL bytes, control characters, invalid
+     UTF-8 — the parser must stay total over the full byte range. *)
+  QCheck.Test.make ~name:"parser survives arbitrary byte strings" ~count:1000
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 120) (QCheck.Gen.int_range 0 255 |> QCheck.Gen.map Char.chr))
+    total_on
+
+let parser_truncation_prop =
+  (* Every prefix of a valid serialization must parse or fail cleanly. *)
+  QCheck.Test.make ~name:"parser survives truncated serializations" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun cut ->
+      let text = Io.to_string (sample ()) in
+      total_on (String.sub text 0 (min cut (String.length text))))
+
+let parser_mutation_prop =
+  (* Single-byte corruptions of a valid serialization. *)
+  QCheck.Test.make ~name:"parser survives mutated serializations" ~count:500
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos, byte) ->
+      let text = Bytes.of_string (Io.to_string (sample ())) in
+      Bytes.set text (pos mod Bytes.length text) (Char.chr byte);
+      total_on (Bytes.to_string text))
+
+let test_hostile_header_sizes () =
+  (* A ~20-byte header must not be able to request terabytes of arrays. *)
+  expect_failure "hypergraph 999999999999 2\n" "out of range";
+  expect_failure "hypergraph 2 999999999999\n" "out of range";
+  expect_failure "hypergraph -1 2\n" "non-negative";
+  expect_failure "hypergraph 1 -7\n" "non-negative"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest parser_total_prop;
     QCheck_alcotest.to_alcotest parser_structured_fuzz_prop;
+    QCheck_alcotest.to_alcotest parser_hostile_bytes_prop;
+    QCheck_alcotest.to_alcotest parser_truncation_prop;
+    QCheck_alcotest.to_alcotest parser_mutation_prop;
+    Alcotest.test_case "hostile header sizes" `Quick test_hostile_header_sizes;
     Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;

@@ -179,6 +179,106 @@ let test_cancel_deadline () =
   Cancel.cancel Cancel.never;
   check "never cannot trip" false (Cancel.is_cancelled Cancel.never)
 
+let test_retry_fail_twice_then_succeed () =
+  (* A flaky task that fails its first two attempts must complete on the
+     third, with one "pool.retry" warning per retry recorded. *)
+  let attempts = Atomic.make 0 in
+  Obs.with_recording (fun () ->
+      Pool.with_pool ~jobs:1 (fun pool ->
+          let results =
+            Pool.run_with_retry ~retries:2 ~backoff_s:1e-4 pool
+              [|
+                (fun _ ->
+                  if Atomic.fetch_and_add attempts 1 < 2 then failwith "flaky";
+                  "ok");
+              |]
+          in
+          (match results.(0) with
+          | Ok v -> Alcotest.(check string) "third attempt succeeds" "ok" v
+          | Error _ -> Alcotest.fail "expected success after retries"));
+      Alcotest.(check int) "three attempts made" 3 (Atomic.get attempts);
+      let retries =
+        List.filter (fun e -> e.Obs.Events.e_name = "pool.retry") (Obs.Events.records ())
+      in
+      Alcotest.(check int) "one retry event per backoff" 2 (List.length retries);
+      List.iter
+        (fun e -> check "retries are warnings" true (e.Obs.Events.e_level = Obs.Events.Warn))
+        retries)
+
+let test_retry_permanent_failure_isolated () =
+  (* A permanently failing task must yield a structured failure after
+     exhausting its attempts — while its siblings run to completion. *)
+  let results =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Pool.run_with_retry ~retries:2 ~backoff_s:1e-4 pool
+          [| (fun _ -> 10); (fun _ -> failwith "permanent"); (fun _ -> 30) |])
+  in
+  (match results.(1) with
+  | Error f ->
+      Alcotest.(check int) "all attempts used" 3 f.Pool.f_attempts;
+      Alcotest.(check int) "failure names its task" 1 f.Pool.f_index;
+      check "original exception kept" true (f.Pool.f_exn = Failure "permanent")
+  | Ok _ -> Alcotest.fail "expected structured failure");
+  check "siblings unharmed" true (results.(0) = Ok 10 && results.(2) = Ok 30)
+
+let test_retry_per_attempt_timeout () =
+  (* Each attempt gets a fresh deadline token; a body that polls it is cut
+     off every attempt and the task ends as a structured failure. *)
+  let attempts = Atomic.make 0 in
+  let results =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        Pool.run_with_retry ~retries:1 ~backoff_s:1e-4 ~timeout_s:1e-4 pool
+          [|
+            (fun token ->
+              Atomic.incr attempts;
+              while true do
+                Cancel.check token;
+                Domain.cpu_relax ()
+              done);
+          |])
+  in
+  (match results.(0) with
+  | Error f ->
+      Alcotest.(check int) "both attempts timed out" 2 f.Pool.f_attempts;
+      check "Cancelled recorded" true (f.Pool.f_exn = Cancel.Cancelled)
+  | Ok _ -> Alcotest.fail "expected timeout failure");
+  Alcotest.(check int) "body actually ran twice" 2 (Atomic.get attempts)
+
+let test_retry_validation () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check "negative retries rejected" true
+        (match Pool.run_with_retry ~retries:(-1) pool [| (fun _ -> ()) |] with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      check "negative backoff rejected" true
+        (match Pool.run_with_retry ~backoff_s:(-0.1) pool [| (fun _ -> ()) |] with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_past_deadline_runs_nothing () =
+  (* A deadline already in the past must cancel the batch before any task
+     starts: zero executions, not one-then-stop. *)
+  let token = Cancel.create ~timeout_s:1e-9 () in
+  let deadline = Unix.gettimeofday () +. 0.002 in
+  while Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  check "token already tripped" true (Cancel.is_cancelled token);
+  let executed = Atomic.make 0 in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Pool.run ~cancel:token pool (Array.init 50 (fun _ () -> Atomic.incr executed));
+      Alcotest.(check int) "no task started" 0 (Atomic.get executed);
+      (* Same contract through the hardened path: every slot reports an
+         unstarted cancellation. *)
+      let results = Pool.run_with_retry ~cancel:token pool [| (fun _ -> 1); (fun _ -> 2) |] in
+      Array.iter
+        (function
+          | Error f ->
+              check "never started" true (f.Pool.f_attempts = 0 && f.Pool.f_exn = Cancel.Cancelled)
+          | Ok _ -> Alcotest.fail "task ran past a dead deadline")
+        results);
+  Alcotest.(check int) "retry path started nothing either" 0 (Atomic.get executed)
+
 let test_deque_lifo_fifo () =
   let d = Deque.create ~capacity:2 () in
   for i = 1 to 100 do
@@ -265,6 +365,12 @@ let suite =
     Alcotest.test_case "race_best: excludes raisers" `Quick test_race_best_excludes_raisers;
     Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
     Alcotest.test_case "cancel deadlines" `Quick test_cancel_deadline;
+    Alcotest.test_case "retry: flaky task recovers" `Quick test_retry_fail_twice_then_succeed;
+    Alcotest.test_case "retry: permanent failure isolated" `Quick
+      test_retry_permanent_failure_isolated;
+    Alcotest.test_case "retry: per-attempt timeout" `Quick test_retry_per_attempt_timeout;
+    Alcotest.test_case "retry: argument validation" `Quick test_retry_validation;
+    Alcotest.test_case "past deadline runs nothing" `Quick test_past_deadline_runs_nothing;
     Alcotest.test_case "deque LIFO/FIFO and growth" `Quick test_deque_lifo_fifo;
     Alcotest.test_case "deque concurrent steal" `Quick test_deque_concurrent_steal;
   ]
