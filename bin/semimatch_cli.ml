@@ -678,6 +678,160 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Execute a schedule event-by-event and draw a Gantt chart")
     Term.(const run $ algorithm $ policy $ width $ faults $ repair $ file_arg)
 
+(* serve: the long-running scheduler daemon.  All protocol errors are the
+   server's business (it replies, it never dies); only operator mistakes
+   (no listener, unbindable socket) exit 2 here. *)
+let serve_cmd =
+  let run socket tcp jobs max_pending max_frame events_log =
+    let opts =
+      {
+        Server.Daemon.socket_path = socket;
+        tcp_port = tcp;
+        jobs;
+        max_pending;
+        max_frame;
+        events_log;
+      }
+    in
+    (match socket with
+    | Some path -> Printf.eprintf "semimatch_cli: serving on unix socket %s\n%!" path
+    | None -> ());
+    (match tcp with
+    | Some port -> Printf.eprintf "semimatch_cli: serving on 127.0.0.1:%d\n%!" port
+    | None -> ());
+    try Server.Daemon.run opts with
+    | Invalid_argument msg -> die "%s" msg
+    | Unix.Unix_error (err, fn, arg) ->
+        die "%s: %s%s" fn (Unix.error_message err) (if arg = "" then "" else " (" ^ arg ^ ")")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+  and tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on 127.0.0.1:$(docv).")
+  and max_pending =
+    Arg.(value & opt int 64
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Admission control: queue bound before requests get a busy reply.")
+  and max_frame =
+    Arg.(value & opt int Server.Protocol.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Request frame size cap.")
+  and events_log =
+    Arg.(value & opt (some string) None
+         & info [ "events-log" ] ~docv:"FILE"
+             ~doc:"Write the structured event log as JSON lines on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduler service: a daemon holding live instances and updating their \
+          semi-matchings incrementally over a newline-delimited JSON socket protocol")
+    Term.(const run $ socket $ tcp $ jobs_arg $ max_pending $ max_frame $ events_log)
+
+(* client: one-shot or scripted requests against a running daemon.  Exit 2
+   on connection failures and on any error reply (the protocol-error
+   contract scripts rely on). *)
+let client_cmd =
+  let run socket tcp request script =
+    let conn =
+      match (socket, tcp) with
+      | Some path, None -> (
+          try Server.Client.connect_unix path
+          with Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" path (Unix.error_message err))
+      | None, Some hostport -> (
+          let host, port =
+            match String.rindex_opt hostport ':' with
+            | Some i -> (
+                let host = String.sub hostport 0 i in
+                let host = if host = "" then "127.0.0.1" else host in
+                match int_of_string_opt (String.sub hostport (i + 1) (String.length hostport - i - 1)) with
+                | Some port -> (host, port)
+                | None -> die "bad --tcp %S (expected HOST:PORT)" hostport)
+            | None -> (
+                match int_of_string_opt hostport with
+                | Some port -> ("127.0.0.1", port)
+                | None -> die "bad --tcp %S (expected HOST:PORT or PORT)" hostport)
+          in
+          try Server.Client.connect_tcp ~host ~port with
+          | Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" hostport (Unix.error_message err)
+          | Not_found -> die "cannot resolve host %S" host)
+      | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+      | None, None -> die "client needs --socket PATH or --tcp HOST:PORT"
+    in
+    let requests =
+      match (request, script) with
+      | Some line, None -> [ line ]
+      | None, Some path -> (
+          match In_channel.with_open_text path In_channel.input_all with
+          | text ->
+              List.filter
+                (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+                (String.split_on_char '\n' text)
+          | exception Sys_error msg -> die "%s" msg)
+      | Some _, Some _ -> die "--request and --script are mutually exclusive"
+      | None, None -> die "client needs --request JSON or --script FILE"
+    in
+    let failed = ref None in
+    List.iter
+      (fun line ->
+        let reply =
+          try Server.Client.request conn line
+          with End_of_file -> die "server closed the connection"
+        in
+        print_endline reply;
+        if !failed = None then
+          match Obs.Json.of_string reply with
+          | exception Failure _ -> failed := Some ("unparseable reply: " ^ reply)
+          | j -> (
+              match Obs.Json.member "ok" j with
+              | Some (Obs.Json.Bool true) -> ()
+              | _ ->
+                  let msg =
+                    match Option.bind (Obs.Json.member "message" j) Obs.Json.to_str with
+                    | Some m -> m
+                    | None -> reply
+                  in
+                  failed := Some msg))
+      requests;
+    Server.Client.close conn;
+    match !failed with None -> () | Some msg -> die "server replied with an error: %s" msg
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to this Unix-domain socket.")
+  and tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  and request =
+    Arg.(value & opt (some string) None
+         & info [ "request" ] ~docv:"JSON" ~doc:"Send one request line and print the reply.")
+  and script =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"FILE"
+             ~doc:"Send each non-comment line of $(docv) in order, printing every reply.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send scripted or one-shot requests to a running scheduler daemon; exits 2 on \
+          connection failures and error replies")
+    Term.(const run $ socket $ tcp $ request $ script)
+
+(* version: one line for bug reports and CI log headers — package version
+   (from semimatch.opam via dune's %{version:semimatch}) plus the build
+   features that change behavior. *)
+let version_cmd =
+  let run () =
+    Printf.printf "semimatch %s ocaml=%s domains=%d obs=%s\n" Cli_version.version
+      Sys.ocaml_version
+      (Domain.recommended_domain_count ())
+      (if Obs.is_enabled () then "on" else "available")
+  in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the package version and build features on one line")
+    Term.(const run $ const ())
+
 let () =
   let info =
     Cmd.info "semimatch_cli" ~doc:"Semi-matching scheduling under resource constraints"
@@ -687,7 +841,7 @@ let () =
       (Cmd.group info
          [
            gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
-           exact_cmd;
+           exact_cmd; serve_cmd; client_cmd; version_cmd;
          ])
   in
   (* Cmdliner reports usage errors (unknown flag, bad value) as 124; the

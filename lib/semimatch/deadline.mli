@@ -50,3 +50,34 @@ val solve :
     bytes.  [pool]/[jobs]/[solvers] are passed through to
     {!Portfolio.solve}.  Raises [Invalid_argument] only on infeasible
     instances (a task with no configuration). *)
+
+(** {2 Delta application}
+
+    The scheduler service's periodic [resolve]: a budgeted from-scratch
+    solve of the {e surviving} machine (dead processors masked, tasks with
+    no surviving configuration excluded), mapped back to original
+    hyperedge ids so the result can replace a live incumbent in place. *)
+
+type delta = {
+  d_repair : Repair.t;
+      (** [choice] in original ids; [affected] = the feasible tasks,
+          [moved] = the scheduled ones, [infeasible] = tasks with no
+          surviving configuration, [resolved_from_scratch] = [true] *)
+  d_tier : tier;
+  d_degraded : bool;
+  d_elapsed_s : float;
+}
+
+val solve_surviving :
+  ?pool:Parpool.Pool.t ->
+  ?jobs:int ->
+  ?solvers:Portfolio.solver list ->
+  dead:bool array ->
+  budget_s:float ->
+  Hyper.Graph.t ->
+  delta
+(** [solve_surviving ~dead ~budget_s h] runs {!solve} on the surviving
+    machine ({!Repair.surviving_machine}).  With no surviving task or
+    processor the result is the empty schedule (makespan [0.], tier
+    greedy, not degraded).  Never raises on dead/infeasible structure —
+    only on malformed arguments ([Invalid_argument]). *)

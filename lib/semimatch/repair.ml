@@ -190,7 +190,10 @@ let finish h cost ~affected ~infeasible ~resolved_from_scratch old_choice choice
     choice;
   let moved = List.rev !moved in
   let makespan = eff_makespan cost (loads_of_choice h choice) in
-  let assignment = if infeasible = [] then Some (Hyp_assignment.of_choices h choice) else None in
+  let assignment =
+    if Array.for_all (fun e -> e >= 0) choice then Some (Hyp_assignment.of_choices h choice)
+    else None
+  in
   Obs.Metrics.add c_moved (List.length moved);
   {
     assignment;
@@ -203,13 +206,18 @@ let finish h cost ~affected ~infeasible ~resolved_from_scratch old_choice choice
     resolved_from_scratch;
   }
 
-let resolve ?(cost = default_cost) ~dead h =
+let feasible_split h dead =
   check_args h dead;
   let feasible = ref [] and infeasible = ref [] in
   for v = h.H.n1 - 1 downto 0 do
     if surviving_edges h dead v = [] then infeasible := v :: !infeasible
     else feasible := v :: !feasible
   done;
+  (!feasible, !infeasible)
+
+let resolve ?(cost = default_cost) ~dead h =
+  let feasible, infeasible = feasible_split h dead in
+  let feasible = ref feasible and infeasible = ref infeasible in
   let machine = surviving_machine h dead ~feasible:!feasible in
   let choice = Array.make h.H.n1 (-1) in
   (match machine with
@@ -222,6 +230,63 @@ let resolve ?(cost = default_cost) ~dead h =
       choice
   in
   { t with lower_bound = survivor_lower_bound machine }
+
+let c_placed = Obs.Metrics.counter "semimatch.repair.placed"
+
+(* Delta application: (re-)place exactly the listed tasks against the loads
+   implied by the rest of [choice].  Purely incremental — no from-scratch
+   safety net; the scheduler service pairs this with a periodic
+   [Deadline.solve_surviving] instead. *)
+let place ?(max_passes = 8) ?(cost = default_cost) ?dead ~tasks h choice =
+  let dead = match dead with Some d -> d | None -> Array.make h.H.n2 false in
+  check_args h dead;
+  if Array.length choice <> h.H.n1 then
+    invalid_arg "Repair.place: choice must have one slot per task";
+  let listed = Array.make (Int.max 1 h.H.n1) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= h.H.n1 then invalid_arg "Repair.place: task out of range";
+      listed.(v) <- true)
+    tasks;
+  Array.iteri
+    (fun v e ->
+      if (not listed.(v)) && e >= 0 then
+        if e >= H.num_hyperedges h || H.h_task h e <> v then
+          invalid_arg "Repair.place: choice slot is not a hyperedge of its task")
+    choice;
+  let affected = List.sort_uniq compare tasks in
+  let to_place = ref [] in
+  List.iter
+    (fun v ->
+      match surviving_edges h dead v with
+      | [] -> ()
+      | edges -> to_place := (v, edges) :: !to_place)
+    (List.rev affected);
+  let old = Array.copy choice in
+  let choice = Array.copy choice in
+  List.iter (fun v -> choice.(v) <- -1) affected;
+  let loads = loads_of_choice h choice in
+  let placed = reinsert h cost loads !to_place in
+  List.iter (fun (v, e) -> choice.(v) <- e) placed;
+  restricted_search h dead cost loads choice (List.map fst placed) ~max_passes;
+  (* Infeasible: every slot still unplaced — listed tasks with no surviving
+     configuration and carried-over unplaced ones alike. *)
+  let infeasible = ref [] in
+  for v = h.H.n1 - 1 downto 0 do
+    if choice.(v) < 0 then infeasible := v :: !infeasible
+  done;
+  let infeasible = !infeasible in
+  Obs.Metrics.add c_placed (List.length placed);
+  if Obs.is_enabled () then
+    Obs.Events.emit "repair.place"
+      [
+        Obs.Events.int "tasks" (List.length affected);
+        Obs.Events.int "placed" (List.length placed);
+        Obs.Events.int "infeasible" (List.length infeasible);
+      ];
+  let t = finish h cost ~affected ~infeasible ~resolved_from_scratch:false (Some old) choice in
+  let feasible = List.filter (fun v -> choice.(v) >= 0) (List.init h.H.n1 Fun.id) in
+  { t with lower_bound = survivor_lower_bound (surviving_machine h dead ~feasible) }
 
 let repair ?(max_passes = 8) ?(cost = default_cost) ~dead h (a : Hyp_assignment.t) =
   check_args h dead;

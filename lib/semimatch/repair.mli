@@ -58,3 +58,56 @@ val resolve : ?cost:(int -> float -> float) -> dead:bool array -> Hyper.Graph.t 
     expected-vector-greedy on the surviving machine.  Same reporting
     contract as {!repair}; [affected] and [moved] list every feasible task
     and [resolved_from_scratch] is [true]. *)
+
+(** {2 Delta application}
+
+    The scheduler service ([lib/server]) keeps one instance resident and
+    mutates it as tasks arrive and depart; these entry points apply such a
+    delta to an existing choice vector without re-solving the rest of the
+    schedule. *)
+
+val place :
+  ?max_passes:int ->
+  ?cost:(int -> float -> float) ->
+  ?dead:bool array ->
+  tasks:int list ->
+  Hyper.Graph.t ->
+  int array ->
+  t
+(** [place ~tasks h choice] (re-)places exactly the listed tasks against
+    the loads implied by the rest of [choice]: greedy re-insertion onto the
+    cheapest surviving configuration (fewest-options-first), then the
+    restricted local search over the listed tasks only.  Unlisted tasks
+    keep their slots untouched — a slot must be a hyperedge of its task or
+    [-1] (an unplaced task, whose load is simply absent).  [dead] (default:
+    all alive) masks processors exactly as in {!repair}.
+
+    Unlike {!repair} there is no from-scratch safety net: [place] is the
+    {e cheap} incremental path, and callers that want the guarantee run a
+    periodic {!Deadline.solve_surviving} instead.  [affected] lists the
+    requested tasks, [infeasible] every task left at [-1] (listed tasks
+    with no surviving configuration {e and} carried-over unplaced ones),
+    [moved] the slots that changed, and [lower_bound] the refined bound of
+    the surviving machine.  [assignment] is [Some] iff no slot is [-1]. *)
+
+type survivor = {
+  sub : Hyper.Graph.t;  (** surviving machine as a standalone instance *)
+  task_of : int array;  (** sub task id → original task id *)
+  orig_edge : int array array;
+      (** per sub task, the k-th surviving edge's original hyperedge id *)
+}
+
+val feasible_split : Hyper.Graph.t -> bool array -> int list * int list
+(** [(feasible, infeasible)] task ids under the dead mask, both ascending:
+    a task is feasible when it keeps at least one configuration free of
+    dead processors. *)
+
+val surviving_machine : Hyper.Graph.t -> bool array -> feasible:int list -> survivor option
+(** The feasible tasks and their surviving configurations, processors
+    renumbered densely; [None] when no task or no processor survives.
+    Sub-hyperedge order matches surviving-edge order per task, so solutions
+    map back through {!choice_of_sub}. *)
+
+val choice_of_sub : survivor -> Hyp_assignment.t -> int array -> unit
+(** Write a sub-instance assignment back into an original-id choice vector
+    (slots of tasks absent from the survivor are left untouched). *)

@@ -1,0 +1,28 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let of_fd fd = { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  of_fd fd
+
+let connect_tcp ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (addr, port));
+  of_fd fd
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  input_line t.ic
+
+let close t = try close_in t.ic with Sys_error _ -> ()

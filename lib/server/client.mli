@@ -1,0 +1,15 @@
+(** Blocking client for the scheduler daemon: connect, send one request
+    line, read one reply line.  Raises [Unix.Unix_error] on connection
+    failures and [End_of_file] when the server hangs up — callers (the CLI
+    [client] subcommand) turn those into exit-2 diagnostics. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : host:string -> port:int -> t
+
+val request : t -> string -> string
+(** Send one line, read one reply line (the protocol answers every request
+    exactly once, in order). *)
+
+val close : t -> unit

@@ -1,0 +1,149 @@
+type opts = {
+  socket_path : string option;
+  tcp_port : int option;
+  jobs : int;
+  max_pending : int;
+  max_frame : int;
+  events_log : string option;
+}
+
+let default_opts =
+  {
+    socket_path = None;
+    tcp_port = None;
+    jobs = 1;
+    max_pending = 64;
+    max_frame = Protocol.default_max_frame;
+    events_log = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* bytes of the current, incomplete frame *)
+  mutable skipping : bool;  (* dropping an oversized frame up to its newline *)
+  mutable closed : bool;
+}
+
+let c_conns = Obs.Metrics.counter "server.connections"
+let c_frames_dropped = Obs.Metrics.counter "server.frames_dropped"
+
+(* Synchronous full write; a peer that vanished mid-reply just closes the
+   connection (SIGPIPE is ignored for the daemon's lifetime). *)
+let send conn line =
+  if not conn.closed then begin
+    let bytes = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length bytes in
+    let off = ref 0 in
+    try
+      while !off < len do
+        off := !off + Unix.write conn.fd bytes !off (len - !off)
+      done
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> conn.closed <- true
+  end
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  fd
+
+(* Feed a chunk of bytes into the connection's frame assembler, posting
+   every complete line.  While [skipping], bytes are discarded without
+   buffering, so an oversized frame costs O(chunk) memory however long it
+   is — that is the unbounded-allocation guard the frame cap promises. *)
+let feed engine conn chunk =
+  let data = ref chunk in
+  while !data <> "" do
+    if conn.skipping then
+      match String.index_opt !data '\n' with
+      | None -> data := ""
+      | Some i ->
+          conn.skipping <- false;
+          data := String.sub !data (i + 1) (String.length !data - i - 1)
+    else
+      match String.index_opt !data '\n' with
+      | None ->
+          conn.pending <- conn.pending ^ !data;
+          data := "";
+          if String.length conn.pending > Engine.max_frame engine then begin
+            Obs.Metrics.incr c_frames_dropped;
+            send conn
+              (Protocol.error_reply ~code:Protocol.Too_large
+                 (Printf.sprintf "frame exceeds the %d-byte cap" (Engine.max_frame engine)));
+            conn.pending <- "";
+            conn.skipping <- true
+          end
+      | Some i ->
+          let line = conn.pending ^ String.sub !data 0 i in
+          conn.pending <- "";
+          data := String.sub !data (i + 1) (String.length !data - i - 1);
+          let line =
+            if String.length line > 0 && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if String.length line > Engine.max_frame engine then begin
+            Obs.Metrics.incr c_frames_dropped;
+            send conn
+              (Protocol.error_reply ~code:Protocol.Too_large
+                 (Printf.sprintf "frame exceeds the %d-byte cap" (Engine.max_frame engine)))
+          end
+          else if line <> "" then Engine.post engine ~reply:(send conn) line
+  done
+
+let run opts =
+  if opts.socket_path = None && opts.tcp_port = None then
+    invalid_arg "Daemon.run: configure a Unix socket path or a TCP port";
+  Obs.set_enabled true;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let engine = Engine.create ~jobs:opts.jobs ~max_pending:opts.max_pending ~max_frame:opts.max_frame () in
+  let listeners =
+    (match opts.socket_path with None -> [] | Some p -> [ listen_unix p ])
+    @ (match opts.tcp_port with None -> [] | Some p -> [ listen_tcp p ])
+  in
+  let conns = ref [] in
+  let buf = Bytes.create 65536 in
+  while not (Engine.shutting_down engine) do
+    let client_fds = List.map (fun c -> c.fd) !conns in
+    match Unix.select (listeners @ client_fds) [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun lfd ->
+            if List.memq lfd readable then begin
+              let fd, _ = Unix.accept lfd in
+              Obs.Metrics.incr c_conns;
+              conns := { fd; pending = ""; skipping = false; closed = false } :: !conns
+            end)
+          listeners;
+        List.iter
+          (fun conn ->
+            if (not conn.closed) && List.memq conn.fd readable then
+              match Unix.read conn.fd buf 0 (Bytes.length buf) with
+              | 0 -> conn.closed <- true
+              | n -> feed engine conn (Bytes.sub_string buf 0 n)
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                  conn.closed <- true)
+          !conns;
+        (* Serve everything admitted this round — including a shutdown, whose
+           reply is flushed before the loop condition is re-checked. *)
+        Engine.drain engine;
+        List.iter (fun c -> if c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+        conns := List.filter (fun c -> not c.closed) !conns
+  done;
+  (match opts.events_log with
+  | None -> ()
+  | Some path -> ( try Obs.Events.write_jsonl path with Sys_error _ -> ()));
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  match opts.socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ()

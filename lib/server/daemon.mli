@@ -1,0 +1,31 @@
+(** The long-running scheduler daemon: a single-threaded accept loop over
+    a Unix-domain socket (plus an optional loopback TCP listener) speaking
+    the newline-delimited JSON protocol.
+
+    One [Unix.select] loop owns everything: accepting connections, reading
+    frames into per-connection buffers (oversized frames are rejected with
+    [too_large] and skipped to the next newline in bounded memory), posting
+    complete lines to the {!Engine} queue — which applies admission
+    control — and draining it.  A [shutdown] request is graceful: queued
+    requests are served, replies flushed, the event log written, sockets
+    closed and the socket file unlinked. *)
+
+type opts = {
+  socket_path : string option;  (** Unix-domain socket to listen on *)
+  tcp_port : int option;  (** loopback TCP port to also listen on *)
+  jobs : int;  (** domains for resolve/solve portfolios *)
+  max_pending : int;  (** admission-control queue bound *)
+  max_frame : int;  (** request frame cap, bytes *)
+  events_log : string option;  (** written as JSON lines on shutdown *)
+}
+
+val default_opts : opts
+(** No listeners (the caller must set at least one), [jobs = 1],
+    [max_pending = 64], [max_frame = {!Protocol.default_max_frame}], no
+    event log. *)
+
+val run : opts -> unit
+(** Serve until a [shutdown] request; raises [Invalid_argument] when no
+    listener is configured and [Unix.Unix_error] when binding fails.
+    Enables telemetry ({!Obs.set_enabled}) so [stats] and the event log
+    have content. *)

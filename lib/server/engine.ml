@@ -1,0 +1,287 @@
+module P = Protocol
+module J = Obs.Json
+
+let c_requests = Obs.Metrics.counter "server.requests"
+let c_errors = Obs.Metrics.counter "server.errors"
+let c_busy = Obs.Metrics.counter "server.busy"
+let c_batched = Obs.Metrics.counter "server.batched"
+let c_adopted = Obs.Metrics.counter "server.resolve.adopted"
+
+type item = {
+  parsed : (P.parsed, P.error_code * string * J.t option) result;
+  reply : string -> unit;
+}
+
+type t = {
+  registry : (string, Session.t) Hashtbl.t;
+  queue : item Queue.t;
+  max_pending : int;
+  max_frame : int;
+  jobs : int;
+  mutable shutdown : bool;
+}
+
+let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame) () =
+  if max_pending < 1 then invalid_arg "Engine.create: max_pending must be positive";
+  {
+    registry = Hashtbl.create 8;
+    queue = Queue.create ();
+    max_pending;
+    max_frame;
+    jobs;
+    shutdown = false;
+  }
+
+let max_frame t = t.max_frame
+let shutting_down t = t.shutdown
+let pending t = Queue.length t.queue
+let sessions t = Hashtbl.length t.registry
+
+let int_j n = J.Num (float_of_int n)
+
+let event op session =
+  if Obs.is_enabled () then
+    Obs.Events.emit "server.request"
+      (Obs.Events.str "op" op :: (match session with None -> [] | Some s -> [ Obs.Events.str "session" s ]))
+
+let repair_fields (r : Semimatch.Repair.t) =
+  [
+    ("moved", int_j (List.length r.Semimatch.Repair.moved));
+    ("infeasible", int_j (List.length r.Semimatch.Repair.infeasible));
+  ]
+
+let find_session t ?id session k =
+  match Hashtbl.find_opt t.registry session with
+  | Some s -> k s
+  | None -> P.error_reply ?id ~code:P.Unknown_session (Printf.sprintf "unknown session %S" session)
+
+let load_source = function
+  | `Inline text -> Ok text
+  | `Path path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> Ok text
+      | exception Sys_error msg -> Error msg)
+
+let graph_of_text text =
+  match Hyper.Io.of_string text with
+  | h -> Ok h
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error ("invalid instance: " ^ msg)
+
+let non_zero_counters () =
+  List.rev
+    (Obs.Metrics.fold_counters
+       (fun name v acc -> if v <> 0 then (name, int_j v) :: acc else acc)
+       [])
+
+(* One request, already parsed (add_task goes through [handle_adds] so the
+   batch path is the only path).  Total: internal failures become an
+   [internal] error reply, never a dead server. *)
+let handle_one t ({ req; id } : P.parsed) =
+  let op =
+    match req with
+    | P.Ping -> "ping"
+    | P.Load _ -> "load"
+    | P.Add_task _ -> "add_task"
+    | P.Remove_task _ -> "remove_task"
+    | P.Kill_proc _ -> "kill_proc"
+    | P.Resolve _ -> "resolve"
+    | P.Solve _ -> "solve"
+    | P.Stats -> "stats"
+    | P.Sessions -> "sessions"
+    | P.Snapshot _ -> "snapshot"
+    | P.Restore _ -> "restore"
+    | P.Shutdown -> "shutdown"
+  in
+  Obs.Metrics.incr c_requests;
+  Obs.Span.timed ("server." ^ op) (fun () ->
+      try
+        match req with
+        | P.Ping ->
+            event op None;
+            P.ok_reply ?id ~op [ ("pong", J.Bool true) ]
+        | P.Load { session; source } -> (
+            event op (Some session);
+            match Result.bind (load_source source) graph_of_text with
+            | Error msg -> P.error_reply ?id ~code:P.Bad_request msg
+            | Ok h ->
+                let s, r = Session.of_graph ~id:session h in
+                Hashtbl.replace t.registry session s;
+                P.ok_reply ?id ~op
+                  ([
+                     ("session", J.Str session);
+                     ("tasks", int_j (Session.n_tasks s));
+                     ("procs", int_j (Session.n_procs s));
+                     ("makespan", J.Num (Session.makespan s));
+                     ("lower_bound", J.Num r.Semimatch.Repair.lower_bound);
+                   ]
+                  @ repair_fields r))
+        | P.Add_task _ -> assert false (* routed through handle_adds *)
+        | P.Remove_task { session; task } ->
+            event op (Some session);
+            find_session t ?id session (fun s ->
+                match Session.remove_task s task with
+                | Error msg -> P.error_reply ?id ~code:P.Bad_request msg
+                | Ok makespan ->
+                    P.ok_reply ?id ~op [ ("task", int_j task); ("makespan", J.Num makespan) ])
+        | P.Kill_proc { session; proc } ->
+            event op (Some session);
+            find_session t ?id session (fun s ->
+                match Session.kill_proc s proc with
+                | Error msg -> P.error_reply ?id ~code:P.Bad_request msg
+                | Ok r ->
+                    P.ok_reply ?id ~op
+                      ([
+                         ("proc", int_j proc);
+                         ("affected", int_j (List.length r.Semimatch.Repair.affected));
+                         ("makespan", J.Num (Session.makespan s));
+                       ]
+                      @ repair_fields r))
+        | P.Resolve { session; budget_ms } ->
+            event op (Some session);
+            find_session t ?id session (fun s ->
+                let d, replaced = Session.resolve ~jobs:t.jobs ~budget_s:(budget_ms /. 1000.0) s in
+                if replaced then Obs.Metrics.incr c_adopted;
+                P.ok_reply ?id ~op
+                  [
+                    ("tier", J.Str (Semimatch.Deadline.tier_name d.Semimatch.Deadline.d_tier));
+                    ("degraded", J.Bool d.Semimatch.Deadline.d_degraded);
+                    ("replaced", J.Bool replaced);
+                    ("makespan", J.Num (Session.makespan s));
+                    ( "lower_bound",
+                      J.Num d.Semimatch.Deadline.d_repair.Semimatch.Repair.lower_bound );
+                    ("elapsed_ms", J.Num (1000.0 *. d.Semimatch.Deadline.d_elapsed_s));
+                  ])
+        | P.Solve { session } ->
+            event op (Some session);
+            find_session t ?id session (fun s ->
+                let d = Session.solve ~jobs:t.jobs s in
+                P.ok_reply ?id ~op
+                  [
+                    ("tier", J.Str (Semimatch.Deadline.tier_name d.Semimatch.Deadline.d_tier));
+                    ("makespan", J.Num (Session.makespan s));
+                    ( "lower_bound",
+                      J.Num d.Semimatch.Deadline.d_repair.Semimatch.Repair.lower_bound );
+                    ( "infeasible",
+                      int_j
+                        (List.length d.Semimatch.Deadline.d_repair.Semimatch.Repair.infeasible) );
+                    ("elapsed_ms", J.Num (1000.0 *. d.Semimatch.Deadline.d_elapsed_s));
+                  ])
+        | P.Stats ->
+            event op None;
+            P.ok_reply ?id ~op
+              [
+                ("sessions", int_j (sessions t));
+                ("pending", int_j (pending t));
+                ("counters", J.Obj (non_zero_counters ()));
+              ]
+        | P.Sessions ->
+            event op None;
+            let ids =
+              List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.registry [])
+            in
+            P.ok_reply ?id ~op [ ("sessions", J.List (List.map (fun s -> J.Str s) ids)) ]
+        | P.Snapshot { session } ->
+            event op (Some session);
+            find_session t ?id session (fun s ->
+                P.ok_reply ?id ~op [ ("state", Session.snapshot s) ])
+        | P.Restore { session; state } -> (
+            event op (Some session);
+            match Session.restore ~id:session state with
+            | Error msg -> P.error_reply ?id ~code:P.Bad_request msg
+            | Ok s ->
+                Hashtbl.replace t.registry session s;
+                P.ok_reply ?id ~op
+                  [
+                    ("session", J.Str session);
+                    ("tasks", int_j (Session.n_tasks s));
+                    ("procs", int_j (Session.n_procs s));
+                    ("makespan", J.Num (Session.makespan s));
+                  ])
+        | P.Shutdown ->
+            event op None;
+            t.shutdown <- true;
+            P.ok_reply ?id ~op [ ("shutting_down", J.Bool true) ]
+      with exn ->
+        Obs.Metrics.incr c_errors;
+        P.error_reply ?id ~code:P.Internal (Printexc.to_string exn))
+
+(* The batch path: [n] consecutive add_task requests for one session become
+   one graph rebuild and one Repair.place pass; every request still gets
+   its own reply, tagged with the batch size it rode in. *)
+let handle_adds t session batch =
+  let n = List.length batch in
+  Obs.Metrics.add c_requests n;
+  if n > 1 then Obs.Metrics.add c_batched n;
+  event "add_task" (Some session);
+  let replies =
+    Obs.Span.timed "server.add_task" (fun () ->
+        try
+          match Hashtbl.find_opt t.registry session with
+          | None ->
+              List.map
+                (fun (_, id, _) ->
+                  P.error_reply ?id ~code:P.Unknown_session
+                    (Printf.sprintf "unknown session %S" session))
+                batch
+          | Some s -> (
+              match Session.add_tasks s (List.map (fun (configs, _, _) -> configs) batch) with
+              | Error msg ->
+                  List.map (fun (_, id, _) -> P.error_reply ?id ~code:P.Bad_request msg) batch
+              | Ok (tids, r) ->
+                  let makespan = Session.makespan s in
+                  List.map2
+                    (fun (_, id, _) tid ->
+                      P.ok_reply ?id ~op:"add_task"
+                        ([
+                           ("tid", int_j tid);
+                           ("batched", int_j n);
+                           ("makespan", J.Num makespan);
+                         ]
+                        @ repair_fields r))
+                    batch tids)
+        with exn ->
+          Obs.Metrics.incr c_errors;
+          List.map (fun (_, id, _) -> P.error_reply ?id ~code:P.Internal (Printexc.to_string exn)) batch)
+  in
+  List.iter2 (fun (_, _, reply) line -> reply line) batch replies
+
+let post t ~reply line =
+  if Queue.length t.queue >= t.max_pending then begin
+    Obs.Metrics.incr c_busy;
+    (* Best-effort id recovery so the busy reply can still be matched. *)
+    let id =
+      match P.parse ~max_frame:t.max_frame line with
+      | Ok { id; _ } | Error (_, _, id) -> id
+    in
+    reply
+      (P.error_reply ?id ~code:P.Busy
+         (Printf.sprintf "pending-request queue full (%d); retry later" t.max_pending))
+  end
+  else Queue.push { parsed = P.parse ~max_frame:t.max_frame line; reply } t.queue
+
+let drain t =
+  while not (Queue.is_empty t.queue) do
+    let item = Queue.pop t.queue in
+    match item.parsed with
+    | Error (code, msg, id) ->
+        Obs.Metrics.incr c_errors;
+        item.reply (P.error_reply ?id ~code msg)
+    | Ok { req = P.Add_task { session; configs }; id } ->
+        let batch = ref [ (configs, id, item.reply) ] in
+        let continue = ref true in
+        while !continue do
+          match Queue.peek_opt t.queue with
+          | Some
+              {
+                parsed = Ok { req = P.Add_task { session = s2; configs = c2 }; id = id2 };
+                reply;
+              }
+            when s2 = session ->
+              ignore (Queue.pop t.queue);
+              batch := (c2, id2, reply) :: !batch
+          | _ -> continue := false
+        done;
+        handle_adds t session (List.rev !batch)
+    | Ok parsed -> item.reply (handle_one t parsed)
+  done

@@ -1,0 +1,40 @@
+(** The transport-independent core of the scheduler service: a session
+    registry, a bounded pending-request queue (admission control), and the
+    request handlers.
+
+    Transports ({!Daemon} over sockets, {!Loopback} in-process) feed raw
+    request lines through {!post} with a per-request reply callback and
+    call {!drain} to process everything queued.  When the queue is full,
+    {!post} replies [busy] immediately instead of buffering — backpressure
+    the client can see.  {!drain} coalesces consecutive [add_task]
+    requests for the same session into one {!Semimatch.Repair.place} pass
+    (each request still gets its own reply, tagged with the batch size).
+
+    Every request runs under an [Obs.Span] named after its op and emits a
+    ["server.request"] event, so traces and the event log show the serve
+    path like any other subsystem. *)
+
+type t
+
+val create : ?jobs:int -> ?max_pending:int -> ?max_frame:int -> unit -> t
+(** [jobs] (default 1: deterministic) is passed to the resolve/solve
+    portfolio; [max_pending] (default 64) bounds the queue; [max_frame]
+    (default {!Protocol.default_max_frame}) caps request frames. *)
+
+val max_frame : t -> int
+val shutting_down : t -> bool
+(** Set by a [shutdown] request; the transport drains and exits. *)
+
+val pending : t -> int
+val sessions : t -> int
+
+val post : t -> reply:(string -> unit) -> string -> unit
+(** Enqueue one request line.  [reply] is invoked exactly once per posted
+    line — during a later {!drain}, or immediately with a [busy] error
+    when the queue is full (malformed lines are queued too, so error
+    replies keep their place in the reply order). *)
+
+val drain : t -> unit
+(** Process every queued request in arrival order, invoking the reply
+    callbacks.  Requests posted by callbacks during the drain are
+    processed too.  No-op on an empty queue. *)

@@ -1,0 +1,135 @@
+module J = Obs.Json
+
+type config = { procs : int array; weight : float }
+
+type request =
+  | Ping
+  | Load of { session : string; source : [ `Inline of string | `Path of string ] }
+  | Add_task of { session : string; configs : config list }
+  | Remove_task of { session : string; task : int }
+  | Kill_proc of { session : string; proc : int }
+  | Resolve of { session : string; budget_ms : float }
+  | Solve of { session : string }
+  | Stats
+  | Sessions
+  | Snapshot of { session : string }
+  | Restore of { session : string; state : J.t }
+  | Shutdown
+
+type parsed = { req : request; id : J.t option }
+
+type error_code = Protocol | Bad_request | Unknown_session | Busy | Too_large | Internal
+
+let code_name = function
+  | Protocol -> "protocol"
+  | Bad_request -> "bad_request"
+  | Unknown_session -> "unknown_session"
+  | Busy -> "busy"
+  | Too_large -> "too_large"
+  | Internal -> "internal"
+
+let default_max_frame = 1 lsl 20
+
+let ok_reply ?id ~op fields =
+  let base = [ ("ok", J.Bool true); ("op", J.Str op) ] @ fields in
+  let fields = match id with None -> base | Some id -> ("id", id) :: base in
+  J.to_string (J.Obj fields)
+
+let error_reply ?id ~code msg =
+  let base = [ ("ok", J.Bool false); ("error", J.Str (code_name code)); ("message", J.Str msg) ] in
+  let fields = match id with None -> base | Some id -> ("id", id) :: base in
+  J.to_string (J.Obj fields)
+
+(* --- request parsing: total over arbitrary bytes --- *)
+
+exception Reject of error_code * string
+
+let reject code fmt = Printf.ksprintf (fun msg -> raise (Reject (code, msg))) fmt
+
+let str_field obj name =
+  match J.member name obj with
+  | Some (J.Str s) -> s
+  | Some _ -> reject Protocol "field %S must be a string" name
+  | None -> reject Protocol "missing field %S" name
+
+let session_of obj = str_field obj "session"
+
+let int_field obj name =
+  match J.member name obj with
+  | Some (J.Num f) when Float.is_integer f && Float.abs f < 1e9 -> int_of_float f
+  | Some _ -> reject Protocol "field %S must be an integer" name
+  | None -> reject Protocol "missing field %S" name
+
+let num_field_opt obj name ~default =
+  match J.member name obj with
+  | Some (J.Num f) when Float.is_finite f -> f
+  | Some _ -> reject Protocol "field %S must be a finite number" name
+  | None -> default
+
+let config_of_json = function
+  | J.Obj _ as o ->
+      let weight =
+        match J.member "weight" o with
+        | Some (J.Num w) -> w
+        | _ -> reject Protocol "config needs a numeric \"weight\""
+      in
+      let procs =
+        match J.member "procs" o with
+        | Some (J.List l) ->
+            Array.of_list
+              (List.map
+                 (function
+                   | J.Num f when Float.is_integer f && Float.abs f < 1e9 -> int_of_float f
+                   | _ -> reject Protocol "config \"procs\" must be a list of integers")
+                 l)
+        | _ -> reject Protocol "config needs a \"procs\" list"
+      in
+      { procs; weight }
+  | _ -> reject Protocol "each config must be an object"
+
+let request_of obj =
+  match str_field obj "op" with
+  | "ping" -> Ping
+  | "load" -> (
+      let session = session_of obj in
+      match (J.member "instance" obj, J.member "path" obj) with
+      | Some (J.Str text), None -> Load { session; source = `Inline text }
+      | None, Some (J.Str path) -> Load { session; source = `Path path }
+      | Some _, Some _ -> reject Protocol "load takes \"instance\" or \"path\", not both"
+      | _ -> reject Protocol "load needs an \"instance\" text or a \"path\"")
+  | "add_task" -> (
+      let session = session_of obj in
+      match J.member "configs" obj with
+      | Some (J.List l) -> Add_task { session; configs = List.map config_of_json l }
+      | Some _ -> reject Protocol "field \"configs\" must be a list"
+      | None -> reject Protocol "missing field \"configs\"")
+  | "remove_task" -> Remove_task { session = session_of obj; task = int_field obj "task" }
+  | "kill_proc" -> Kill_proc { session = session_of obj; proc = int_field obj "proc" }
+  | "resolve" ->
+      Resolve
+        { session = session_of obj; budget_ms = num_field_opt obj "budget_ms" ~default:500.0 }
+  | "solve" -> Solve { session = session_of obj }
+  | "stats" -> Stats
+  | "sessions" -> Sessions
+  | "snapshot" -> Snapshot { session = session_of obj }
+  | "restore" -> (
+      let session = session_of obj in
+      match J.member "state" obj with
+      | Some state -> Restore { session; state }
+      | None -> reject Protocol "missing field \"state\"")
+  | "shutdown" -> Shutdown
+  | op -> reject Protocol "unknown op %S" op
+
+let parse ?(max_frame = default_max_frame) line =
+  if String.length line > max_frame then
+    Error (Too_large, Printf.sprintf "frame of %d bytes exceeds the %d-byte cap"
+             (String.length line) max_frame, None)
+  else
+    match J.of_string line with
+    | exception Failure msg -> Error (Protocol, msg, None)
+    | J.Obj _ as obj -> (
+        let id = J.member "id" obj in
+        match request_of obj with
+        | req -> Ok { req; id }
+        | exception Reject (code, msg) -> Error (code, msg, id))
+    | _ -> Error (Protocol, "request must be a JSON object", None)

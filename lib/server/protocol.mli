@@ -1,0 +1,58 @@
+(** Wire protocol of the scheduler service: newline-delimited JSON.
+
+    Each request is one line holding a JSON object with an ["op"] field and
+    op-specific arguments; each reply is one line holding a JSON object
+    with ["ok"] (and the request's ["id"] echoed verbatim when present, so
+    scripted clients can match replies to requests).  Frames are capped at
+    {!default_max_frame} bytes before any parsing happens, so a hostile
+    length can never allocate unboundedly.
+
+    Ops: [ping], [load], [add_task], [remove_task], [kill_proc],
+    [resolve], [solve], [stats], [sessions], [snapshot], [restore],
+    [shutdown] — see the README "Scheduler service" section for a
+    transcript. *)
+
+type config = { procs : int array; weight : float }
+(** One candidate configuration of a task, as in {!Hyper.Graph}. *)
+
+type request =
+  | Ping
+  | Load of { session : string; source : [ `Inline of string | `Path of string ] }
+  | Add_task of { session : string; configs : config list }
+  | Remove_task of { session : string; task : int }
+  | Kill_proc of { session : string; proc : int }
+  | Resolve of { session : string; budget_ms : float }
+  | Solve of { session : string }
+  | Stats
+  | Sessions
+  | Snapshot of { session : string }
+  | Restore of { session : string; state : Obs.Json.t }
+  | Shutdown
+
+type parsed = { req : request; id : Obs.Json.t option }
+
+type error_code =
+  | Protocol  (** malformed JSON, missing/unknown op, wrong field type *)
+  | Bad_request  (** well-formed but semantically invalid (range, parse...) *)
+  | Unknown_session
+  | Busy  (** admission control: the pending-request queue is full *)
+  | Too_large  (** frame exceeds the size cap *)
+  | Internal
+
+val code_name : error_code -> string
+
+val default_max_frame : int
+(** 1 MiB. *)
+
+val parse :
+  ?max_frame:int -> string -> (parsed, error_code * string * Obs.Json.t option) result
+(** Total over arbitrary bytes: never raises.  The error carries the
+    request id when one could be recovered, so even a rejected request gets
+    a matched reply. *)
+
+val ok_reply : ?id:Obs.Json.t -> op:string -> (string * Obs.Json.t) list -> string
+(** One reply line (no trailing newline): [{"id":...,"ok":true,"op":...,
+    ...fields}]. *)
+
+val error_reply : ?id:Obs.Json.t -> code:error_code -> string -> string
+(** [{"id":...,"ok":false,"error":CODE,"message":MSG}]. *)

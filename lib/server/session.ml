@@ -1,0 +1,260 @@
+module H = Hyper.Graph
+module J = Obs.Json
+module Repair = Semimatch.Repair
+module Deadline = Semimatch.Deadline
+
+type entry = { tid : int; configs : Protocol.config array; mutable chosen : int }
+(* [chosen] indexes [configs]; -1 = unplaced (no surviving configuration). *)
+
+type t = {
+  id : string;
+  n2 : int;
+  dead : bool array;
+  mutable next_tid : int;
+  mutable entries : entry array;  (* insertion order: the graph task order *)
+  mutable cache : H.t option;  (* invalidated when the task set changes *)
+}
+
+let id t = t.id
+let n_tasks t = Array.length t.entries
+let n_procs t = t.n2
+let dead_procs t = Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.dead
+
+let unplaced t =
+  List.filter_map
+    (fun e -> if e.chosen < 0 then Some e.tid else None)
+    (Array.to_list t.entries)
+
+let makespan t =
+  let loads = Array.make t.n2 0.0 in
+  Array.iter
+    (fun e ->
+      if e.chosen >= 0 then begin
+        let c = e.configs.(e.chosen) in
+        Array.iter (fun u -> loads.(u) <- loads.(u) +. c.Protocol.weight) c.Protocol.procs
+      end)
+    t.entries;
+  Array.fold_left Float.max 0.0 loads
+
+let graph t =
+  match t.cache with
+  | Some h -> h
+  | None ->
+      let hyperedges = ref [] in
+      for i = Array.length t.entries - 1 downto 0 do
+        let e = t.entries.(i) in
+        for k = Array.length e.configs - 1 downto 0 do
+          let c = e.configs.(k) in
+          hyperedges := (i, c.Protocol.procs, c.Protocol.weight) :: !hyperedges
+        done
+      done;
+      let h = H.create ~n1:(Array.length t.entries) ~n2:t.n2 ~hyperedges:!hyperedges in
+      t.cache <- Some h;
+      h
+
+(* Hyperedge-id view of the per-entry chosen configuration indices.  The
+   graph groups hyperedges by task preserving insertion order, so config
+   [k] of entry [i] is hyperedge [task_off.(i) + k]. *)
+let choice_array t h =
+  Array.mapi (fun i e -> if e.chosen < 0 then -1 else h.H.task_off.(i) + e.chosen) t.entries
+
+let write_back t h choice =
+  Array.iteri
+    (fun i e -> e.chosen <- (if choice.(i) < 0 then -1 else choice.(i) - h.H.task_off.(i)))
+    t.entries
+
+let place t tasks =
+  let h = graph t in
+  let r = Repair.place ~dead:t.dead ~tasks h (choice_array t h) in
+  write_back t h r.Repair.choice;
+  r
+
+let of_graph ~id h =
+  let entries =
+    Array.init h.H.n1 (fun v ->
+        let configs =
+          Array.init (H.task_degree h v) (fun k ->
+              let e = h.H.task_off.(v) + k in
+              { Protocol.procs = H.h_procs h e; weight = H.h_weight h e })
+        in
+        { tid = v; configs; chosen = -1 })
+  in
+  let t =
+    { id; n2 = h.H.n2; dead = Array.make h.H.n2 false; next_tid = h.H.n1; entries; cache = None }
+  in
+  let r = place t (List.init (Array.length entries) Fun.id) in
+  (t, r)
+
+let index_of t tid =
+  let found = ref (-1) in
+  Array.iteri (fun i e -> if e.tid = tid then found := i) t.entries;
+  !found
+
+let validate_config t (c : Protocol.config) =
+  if Array.length c.Protocol.procs = 0 then Error "config has an empty processor set"
+  else if not (Float.is_finite c.Protocol.weight && c.Protocol.weight > 0.0) then
+    Error "config weight must be a positive finite number"
+  else begin
+    let seen = Hashtbl.create 8 in
+    let bad = ref None in
+    Array.iter
+      (fun u ->
+        if u < 0 || u >= t.n2 then bad := Some (Printf.sprintf "processor %d out of range" u)
+        else if Hashtbl.mem seen u then bad := Some (Printf.sprintf "duplicate processor %d" u)
+        else Hashtbl.add seen u ())
+      c.Protocol.procs;
+    match !bad with None -> Ok () | Some msg -> Error msg
+  end
+
+let add_tasks t configs_list =
+  let bad = ref None in
+  List.iter
+    (fun configs ->
+      List.iter
+        (fun c -> match validate_config t c with Ok () -> () | Error m -> bad := Some m)
+        configs)
+    configs_list;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      let base = Array.length t.entries in
+      let fresh =
+        List.map
+          (fun configs ->
+            let tid = t.next_tid in
+            t.next_tid <- tid + 1;
+            { tid; configs = Array.of_list configs; chosen = -1 })
+          configs_list
+      in
+      t.entries <- Array.append t.entries (Array.of_list fresh);
+      t.cache <- None;
+      let added = List.mapi (fun k _ -> base + k) fresh in
+      let r = place t added in
+      Ok (List.map (fun e -> e.tid) fresh, r)
+
+let remove_task t tid =
+  let i = index_of t tid in
+  if i < 0 then Error (Printf.sprintf "unknown task %d" tid)
+  else begin
+    t.entries <- Array.append (Array.sub t.entries 0 i)
+        (Array.sub t.entries (i + 1) (Array.length t.entries - i - 1));
+    t.cache <- None;
+    Ok (makespan t)
+  end
+
+let kill_proc t proc =
+  if proc < 0 || proc >= t.n2 then Error (Printf.sprintf "processor %d out of range" proc)
+  else begin
+    t.dead.(proc) <- true;
+    (* Re-place the tasks whose chosen configuration touched the dead
+       processor, and retry the already-unplaced ones (they stay
+       infeasible, but are re-reported under the new mask). *)
+    let tasks = ref [] in
+    Array.iteri
+      (fun i e ->
+        if e.chosen < 0 then tasks := i :: !tasks
+        else if Array.exists (fun u -> u = proc) e.configs.(e.chosen).Protocol.procs then
+          tasks := i :: !tasks)
+      t.entries;
+    Ok (place t (List.rev !tasks))
+  end
+
+let resolve ?jobs ~budget_s t =
+  let h = graph t in
+  let d = Deadline.solve_surviving ?jobs ~dead:t.dead ~budget_s h in
+  let replaced = d.Deadline.d_repair.Repair.makespan < makespan t in
+  if replaced then write_back t h d.Deadline.d_repair.Repair.choice;
+  (d, replaced)
+
+let solve ?jobs t =
+  let h = graph t in
+  let d = Deadline.solve_surviving ?jobs ~dead:t.dead ~budget_s:1e9 h in
+  write_back t h d.Deadline.d_repair.Repair.choice;
+  d
+
+(* --- snapshot / restore: the instance rides through Hyper.Io text --- *)
+
+let format_tag = "semimatch.session/1"
+
+let snapshot t =
+  let h = graph t in
+  J.Obj
+    [
+      ("format", J.Str format_tag);
+      ("instance", J.Str (Hyper.Io.to_string h));
+      ("tids", J.List (Array.to_list (Array.map (fun e -> J.Num (float_of_int e.tid)) t.entries)));
+      ( "chosen",
+        J.List (Array.to_list (Array.map (fun e -> J.Num (float_of_int e.chosen)) t.entries)) );
+      ( "dead",
+        J.List
+          (List.filter_map
+             (fun u -> if t.dead.(u) then Some (J.Num (float_of_int u)) else None)
+             (List.init t.n2 Fun.id)) );
+      ("next_tid", J.Num (float_of_int t.next_tid));
+    ]
+
+let int_list_of = function
+  | J.List l ->
+      let ints =
+        List.filter_map
+          (function J.Num f when Float.is_integer f && Float.abs f < 1e9 -> Some (int_of_float f) | _ -> None)
+          l
+      in
+      if List.length ints = List.length l then Some ints else None
+  | _ -> None
+
+let restore ~id state =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let field name decode =
+    match Option.bind (J.member name state) decode with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "snapshot: missing or malformed %S" name)
+  in
+  let* tag = field "format" J.to_str in
+  let* () = if tag = format_tag then Ok () else Error ("snapshot: unknown format " ^ tag) in
+  let* text = field "instance" J.to_str in
+  let* h =
+    match Hyper.Io.of_string text with
+    | h -> Ok h
+    | exception Failure msg -> Error msg
+    | exception Invalid_argument msg -> Error ("invalid instance: " ^ msg)
+  in
+  let* tids = field "tids" int_list_of in
+  let* chosen = field "chosen" int_list_of in
+  let* dead_ids = field "dead" int_list_of in
+  let* next_tid = field "next_tid" (fun j -> Option.bind (int_list_of (J.List [ j ])) (function [ n ] -> Some n | _ -> None)) in
+  let n1 = h.H.n1 in
+  let* () =
+    if List.length tids = n1 && List.length chosen = n1 then Ok ()
+    else Error "snapshot: tids/chosen length mismatch"
+  in
+  let* () =
+    if List.length (List.sort_uniq compare tids) = n1 then Ok ()
+    else Error "snapshot: duplicate tids"
+  in
+  let* () =
+    if List.for_all (fun tid -> tid >= 0 && tid < next_tid) tids then Ok ()
+    else Error "snapshot: tid out of range"
+  in
+  let* () =
+    if List.for_all (fun u -> u >= 0 && u < h.H.n2) dead_ids then Ok ()
+    else Error "snapshot: dead processor out of range"
+  in
+  let tids = Array.of_list tids and chosen = Array.of_list chosen in
+  let* () =
+    let ok = ref true in
+    Array.iteri (fun i c -> if c < -1 || c >= H.task_degree h i then ok := false) chosen;
+    if !ok then Ok () else Error "snapshot: chosen configuration out of range"
+  in
+  let dead = Array.make h.H.n2 false in
+  List.iter (fun u -> dead.(u) <- true) dead_ids;
+  let entries =
+    Array.init n1 (fun i ->
+        let configs =
+          Array.init (H.task_degree h i) (fun k ->
+              let e = h.H.task_off.(i) + k in
+              { Protocol.procs = H.h_procs h e; weight = H.h_weight h e })
+        in
+        { tid = tids.(i); configs; chosen = chosen.(i) })
+  in
+  Ok { id; n2 = h.H.n2; dead; next_tid; entries; cache = Some h }

@@ -1,0 +1,61 @@
+(** One live instance of the scheduler service: a resident MULTIPROC
+    instance plus its incumbent schedule, mutated in place as tasks arrive
+    and depart and processors die.
+
+    Tasks carry stable external ids ([tid]s) that survive removals; the
+    dense {!Hyper.Graph} view (and the hyperedge-id choice vector) is
+    rebuilt lazily from the entry list whenever the structure changed, in
+    insertion order, so a rebuilt graph is deterministic in the session
+    history.  Mutations go through {!Semimatch.Repair.place} — only the
+    delta is re-placed, the rest of the schedule stays put — while
+    {!resolve} runs the budgeted from-scratch
+    {!Semimatch.Deadline.solve_surviving} and adopts its schedule only when
+    it is strictly better than the incumbent. *)
+
+type t
+
+val id : t -> string
+val n_tasks : t -> int
+val n_procs : t -> int
+val dead_procs : t -> int
+val unplaced : t -> int list
+(** [tid]s currently without a configuration (no surviving one exists). *)
+
+val makespan : t -> float
+(** Max processor load of the incumbent schedule ([0.] when empty). *)
+
+val of_graph : id:string -> Hyper.Graph.t -> t * Semimatch.Repair.t
+(** Adopt the graph's tasks (tids [0..n1-1]) and greedily place them all. *)
+
+val add_tasks :
+  t -> Protocol.config list list -> (int list * Semimatch.Repair.t, string) result
+(** Append one task per configuration list and place them all in one
+    {!Semimatch.Repair.place} pass (the batch path); returns the fresh
+    [tid]s in request order.  [Error] (validation: processor range,
+    duplicate pins, non-positive weight) mutates nothing. *)
+
+val remove_task : t -> int -> (float, string) result
+(** Drop a task by [tid]; its load vanishes, nothing else moves.  Returns
+    the new makespan. *)
+
+val kill_proc : t -> int -> (Semimatch.Repair.t, string) result
+(** Mark a processor dead and incrementally re-place the tasks whose chosen
+    configuration touched it (plus any still-unplaced ones).  Idempotent. *)
+
+val resolve : ?jobs:int -> budget_s:float -> t -> Semimatch.Deadline.delta * bool
+(** Budgeted from-scratch re-solve of the surviving machine; the incumbent
+    is replaced only when the candidate's makespan is {e strictly} better.
+    Returns the delta and whether it was adopted. *)
+
+val solve : ?jobs:int -> t -> Semimatch.Deadline.delta
+(** Unbudgeted {!resolve} whose result is adopted unconditionally — the
+    from-scratch baseline a client asks for by name. *)
+
+val snapshot : t -> Obs.Json.t
+(** Full session state: the instance via {!Hyper.Io.to_string} plus tids,
+    chosen configurations, dead processors and the tid counter. *)
+
+val restore : id:string -> Obs.Json.t -> (t, string) result
+(** Inverse of {!snapshot}: restoring and continuing is byte-identical to
+    never having snapshotted.  [Error] on malformed or inconsistent
+    state. *)

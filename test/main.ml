@@ -26,4 +26,6 @@ let () =
       ("cli", Test_cli.suite);
       ("sched", Test_sched.suite);
       ("experiments", Test_experiments.suite);
+      ("online", Test_online.suite);
+      ("server", Test_server.suite);
     ]

@@ -206,9 +206,31 @@ let test_faulted_solve_and_simulate () =
       in
       check "degraded makespan reported" true (contains ~needle:"makespan" out))
 
+let test_version () =
+  let out = expect_ok (run_capture [ "version" ]) in
+  Alcotest.(check int) "one line" 1 (count_lines out);
+  check "names the package" true (contains ~needle:"semimatch " out);
+  check "reports domains" true (contains ~needle:"domains=" out);
+  check "reports obs" true (contains ~needle:"obs=" out)
+
+let test_client_without_server () =
+  (* No daemon on the socket: one clean diagnostic, exit 2. *)
+  let out =
+    expect_clean_failure "client, no server"
+      (run_capture_err
+         [ "client"; "--socket"; "/tmp/semimatch-test-no-such.sock"; "--request"; {|{"op":"ping"}|} ])
+  in
+  check "names the socket" true (contains ~needle:"no-such.sock" out);
+  ignore
+    (expect_clean_failure "client without transport" (run_capture_err [ "client"; "--request"; "{}" ]));
+  ignore
+    (expect_clean_failure "serve without listener" (run_capture_err [ "serve" ]))
+
 let suite =
   [
     Alcotest.test_case "gen/info/solve roundtrip" `Quick test_gen_info_solve_roundtrip;
+    Alcotest.test_case "version" `Quick test_version;
+    Alcotest.test_case "client/serve operator errors" `Quick test_client_without_server;
     Alcotest.test_case "missing instance file" `Quick test_missing_instance_file;
     Alcotest.test_case "corrupt instance file" `Quick test_corrupt_instance_file;
     Alcotest.test_case "unknown flag and command" `Quick test_unknown_flag;

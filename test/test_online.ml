@@ -1,0 +1,67 @@
+(* Online-arrival study (Experiments.Online): arrival-order determinism and
+   sanity of the empirical competitive ratios on small instances. *)
+
+module Online = Experiments.Online
+module Instances = Experiments.Instances
+
+let check = Alcotest.(check bool)
+
+let small_spec =
+  {
+    Instances.sp_name = "T-60-12";
+    sp_family = `Fewg_manyg;
+    sp_n = 60;
+    sp_p = 12;
+    sp_d = 3;
+    sp_g = 3;
+  }
+
+let equal_rows (a : Online.row) (b : Online.row) =
+  a.Online.label = b.Online.label && a.Online.optimum = b.Online.optimum
+  && a.Online.mean_ratio = b.Online.mean_ratio
+  && a.Online.worst_ratio = b.Online.worst_ratio
+  && a.Online.best_ratio = b.Online.best_ratio
+
+let test_determinism () =
+  (* Instances and arrival orders are both seeded, so the whole study is a
+     pure function of (spec, seeds, orders). *)
+  let a = Online.run_row ~seeds:2 ~orders:6 small_spec in
+  let b = Online.run_row ~seeds:2 ~orders:6 small_spec in
+  check "identical rows on repeat" true (equal_rows a b);
+  let c = Online.run_row ~seeds:2 ~orders:7 small_spec in
+  check "more orders can only widen the spread" true
+    (c.Online.worst_ratio >= b.Online.worst_ratio -. 1e-9
+    || c.Online.best_ratio <= b.Online.best_ratio +. 1e-9)
+
+let test_ratio_sanity () =
+  let r = Online.run_row ~seeds:2 ~orders:10 small_spec in
+  (* Online placement is irrevocable, so it can never beat the offline
+     optimum: every ratio is >= 1, and the aggregates are ordered. *)
+  check "best >= 1" true (r.Online.best_ratio >= 1.0 -. 1e-9);
+  check "mean >= best" true (r.Online.mean_ratio >= r.Online.best_ratio -. 1e-9);
+  check "worst >= mean" true (r.Online.worst_ratio >= r.Online.mean_ratio -. 1e-9);
+  check "optimum positive" true (r.Online.optimum > 0.0)
+
+let test_grid_run_and_render () =
+  let rows = Online.run ~seeds:1 ~orders:3 ~scale:64 () in
+  check "one row per family instance" true (List.length rows > 0);
+  let labels = List.map (fun r -> r.Online.label) rows in
+  check "labels distinct" true (List.length (List.sort_uniq compare labels) = List.length labels);
+  List.iter
+    (fun r -> check (r.Online.label ^ " ratio sane") true (r.Online.worst_ratio >= 1.0 -. 1e-9))
+    rows;
+  let text = Online.render rows in
+  let contains ~needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check "render has the header" true (contains ~needle:"mean ratio" text);
+  List.iter (fun l -> check ("render lists " ^ l) true (contains ~needle:l text)) labels
+
+let suite =
+  [
+    Alcotest.test_case "arrival-order determinism" `Quick test_determinism;
+    Alcotest.test_case "ratio sanity" `Quick test_ratio_sanity;
+    Alcotest.test_case "grid run and render" `Quick test_grid_run_and_render;
+  ]
