@@ -682,7 +682,7 @@ let simulate_cmd =
    server's business (it replies, it never dies); only operator mistakes
    (no listener, unbindable socket) exit 2 here. *)
 let serve_cmd =
-  let run socket tcp jobs max_pending max_frame events_log =
+  let run socket tcp jobs max_pending max_frame events_log trace slow_ms =
     let opts =
       {
         Server.Daemon.socket_path = socket;
@@ -691,6 +691,10 @@ let serve_cmd =
         max_pending;
         max_frame;
         events_log;
+        trace_out = trace;
+        version = Cli_version.version;
+        slow_ms;
+        runtime_events = true;
       }
     in
     (match socket with
@@ -721,81 +725,125 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "events-log" ] ~docv:"FILE"
              ~doc:"Write the structured event log as JSON lines on shutdown.")
+  and trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Write a Chrome/Perfetto trace on shutdown: request spans interleaved with \
+                GC tracks from the OCaml runtime.")
+  and slow_ms =
+    Arg.(value & opt float 100.0
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:
+               "Slow-request log threshold in milliseconds (sampled into the event log); \
+                0 disables.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduler service: a daemon holding live instances and updating their \
           semi-matchings incrementally over a newline-delimited JSON socket protocol")
-    Term.(const run $ socket $ tcp $ jobs_arg $ max_pending $ max_frame $ events_log)
+    Term.(const run $ socket $ tcp $ jobs_arg $ max_pending $ max_frame $ events_log $ trace
+          $ slow_ms)
+
+let parse_hostport hostport =
+  match String.rindex_opt hostport ':' with
+  | Some i -> (
+      let host = String.sub hostport 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub hostport (i + 1) (String.length hostport - i - 1)) with
+      | Some port -> (host, port)
+      | None -> die "bad --tcp %S (expected HOST:PORT)" hostport)
+  | None -> (
+      match int_of_string_opt hostport with
+      | Some port -> ("127.0.0.1", port)
+      | None -> die "bad --tcp %S (expected HOST:PORT or PORT)" hostport)
+
+let connect_client socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> (
+      try Server.Client.connect_unix path
+      with Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" path (Unix.error_message err))
+  | None, Some hostport -> (
+      let host, port = parse_hostport hostport in
+      try Server.Client.connect_tcp ~host ~port with
+      | Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" hostport (Unix.error_message err)
+      | Not_found -> die "cannot resolve host %S" host)
+  | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+  | None, None -> die "needs --socket PATH or --tcp HOST:PORT"
 
 (* client: one-shot or scripted requests against a running daemon.  Exit 2
-   on connection failures and on any error reply (the protocol-error
+   on connection failures, timeouts and any error reply (the protocol-error
    contract scripts rely on). *)
 let client_cmd =
-  let run socket tcp request script =
-    let conn =
-      match (socket, tcp) with
-      | Some path, None -> (
-          try Server.Client.connect_unix path
-          with Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" path (Unix.error_message err))
-      | None, Some hostport -> (
-          let host, port =
-            match String.rindex_opt hostport ':' with
-            | Some i -> (
-                let host = String.sub hostport 0 i in
-                let host = if host = "" then "127.0.0.1" else host in
-                match int_of_string_opt (String.sub hostport (i + 1) (String.length hostport - i - 1)) with
-                | Some port -> (host, port)
-                | None -> die "bad --tcp %S (expected HOST:PORT)" hostport)
-            | None -> (
-                match int_of_string_opt hostport with
-                | Some port -> ("127.0.0.1", port)
-                | None -> die "bad --tcp %S (expected HOST:PORT or PORT)" hostport)
-          in
-          try Server.Client.connect_tcp ~host ~port with
-          | Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" hostport (Unix.error_message err)
-          | Not_found -> die "cannot resolve host %S" host)
-      | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
-      | None, None -> die "client needs --socket PATH or --tcp HOST:PORT"
+  let run socket tcp request script metrics timeout =
+    let conn = connect_client socket tcp in
+    let timeout_s = if timeout <= 0.0 then None else Some timeout in
+    let send line =
+      try Server.Client.request ?timeout_s conn line with
+      | End_of_file -> die "server closed the connection"
+      | Server.Client.Timeout -> die "no reply within %gs" timeout
     in
-    let requests =
-      match (request, script) with
-      | Some line, None -> [ line ]
-      | None, Some path -> (
-          match In_channel.with_open_text path In_channel.input_all with
-          | text ->
-              List.filter
-                (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
-                (String.split_on_char '\n' text)
-          | exception Sys_error msg -> die "%s" msg)
-      | Some _, Some _ -> die "--request and --script are mutually exclusive"
-      | None, None -> die "client needs --request JSON or --script FILE"
-    in
-    let failed = ref None in
-    List.iter
-      (fun line ->
-        let reply =
-          try Server.Client.request conn line
-          with End_of_file -> die "server closed the connection"
-        in
-        print_endline reply;
-        if !failed = None then
-          match Obs.Json.of_string reply with
-          | exception Failure _ -> failed := Some ("unparseable reply: " ^ reply)
-          | j -> (
-              match Obs.Json.member "ok" j with
-              | Some (Obs.Json.Bool true) -> ()
-              | _ ->
-                  let msg =
-                    match Option.bind (Obs.Json.member "message" j) Obs.Json.to_str with
-                    | Some m -> m
-                    | None -> reply
-                  in
-                  failed := Some msg))
-      requests;
-    Server.Client.close conn;
-    match !failed with None -> () | Some msg -> die "server replied with an error: %s" msg
+    if metrics then begin
+      if request <> None || script <> None then
+        die "--metrics is exclusive with --request/--script";
+      let reply = send {|{"op":"metrics"}|} in
+      Server.Client.close conn;
+      match Obs.Json.of_string reply with
+      | exception Failure _ -> die "unparseable reply: %s" reply
+      | j -> (
+          match
+            ( Obs.Json.member "ok" j,
+              Option.bind (Obs.Json.member "exposition" j) Obs.Json.to_str )
+          with
+          | Some (Obs.Json.Bool true), Some text -> (
+              match Obs.Prom.lint text with
+              | Ok () -> print_string text
+              | Error msg -> die "metrics exposition failed the format lint: %s" msg)
+          | _ ->
+              let msg =
+                match Option.bind (Obs.Json.member "message" j) Obs.Json.to_str with
+                | Some m -> m
+                | None -> reply
+              in
+              die "server replied with an error: %s" msg)
+    end
+    else begin
+      let requests =
+        match (request, script) with
+        | Some line, None -> [ line ]
+        | None, Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | text ->
+                List.filter
+                  (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+                  (String.split_on_char '\n' text)
+            | exception Sys_error msg -> die "%s" msg)
+        | Some _, Some _ -> die "--request and --script are mutually exclusive"
+        | None, None -> die "client needs --request JSON, --script FILE or --metrics"
+      in
+      let failed = ref None in
+      List.iter
+        (fun line ->
+          let reply = send line in
+          print_endline reply;
+          if !failed = None then
+            match Obs.Json.of_string reply with
+            | exception Failure _ -> failed := Some ("unparseable reply: " ^ reply)
+            | j -> (
+                match Obs.Json.member "ok" j with
+                | Some (Obs.Json.Bool true) -> ()
+                | _ ->
+                    let msg =
+                      match Option.bind (Obs.Json.member "message" j) Obs.Json.to_str with
+                      | Some m -> m
+                      | None -> reply
+                    in
+                    failed := Some msg))
+        requests;
+      Server.Client.close conn;
+      match !failed with None -> () | Some msg -> die "server replied with an error: %s" msg
+    end
   in
   let socket =
     Arg.(value & opt (some string) None
@@ -810,13 +858,169 @@ let client_cmd =
     Arg.(value & opt (some string) None
          & info [ "script" ] ~docv:"FILE"
              ~doc:"Send each non-comment line of $(docv) in order, printing every reply.")
+  and metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:
+               "Scrape the daemon's Prometheus exposition (the $(b,metrics) op), lint its \
+                format and print it — exits 2 when the lint fails.")
+  and timeout =
+    Arg.(value & opt float 5.0
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Give up on a reply after $(docv) seconds (exit 2); 0 waits forever.")
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send scripted or one-shot requests to a running scheduler daemon; exits 2 on \
-          connection failures and error replies")
-    Term.(const run $ socket $ tcp $ request $ script)
+          connection failures, timeouts and error replies")
+    Term.(const run $ socket $ tcp $ request $ script $ metrics $ timeout)
+
+(* loadgen: drive a running daemon with the open-loop arrival process and
+   report per-op latency quantiles; optionally write BENCH_server.json and
+   gate the medians against a committed baseline. *)
+let loadgen_cmd =
+  let run socket tcp duration rate seed tasks procs budget_ms out baseline check write_baseline =
+    let fd =
+      match (socket, tcp) with
+      | Some path, None -> (
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          try
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd
+          with Unix.Unix_error (err, _, _) ->
+            die "cannot connect to %s: %s" path (Unix.error_message err))
+      | None, Some hostport -> (
+          let host, port = parse_hostport hostport in
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } -> die "cannot resolve host %S" host
+              | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+              | exception Not_found -> die "cannot resolve host %S" host)
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            fd
+          with Unix.Unix_error (err, _, _) ->
+            die "cannot connect to %s: %s" hostport (Unix.error_message err))
+      | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+      | None, None -> die "loadgen needs --socket PATH or --tcp HOST:PORT"
+    in
+    let opts =
+      {
+        Server.Loadgen.duration_s = duration;
+        rate;
+        seed;
+        tasks;
+        procs;
+        budget_ms;
+        stall_timeout_s = Server.Loadgen.default_opts.Server.Loadgen.stall_timeout_s;
+      }
+    in
+    let report =
+      match Server.Loadgen.run fd opts with
+      | Ok r -> r
+      | Error msg -> die "loadgen failed: %s" msg
+      | exception Invalid_argument msg -> die "%s" msg
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    print_string (Server.Loadgen.render report);
+    (match out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Server.Loadgen.report_json opts report));
+        Printf.printf "wrote %s\n" path);
+    let module Gate = Experiments.Bench_gate in
+    let op_medians () =
+      List.map
+        (fun (o : Server.Loadgen.op_stats) ->
+          let med, mad =
+            Gate.median_mad (Array.map (fun ms -> ms /. 1000.0) o.Server.Loadgen.o_samples_ms)
+          in
+          (o.Server.Loadgen.o_op, med, mad, Array.length o.Server.Loadgen.o_samples_ms))
+        report.Server.Loadgen.r_ops
+    in
+    (match write_baseline with
+    | None -> ()
+    | Some path ->
+        let groups =
+          List.map
+            (fun (op, med, mad, n) ->
+              {
+                Gate.g_name = "serve/" ^ op;
+                g_reps = 1;
+                g_median_s = med;
+                g_mad_s = mad;
+                g_samples = n;
+              })
+            (op_medians ())
+        in
+        Gate.write_baseline path { Gate.b_calib_s = Gate.calibrate (); b_groups = groups };
+        Printf.printf "wrote baseline %s (%d groups)\n" path (List.length groups));
+    if check then begin
+      let path = match baseline with Some p -> p | None -> die "--check needs --baseline FILE" in
+      let b = try Gate.load_baseline path with Failure msg -> die "%s" msg in
+      let measurements = List.map (fun (op, med, _, _) -> ("serve/" ^ op, med)) (op_medians ()) in
+      let verdicts = Gate.check_medians b ~calib_now:(Gate.calibrate ()) measurements in
+      print_string (Gate.render verdicts);
+      if not (Gate.all_pass verdicts) then begin
+        prerr_endline "loadgen: latency regression against baseline";
+        exit 1
+      end
+    end
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to this Unix-domain socket.")
+  and tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  and duration =
+    Arg.(value & opt float Server.Loadgen.default_opts.Server.Loadgen.duration_s
+         & info [ "duration" ] ~docv:"SECS" ~doc:"Measured window length.")
+  and rate =
+    Arg.(value & opt float Server.Loadgen.default_opts.Server.Loadgen.rate
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop arrival rate, requests per second.")
+  and seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"arrival-process and request-mix seed")
+  and tasks =
+    Arg.(value & opt int Server.Loadgen.default_opts.Server.Loadgen.tasks
+         & info [ "tasks" ] ~docv:"N" ~doc:"Preloaded instance size (tasks).")
+  and procs =
+    Arg.(value & opt int Server.Loadgen.default_opts.Server.Loadgen.procs
+         & info [ "procs" ] ~docv:"P" ~doc:"Preloaded instance size (processors).")
+  and budget_ms =
+    Arg.(value & opt float Server.Loadgen.default_opts.Server.Loadgen.budget_ms
+         & info [ "budget-ms" ] ~docv:"MS" ~doc:"Budget passed to resolve requests.")
+  and out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the per-op report as JSON lines (BENCH_server.json).")
+  and baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline for $(b,--check).")
+  and check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Gate per-op median latencies against $(b,--baseline) with the bench-gate \
+                tolerance bands; exit 1 on regression.")
+  and write_baseline =
+    Arg.(value & opt (some string) None
+         & info [ "write-baseline" ] ~docv:"FILE"
+             ~doc:"Record this run's per-op medians as the new baseline.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running scheduler daemon with a seeded open-loop request mix and report \
+          throughput and per-op p50/p95/p99 latency; optionally bench-gate the medians")
+    Term.(const run $ socket $ tcp $ duration $ rate $ seed $ tasks $ procs $ budget_ms $ out
+          $ baseline $ check $ write_baseline)
 
 (* version: one line for bug reports and CI log headers — package version
    (from semimatch.opam via dune's %{version:semimatch}) plus the build
@@ -841,7 +1045,7 @@ let () =
       (Cmd.group info
          [
            gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
-           exact_cmd; serve_cmd; client_cmd; version_cmd;
+           exact_cmd; serve_cmd; client_cmd; loadgen_cmd; version_cmd;
          ])
   in
   (* Cmdliner reports usage errors (unknown flag, bad value) as 124; the

@@ -211,8 +211,10 @@ let maximum h = max_of (merged h)
    to the exact observed range (so n equal observations answer that value
    for every q). *)
 let quantile_of d ~q =
-  if d.d_n = 0 then Float.nan
-  else if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q outside [0,1]"
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q outside [0,1]"
+  else if d.d_n = 0 then Float.nan
+  else if q = 0.0 then d.d_lo (* the extremes are tracked exactly *)
+  else if q = 1.0 then d.d_hi
   else begin
     let rank = q *. float_of_int (d.d_n - 1) in
     let raw = ref d.d_hi in
@@ -243,6 +245,7 @@ type summary = {
   s_mean : float;
   s_p50 : float;
   s_p90 : float;
+  s_p95 : float;
   s_p99 : float;
 }
 
@@ -255,10 +258,26 @@ let summary_of d =
     s_mean = mean_of d;
     s_p50 = quantile_of d ~q:0.5;
     s_p90 = quantile_of d ~q:0.9;
+    s_p95 = quantile_of d ~q:0.95;
     s_p99 = quantile_of d ~q:0.99;
   }
 
 let summary h = summary_of (merged h)
+
+(* Merged bucket boundaries as (upper bound, cumulative count) pairs through
+   the highest non-empty bucket — the shape a Prometheus histogram exposition
+   wants for its [le] series.  Empty histogram: []. *)
+let cumulative_buckets h =
+  let d = merged h in
+  if d.d_n = 0 then []
+  else begin
+    let top = ref 0 in
+    Array.iteri (fun i c -> if c > 0 then top := i) d.d_buckets;
+    let acc = ref 0 in
+    List.init (!top + 1) (fun i ->
+        acc := !acc + d.d_buckets.(i);
+        (bucket_hi i, !acc))
+  end
 
 let registered_sorted () =
   Mutex.protect reg_mutex (fun () ->

@@ -4,6 +4,8 @@ module Events = Events
 module Trace = Trace
 module Sink = Sink
 module Json = Json
+module Prom = Prom
+module Runtime = Runtime
 
 let enabled = Config.enabled
 let set_enabled b = Config.enabled := b

@@ -87,10 +87,16 @@ module Metrics : sig
     s_mean : float;
     s_p50 : float;
     s_p90 : float;
+    s_p95 : float;
     s_p99 : float;
   }
 
   val summary : histogram -> summary
+
+  val cumulative_buckets : histogram -> (float * int) list
+  (** Merged log₂ buckets as (upper bound, cumulative count) pairs, through
+      the highest non-empty bucket — the shape a Prometheus histogram
+      exposition needs for its [le] series.  [[]] when empty. *)
 
   val fold_counters : (string -> int -> 'a -> 'a) -> 'a -> 'a
   (** Name-sorted, registered counters (including zeros), merged over all
@@ -278,6 +284,68 @@ module Trace : sig
 
   val render : unit -> string
   val write_file : string -> unit
+end
+
+module Prom : sig
+  (** Prometheus text exposition (text format 0.0.4) over the live
+      {!Metrics} registry and {!Span} aggregates: counters become
+      [<ns>_<name>_total], histograms become cumulative-[le] bucket series
+      with [_sum]/[_count], span aggregates become
+      [<ns>_span_<name>_seconds_total] / [_runs_total] counter pairs.
+      Scraped by [semimatch client --metrics] through the daemon's
+      [metrics] protocol command. *)
+
+  val default_namespace : string
+  (** ["semimatch"]. *)
+
+  val metric_name : ?namespace:string -> string -> string
+  (** Namespaced, sanitized family name: dots (and anything else outside
+      [[a-zA-Z0-9_:]]) become underscores, e.g. ["server.requests"] ↦
+      ["semimatch_server_requests"]. *)
+
+  type gauge = string * (string * string) list * float
+  (** (metric name, labels, value) — the name is sanitized and namespaced
+      by {!render}; samples sharing a name are grouped under one family. *)
+
+  val render : ?namespace:string -> ?gauges:gauge list -> unit -> string
+  (** The full exposition: every registered counter, histogram and span
+      aggregate, plus the caller's gauges (live state the registry does not
+      hold: resident sessions, queue depth...). *)
+
+  val lint : string -> (unit, string) result
+  (** Validate an exposition: every sample under a declared [# TYPE]
+      family, no duplicate families, numeric values, and per histogram
+      strictly increasing [le] bounds with non-decreasing cumulative counts
+      ending at a [+Inf] bucket that agrees with [_count].  Returns the
+      first violation. *)
+end
+
+module Runtime : sig
+  (** OCaml 5 [Runtime_events] correlation: replay the runtime's own event
+      ring (minor/major GC phases, domain lifecycle) into the {!Span} ring
+      so GC pauses appear in the {!Trace} export as dedicated ["gc-ring-N"]
+      tracks interleaved with application spans.
+
+      [start] begins self-monitoring; a host loop calls [poll] periodically
+      (the daemon does so every select round).  Replayed records only land
+      in the ring while {!Obs.enabled} is set. *)
+
+  val track_offset : int
+  (** Span records with [dom >= track_offset] are runtime tracks:
+      [dom = track_offset + ring id].  Far above any real domain id. *)
+
+  val start : unit -> unit
+  (** Enable [Runtime_events] for this process and open a self-monitoring
+      cursor.  Idempotent. *)
+
+  val started : unit -> bool
+
+  val poll : ?max:int -> unit -> int
+  (** Drain pending runtime events into the span ring ([max] caps the batch);
+      returns the number of raw events read.  0 when not started. *)
+
+  val stop : unit -> unit
+  (** Final poll, then free the cursor.  Idempotent. *)
 end
 
 module Sink : sig

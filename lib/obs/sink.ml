@@ -53,6 +53,7 @@ let rows () =
               ("mean", Json.Num s.Metrics.s_mean);
               ("p50", Json.Num s.Metrics.s_p50);
               ("p90", Json.Num s.Metrics.s_p90);
+              ("p95", Json.Num s.Metrics.s_p95);
               ("p99", Json.Num s.Metrics.s_p99);
             ];
         }
@@ -124,7 +125,7 @@ let render_json ?label rows =
    contain a separator, quote or newline (metric names are clean ASCII, but
    user-supplied [?label]s are not guaranteed to be), and NaN cells are
    left empty rather than poisoning a numeric column. *)
-let csv_columns = [ "value"; "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99"; "total_s"; "mean_s" ]
+let csv_columns = [ "value"; "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p95"; "p99"; "total_s"; "mean_s" ]
 
 let csv_quote cell =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell then begin

@@ -154,10 +154,13 @@ let to_json () =
       (List.map (fun (r : Span.record) -> r.Span.dom) spans
       @ List.map (fun (e : Events.record) -> e.Events.e_dom) log)
   in
-  let metadata =
-    process_meta
-    :: List.map (fun d -> thread_meta ~tid:d (Printf.sprintf "domain-%d" d)) doms
+  let track_name d =
+    (* Runtime-event replays are recorded far above any real domain id so
+       they get their own named tracks (see [Runtime.track_offset]). *)
+    if d >= Runtime.track_offset then Printf.sprintf "gc-ring-%d" (d - Runtime.track_offset)
+    else Printf.sprintf "domain-%d" d
   in
+  let metadata = process_meta :: List.map (fun d -> thread_meta ~tid:d (track_name d)) doms in
   let body =
     events_of_spans ~t0 spans @ flow_events ~t0 spans @ counter_events ~t0 spans
     @ events_of_log ~t0 log

@@ -1,6 +1,15 @@
-type t = { ic : in_channel; oc : out_channel }
+(* Blocking client over a raw fd with a select-based read deadline.
 
-let of_fd fd = { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+   The previous channel-based implementation blocked forever in
+   [input_line] when the daemon hung mid-request; reads now go through
+   [Unix.select] against an absolute deadline, so a hung server costs
+   [timeout_s] and a [Timeout] exception instead of a stuck CLI. *)
+
+exception Timeout
+
+type t = { fd : Unix.file_descr; mutable buf : string; mutable eof : bool }
+
+let of_fd fd = { fd; buf = ""; eof = false }
 
 let connect_unix path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -19,10 +28,59 @@ let connect_tcp ~host ~port =
   Unix.connect fd (Unix.ADDR_INET (addr, port));
   of_fd fd
 
-let request t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc;
-  input_line t.ic
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
 
-let close t = try close_in t.ic with Sys_error _ -> ()
+(* Pop one complete line from the buffer, if any. *)
+let take_line t =
+  match String.index_opt t.buf '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub t.buf 0 i in
+      t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+
+let read_line ?timeout_s t =
+  let deadline =
+    Option.map (fun s -> Int64.add (Obs.Span.now_ns ()) (Int64.of_float (s *. 1e9))) timeout_s
+  in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match take_line t with
+    | Some line -> line
+    | None ->
+        if t.eof then raise End_of_file;
+        let wait =
+          match deadline with
+          | None -> -1.0 (* select: block indefinitely *)
+          | Some d ->
+              let left = Obs.Span.ns_to_s (Int64.sub d (Obs.Span.now_ns ())) in
+              if left <= 0.0 then raise Timeout else left
+        in
+        (match Unix.select [ t.fd ] [] [] wait with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> if deadline <> None then raise Timeout
+        | _ :: _, _, _ -> (
+            match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> t.eof <- true
+            | n -> t.buf <- t.buf ^ Bytes.sub_string chunk 0 n
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> t.eof <- true));
+        loop ()
+  in
+  loop ()
+
+let request ?timeout_s t line =
+  write_all t.fd (line ^ "\n");
+  read_line ?timeout_s t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

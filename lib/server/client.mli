@@ -1,15 +1,23 @@
 (** Blocking client for the scheduler daemon: connect, send one request
     line, read one reply line.  Raises [Unix.Unix_error] on connection
-    failures and [End_of_file] when the server hangs up — callers (the CLI
-    [client] subcommand) turn those into exit-2 diagnostics. *)
+    failures, [End_of_file] when the server hangs up mid-request, and
+    {!Timeout} when a reply misses the caller's deadline — callers (the CLI
+    [client] subcommand) turn each into an exit-2 diagnostic. *)
+
+exception Timeout
 
 type t
 
 val connect_unix : string -> t
 val connect_tcp : host:string -> port:int -> t
 
-val request : t -> string -> string
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected stream socket (tests, custom transports). *)
+
+val request : ?timeout_s:float -> t -> string -> string
 (** Send one line, read one reply line (the protocol answers every request
-    exactly once, in order). *)
+    exactly once, in order).  With [timeout_s], the read waits at most that
+    many seconds past the write before raising {!Timeout}; without it, the
+    wait is unbounded (the pre-timeout behaviour). *)
 
 val close : t -> unit

@@ -5,6 +5,10 @@ type opts = {
   max_pending : int;
   max_frame : int;
   events_log : string option;
+  trace_out : string option;
+  version : string;
+  slow_ms : float;
+  runtime_events : bool;
 }
 
 let default_opts =
@@ -15,6 +19,10 @@ let default_opts =
     max_pending = 64;
     max_frame = Protocol.default_max_frame;
     events_log = None;
+    trace_out = None;
+    version = "dev";
+    slow_ms = 100.0;
+    runtime_events = true;
   }
 
 type conn = {
@@ -26,6 +34,8 @@ type conn = {
 
 let c_conns = Obs.Metrics.counter "server.connections"
 let c_frames_dropped = Obs.Metrics.counter "server.frames_dropped"
+let c_bytes_in = Obs.Metrics.counter "server.bytes_in"
+let c_bytes_out = Obs.Metrics.counter "server.bytes_out"
 
 (* Synchronous full write; a peer that vanished mid-reply just closes the
    connection (SIGPIPE is ignored for the daemon's lifetime). *)
@@ -33,6 +43,7 @@ let send conn line =
   if not conn.closed then begin
     let bytes = Bytes.of_string (line ^ "\n") in
     let len = Bytes.length bytes in
+    Obs.Metrics.add c_bytes_out len;
     let off = ref 0 in
     try
       while !off < len do
@@ -104,7 +115,11 @@ let run opts =
     invalid_arg "Daemon.run: configure a Unix socket path or a TCP port";
   Obs.set_enabled true;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let engine = Engine.create ~jobs:opts.jobs ~max_pending:opts.max_pending ~max_frame:opts.max_frame () in
+  if opts.runtime_events then Obs.Runtime.start ();
+  let engine =
+    Engine.create ~jobs:opts.jobs ~max_pending:opts.max_pending ~max_frame:opts.max_frame
+      ~version:opts.version ~slow_ms:opts.slow_ms ()
+  in
   let listeners =
     (match opts.socket_path with None -> [] | Some p -> [ listen_unix p ])
     @ (match opts.tcp_port with None -> [] | Some p -> [ listen_tcp p ])
@@ -129,19 +144,28 @@ let run opts =
             if (not conn.closed) && List.memq conn.fd readable then
               match Unix.read conn.fd buf 0 (Bytes.length buf) with
               | 0 -> conn.closed <- true
-              | n -> feed engine conn (Bytes.sub_string buf 0 n)
+              | n ->
+                  Obs.Metrics.add c_bytes_in n;
+                  feed engine conn (Bytes.sub_string buf 0 n)
               | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
                   conn.closed <- true)
           !conns;
         (* Serve everything admitted this round — including a shutdown, whose
            reply is flushed before the loop condition is re-checked. *)
         Engine.drain engine;
+        (* Replay whatever GC/runtime activity the round produced into the
+           span ring, so the trace interleaves it with the request spans. *)
+        if opts.runtime_events then ignore (Obs.Runtime.poll ());
         List.iter (fun c -> if c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
         conns := List.filter (fun c -> not c.closed) !conns
   done;
+  if opts.runtime_events then Obs.Runtime.stop ();
   (match opts.events_log with
   | None -> ()
   | Some path -> ( try Obs.Events.write_jsonl path with Sys_error _ -> ()));
+  (match opts.trace_out with
+  | None -> ()
+  | Some path -> ( try Obs.Trace.write_file path with Sys_error _ -> ()));
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
   match opts.socket_path with

@@ -17,12 +17,20 @@ type opts = {
   max_pending : int;  (** admission-control queue bound *)
   max_frame : int;  (** request frame cap, bytes *)
   events_log : string option;  (** written as JSON lines on shutdown *)
+  trace_out : string option;
+      (** Chrome/Perfetto trace written on shutdown — request spans
+          interleaved with GC tracks when [runtime_events] is on *)
+  version : string;  (** echoed in [stats] replies *)
+  slow_ms : float;  (** slow-request log threshold; [<= 0] disables *)
+  runtime_events : bool;
+      (** subscribe to OCaml [Runtime_events] and poll every select round *)
 }
 
 val default_opts : opts
 (** No listeners (the caller must set at least one), [jobs = 1],
     [max_pending = 64], [max_frame = {!Protocol.default_max_frame}], no
-    event log. *)
+    event log, no trace, [version = "dev"], [slow_ms = 100.],
+    [runtime_events = true]. *)
 
 val run : opts -> unit
 (** Serve until a [shutdown] request; raises [Invalid_argument] when no

@@ -7,9 +7,28 @@ let c_busy = Obs.Metrics.counter "server.busy"
 let c_batched = Obs.Metrics.counter "server.batched"
 let c_adopted = Obs.Metrics.counter "server.resolve.adopted"
 
+(* Per-request phase latencies in microseconds: admission-time parse,
+   queue residency, handler execution ("solve"), reply write.  Per-op
+   end-to-end latency histograms are interned on first use of each op. *)
+let h_parse = Obs.Metrics.histogram "server.phase.parse_us"
+let h_queue = Obs.Metrics.histogram "server.phase.queue_wait_us"
+let h_solve = Obs.Metrics.histogram "server.phase.solve_us"
+let h_reply = Obs.Metrics.histogram "server.phase.reply_us"
+
+let latency_hists : (string, Obs.Metrics.histogram) Hashtbl.t = Hashtbl.create 16
+
+let latency_hist op =
+  match Hashtbl.find_opt latency_hists op with
+  | Some h -> h
+  | None ->
+      let h = Obs.Metrics.histogram ("server.latency." ^ op ^ "_us") in
+      Hashtbl.add latency_hists op h;
+      h
+
 type item = {
   parsed : (P.parsed, P.error_code * string * J.t option) result;
   reply : string -> unit;
+  posted_ns : int64;  (* admission timestamp, for the queue-wait phase *)
 }
 
 type t = {
@@ -18,17 +37,35 @@ type t = {
   max_pending : int;
   max_frame : int;
   jobs : int;
+  version : string;
+  started_ns : int64;
+  slow_ms : float;  (* slow-request threshold; <= 0 disables the log *)
+  slow_every : int;  (* sampling: log the 1st, then every nth slow request *)
+  mutable slow_seen : int;
+  (* Plain request totals, maintained by the engine itself so [stats] can
+     always answer them — independent of the [Obs] master switch. *)
+  mutable posted : int;
+  mutable served : int;
   mutable shutdown : bool;
 }
 
-let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame) () =
+let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
+    ?(version = "dev") ?(slow_ms = 100.0) ?(slow_every = 10) () =
   if max_pending < 1 then invalid_arg "Engine.create: max_pending must be positive";
+  if slow_every < 1 then invalid_arg "Engine.create: slow_every must be positive";
   {
     registry = Hashtbl.create 8;
     queue = Queue.create ();
     max_pending;
     max_frame;
     jobs;
+    version;
+    started_ns = Obs.Span.now_ns ();
+    slow_ms;
+    slow_every;
+    slow_seen = 0;
+    posted = 0;
+    served = 0;
     shutdown = false;
   }
 
@@ -36,6 +73,10 @@ let max_frame t = t.max_frame
 let shutting_down t = t.shutdown
 let pending t = Queue.length t.queue
 let sessions t = Hashtbl.length t.registry
+let version t = t.version
+let requests_posted t = t.posted
+let requests_served t = t.served
+let uptime_s t = Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t.started_ns)
 
 let int_j n = J.Num (float_of_int n)
 
@@ -74,25 +115,56 @@ let non_zero_counters () =
        (fun name v acc -> if v <> 0 then (name, int_j v) :: acc else acc)
        [])
 
+let op_name = function
+  | P.Ping -> "ping"
+  | P.Load _ -> "load"
+  | P.Add_task _ -> "add_task"
+  | P.Remove_task _ -> "remove_task"
+  | P.Kill_proc _ -> "kill_proc"
+  | P.Resolve _ -> "resolve"
+  | P.Solve _ -> "solve"
+  | P.Stats -> "stats"
+  | P.Metrics -> "metrics"
+  | P.Sessions -> "sessions"
+  | P.Snapshot _ -> "snapshot"
+  | P.Restore _ -> "restore"
+  | P.Shutdown -> "shutdown"
+
+(* The Prometheus exposition: everything Obs holds (counters, phase and
+   per-op latency histograms, span totals) plus live engine gauges.  The
+   engine is single-threaded across requests, so the render happens between
+   requests and reads a consistent snapshot of the registry. *)
+let prom t =
+  let session_gauges =
+    Hashtbl.fold
+      (fun sid s acc ->
+        let l = [ ("session", sid) ] in
+        ("server.session.tasks", l, float_of_int (Session.n_tasks s))
+        :: ("server.session.procs", l, float_of_int (Session.n_procs s))
+        :: ("server.session.dead_procs", l, float_of_int (Session.dead_procs s))
+        :: ("server.session.unplaced", l, float_of_int (List.length (Session.unplaced s)))
+        :: ("server.session.makespan", l, Session.makespan s)
+        :: acc)
+      t.registry []
+  in
+  let gauges =
+    [
+      ("server.sessions", [], float_of_int (sessions t));
+      ("server.pending", [], float_of_int (pending t));
+      ("server.max_pending", [], float_of_int t.max_pending);
+      ("server.uptime_seconds", [], uptime_s t);
+      ("server.requests_posted", [], float_of_int t.posted);
+      ("server.requests_served", [], float_of_int t.served);
+    ]
+    @ session_gauges
+  in
+  Obs.Prom.render ~gauges ()
+
 (* One request, already parsed (add_task goes through [handle_adds] so the
    batch path is the only path).  Total: internal failures become an
    [internal] error reply, never a dead server. *)
 let handle_one t ({ req; id } : P.parsed) =
-  let op =
-    match req with
-    | P.Ping -> "ping"
-    | P.Load _ -> "load"
-    | P.Add_task _ -> "add_task"
-    | P.Remove_task _ -> "remove_task"
-    | P.Kill_proc _ -> "kill_proc"
-    | P.Resolve _ -> "resolve"
-    | P.Solve _ -> "solve"
-    | P.Stats -> "stats"
-    | P.Sessions -> "sessions"
-    | P.Snapshot _ -> "snapshot"
-    | P.Restore _ -> "restore"
-    | P.Shutdown -> "shutdown"
-  in
+  let op = op_name req in
   Obs.Metrics.incr c_requests;
   Obs.Span.timed ("server." ^ op) (fun () ->
       try
@@ -169,12 +241,23 @@ let handle_one t ({ req; id } : P.parsed) =
                   ])
         | P.Stats ->
             event op None;
+            (* The basics (uptime, version, request totals, sessions,
+               pending) come from the engine's own state and are always
+               live; only the [counters] object depends on Obs being
+               enabled (empty otherwise). *)
             P.ok_reply ?id ~op
               [
+                ("uptime_s", J.Num (uptime_s t));
+                ("version", J.Str t.version);
+                ("requests", int_j t.posted);
+                ("served", int_j t.served);
                 ("sessions", int_j (sessions t));
                 ("pending", int_j (pending t));
-                ("counters", J.Obj (non_zero_counters ()));
+                ("counters", J.Obj (if Obs.is_enabled () then non_zero_counters () else []));
               ]
+        | P.Metrics ->
+            event op None;
+            P.ok_reply ?id ~op [ ("exposition", J.Str (prom t)) ]
         | P.Sessions ->
             event op None;
             let ids =
@@ -208,45 +291,70 @@ let handle_one t ({ req; id } : P.parsed) =
 
 (* The batch path: [n] consecutive add_task requests for one session become
    one graph rebuild and one Repair.place pass; every request still gets
-   its own reply, tagged with the batch size it rode in. *)
+   its own reply, tagged with the batch size it rode in.  Pure compute —
+   the caller sends the replies so it can time the phases per request. *)
 let handle_adds t session batch =
   let n = List.length batch in
   Obs.Metrics.add c_requests n;
   if n > 1 then Obs.Metrics.add c_batched n;
   event "add_task" (Some session);
-  let replies =
-    Obs.Span.timed "server.add_task" (fun () ->
-        try
-          match Hashtbl.find_opt t.registry session with
-          | None ->
-              List.map
-                (fun (_, id, _) ->
-                  P.error_reply ?id ~code:P.Unknown_session
-                    (Printf.sprintf "unknown session %S" session))
-                batch
-          | Some s -> (
-              match Session.add_tasks s (List.map (fun (configs, _, _) -> configs) batch) with
-              | Error msg ->
-                  List.map (fun (_, id, _) -> P.error_reply ?id ~code:P.Bad_request msg) batch
-              | Ok (tids, r) ->
-                  let makespan = Session.makespan s in
-                  List.map2
-                    (fun (_, id, _) tid ->
-                      P.ok_reply ?id ~op:"add_task"
-                        ([
-                           ("tid", int_j tid);
-                           ("batched", int_j n);
-                           ("makespan", J.Num makespan);
-                         ]
-                        @ repair_fields r))
-                    batch tids)
-        with exn ->
-          Obs.Metrics.incr c_errors;
-          List.map (fun (_, id, _) -> P.error_reply ?id ~code:P.Internal (Printexc.to_string exn)) batch)
-  in
-  List.iter2 (fun (_, _, reply) line -> reply line) batch replies
+  Obs.Span.timed "server.add_task" (fun () ->
+      try
+        match Hashtbl.find_opt t.registry session with
+        | None ->
+            List.map
+              (fun (_, id, _, _) ->
+                P.error_reply ?id ~code:P.Unknown_session
+                  (Printf.sprintf "unknown session %S" session))
+              batch
+        | Some s -> (
+            match Session.add_tasks s (List.map (fun (configs, _, _, _) -> configs) batch) with
+            | Error msg ->
+                List.map (fun (_, id, _, _) -> P.error_reply ?id ~code:P.Bad_request msg) batch
+            | Ok (tids, r) ->
+                let makespan = Session.makespan s in
+                List.map2
+                  (fun (_, id, _, _) tid ->
+                    P.ok_reply ?id ~op:"add_task"
+                      ([
+                         ("tid", int_j tid);
+                         ("batched", int_j n);
+                         ("makespan", J.Num makespan);
+                       ]
+                      @ repair_fields r))
+                  batch tids)
+      with exn ->
+        Obs.Metrics.incr c_errors;
+        List.map
+          (fun (_, id, _, _) -> P.error_reply ?id ~code:P.Internal (Printexc.to_string exn))
+          batch)
+
+let us_between later earlier = Int64.to_float (Int64.sub later earlier) /. 1e3
+
+(* End-of-request accounting: phase histograms (queue wait and reply per
+   request; the handler phase is observed once per batch by the caller),
+   per-op end-to-end latency, the always-on served total, and the sampled
+   slow-request log. *)
+let finish t op ~posted_ns ~done_ns ~replied_ns =
+  Obs.Metrics.observe h_reply (us_between replied_ns done_ns);
+  let total_us = us_between replied_ns posted_ns in
+  Obs.Metrics.observe (latency_hist op) total_us;
+  t.served <- t.served + 1;
+  let total_ms = total_us /. 1000.0 in
+  if t.slow_ms > 0.0 && total_ms >= t.slow_ms then begin
+    t.slow_seen <- t.slow_seen + 1;
+    if (t.slow_seen - 1) mod t.slow_every = 0 then
+      Obs.Events.emit ~level:Obs.Events.Warn "server.slow_request"
+        [
+          Obs.Events.str "op" op;
+          Obs.Events.num "ms" total_ms;
+          Obs.Events.num "threshold_ms" t.slow_ms;
+          Obs.Events.int "nth" t.slow_seen;
+        ]
+  end
 
 let post t ~reply line =
+  t.posted <- t.posted + 1;
   if Queue.length t.queue >= t.max_pending then begin
     Obs.Metrics.incr c_busy;
     (* Best-effort id recovery so the busy reply can still be matched. *)
@@ -258,17 +366,28 @@ let post t ~reply line =
       (P.error_reply ?id ~code:P.Busy
          (Printf.sprintf "pending-request queue full (%d); retry later" t.max_pending))
   end
-  else Queue.push { parsed = P.parse ~max_frame:t.max_frame line; reply } t.queue
+  else begin
+    let t0 = Obs.Span.now_ns () in
+    let parsed = P.parse ~max_frame:t.max_frame line in
+    let t1 = Obs.Span.now_ns () in
+    Obs.Metrics.observe h_parse (us_between t1 t0);
+    Queue.push { parsed; reply; posted_ns = t1 } t.queue
+  end
 
 let drain t =
   while not (Queue.is_empty t.queue) do
     let item = Queue.pop t.queue in
+    let start_ns = Obs.Span.now_ns () in
+    Obs.Metrics.observe h_queue (us_between start_ns item.posted_ns);
     match item.parsed with
     | Error (code, msg, id) ->
         Obs.Metrics.incr c_errors;
-        item.reply (P.error_reply ?id ~code msg)
+        let line = P.error_reply ?id ~code msg in
+        let done_ns = Obs.Span.now_ns () in
+        item.reply line;
+        finish t "invalid" ~posted_ns:item.posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ())
     | Ok { req = P.Add_task { session; configs }; id } ->
-        let batch = ref [ (configs, id, item.reply) ] in
+        let batch = ref [ (configs, id, item.reply, item.posted_ns) ] in
         let continue = ref true in
         while !continue do
           match Queue.peek_opt t.queue with
@@ -276,12 +395,28 @@ let drain t =
               {
                 parsed = Ok { req = P.Add_task { session = s2; configs = c2 }; id = id2 };
                 reply;
+                posted_ns;
               }
             when s2 = session ->
               ignore (Queue.pop t.queue);
-              batch := (c2, id2, reply) :: !batch
+              Obs.Metrics.observe h_queue (us_between start_ns posted_ns);
+              batch := (c2, id2, reply, posted_ns) :: !batch
           | _ -> continue := false
         done;
-        handle_adds t session (List.rev !batch)
-    | Ok parsed -> item.reply (handle_one t parsed)
+        let batch = List.rev !batch in
+        let replies = handle_adds t session batch in
+        let done_ns = Obs.Span.now_ns () in
+        Obs.Metrics.observe h_solve (us_between done_ns start_ns);
+        List.iter2
+          (fun (_, _, reply, posted_ns) line ->
+            reply line;
+            finish t "add_task" ~posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ()))
+          batch replies
+    | Ok parsed ->
+        let op = op_name parsed.P.req in
+        let line = handle_one t parsed in
+        let done_ns = Obs.Span.now_ns () in
+        Obs.Metrics.observe h_solve (us_between done_ns start_ns);
+        item.reply line;
+        finish t op ~posted_ns:item.posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ())
   done

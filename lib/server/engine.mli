@@ -12,14 +12,38 @@
 
     Every request runs under an [Obs.Span] named after its op and emits a
     ["server.request"] event, so traces and the event log show the serve
-    path like any other subsystem. *)
+    path like any other subsystem.  On top of the spans, the engine
+    maintains live request telemetry in [Obs.Metrics]: phase histograms in
+    microseconds ([server.phase.parse_us] at admission,
+    [server.phase.queue_wait_us], [server.phase.solve_us],
+    [server.phase.reply_us] at drain) and per-op end-to-end latency
+    histograms ([server.latency.<op>_us]).  Requests slower than a
+    configurable threshold are logged to [Obs.Events] as
+    ["server.slow_request"], sampled (the first, then every nth).
+
+    Plain request totals and the start time are engine state, not [Obs]
+    state, so the [stats] basics (uptime, version, requests posted/served)
+    are always live even with telemetry disabled; the [metrics] op renders
+    the full {!Obs.Prom} exposition plus engine gauges. *)
 
 type t
 
-val create : ?jobs:int -> ?max_pending:int -> ?max_frame:int -> unit -> t
+val create :
+  ?jobs:int ->
+  ?max_pending:int ->
+  ?max_frame:int ->
+  ?version:string ->
+  ?slow_ms:float ->
+  ?slow_every:int ->
+  unit ->
+  t
 (** [jobs] (default 1: deterministic) is passed to the resolve/solve
     portfolio; [max_pending] (default 64) bounds the queue; [max_frame]
-    (default {!Protocol.default_max_frame}) caps request frames. *)
+    (default {!Protocol.default_max_frame}) caps request frames.
+    [version] (default ["dev"]) is echoed in [stats] replies.  [slow_ms]
+    (default 100, [<= 0] disables) is the slow-request log threshold;
+    [slow_every] (default 10) its sampling stride — the first slow request
+    is logged, then every [slow_every]-th. *)
 
 val max_frame : t -> int
 val shutting_down : t -> bool
@@ -27,6 +51,23 @@ val shutting_down : t -> bool
 
 val pending : t -> int
 val sessions : t -> int
+val version : t -> string
+val uptime_s : t -> float
+(** Seconds since {!create}, from the monotonic clock. *)
+
+val requests_posted : t -> int
+(** Lines ever handed to {!post}, including busy-rejected ones.  Engine
+    state, live even when [Obs] is disabled. *)
+
+val requests_served : t -> int
+(** Replies sent from {!drain} (busy rejections reply from {!post} and are
+    not counted here). *)
+
+val prom : t -> string
+(** The Prometheus text exposition behind the [metrics] op: the full
+    {!Obs.Prom.render} plus engine gauges (resident sessions, queue depth,
+    uptime, request totals, per-session task/proc/makespan figures).
+    Rendered between requests, so it reads a consistent snapshot. *)
 
 val post : t -> reply:(string -> unit) -> string -> unit
 (** Enqueue one request line.  [reply] is invoked exactly once per posted

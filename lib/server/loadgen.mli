@@ -1,0 +1,67 @@
+(** Open-loop load generator for the scheduler daemon: a seeded Poisson
+    arrival process of add_task/remove_task/resolve/ping/stats requests,
+    pipelined over one connection with replies matched by id, measuring
+    client-side send-to-reply latency as exact per-op sample arrays.
+
+    Open loop means arrivals are sent when due regardless of outstanding
+    replies, so server slowness shows up as latency (and eventually [busy]
+    rejections), not as reduced offered load.  The mix runs against a
+    preloaded session: 45% add_task, 25% remove_task, 15% resolve, 10%
+    ping, 5% stats; removals pick a live tid tracked client-side.
+
+    Deterministic in [seed] on the client side (arrival times are wall
+    clock, so measured latencies are not — that is what the bench gate's
+    tolerance bands are for). *)
+
+type opts = {
+  duration_s : float;  (** measured window, seconds *)
+  rate : float;  (** target arrival rate, requests/second *)
+  seed : int;
+  tasks : int;  (** preloaded instance: tasks *)
+  procs : int;  (** preloaded instance: processors *)
+  budget_ms : float;  (** budget passed to [resolve] requests *)
+  stall_timeout_s : float;  (** abort when any request goes unanswered this long *)
+}
+
+val default_opts : opts
+(** 2 s at 200 req/s, seed 0, a 120-task / 32-processor instance, 10 ms
+    resolve budgets, 10 s stall guard. *)
+
+type op_stats = {
+  o_op : string;
+  o_count : int;  (** ok replies measured *)
+  o_mean_ms : float;
+  o_p50_ms : float;
+  o_p95_ms : float;
+  o_p99_ms : float;
+  o_max_ms : float;
+  o_samples_ms : float array;  (** all samples, sorted ascending *)
+}
+
+type report = {
+  r_wall_s : float;
+  r_sent : int;  (** requests sent in the measured window (load excluded) *)
+  r_replies : int;
+  r_busy : int;  (** admission-control rejections (excluded from samples) *)
+  r_errors : int;  (** non-busy error replies (excluded from samples) *)
+  r_throughput_rps : float;
+  r_ops : op_stats list;  (** name-sorted; ops with no ok replies omitted *)
+}
+
+val quantile_sorted : float array -> float -> float
+(** Exact linear-interpolated quantile of a sorted sample array ([nan] when
+    empty) — rank convention matches [Obs.Metrics.quantile]. *)
+
+val run : Unix.file_descr -> opts -> (report, string) result
+(** Drive a connected daemon socket: preload the session, run the arrival
+    process for [duration_s], drain outstanding replies.  [Error] on
+    protocol violations, a hung server (stall guard) or a failed preload.
+    Raises [Invalid_argument] on non-positive [rate]/[duration_s]. *)
+
+val report_json : opts -> report -> string
+(** JSON lines for [BENCH_server.json]: one ["meta"] row (parameters,
+    throughput, reply/busy/error totals) then one ["op"] row per command
+    with count/mean/p50/p95/p99/max in milliseconds. *)
+
+val render : report -> string
+(** Human-readable summary table. *)

@@ -11,6 +11,7 @@ type request =
   | Resolve of { session : string; budget_ms : float }
   | Solve of { session : string }
   | Stats
+  | Metrics
   | Sessions
   | Snapshot of { session : string }
   | Restore of { session : string; state : J.t }
@@ -110,6 +111,7 @@ let request_of obj =
         { session = session_of obj; budget_ms = num_field_opt obj "budget_ms" ~default:500.0 }
   | "solve" -> Solve { session = session_of obj }
   | "stats" -> Stats
+  | "metrics" -> Metrics
   | "sessions" -> Sessions
   | "snapshot" -> Snapshot { session = session_of obj }
   | "restore" -> (

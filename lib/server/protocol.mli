@@ -8,9 +8,20 @@
     length can never allocate unboundedly.
 
     Ops: [ping], [load], [add_task], [remove_task], [kill_proc],
-    [resolve], [solve], [stats], [sessions], [snapshot], [restore],
-    [shutdown] — see the README "Scheduler service" section for a
-    transcript. *)
+    [resolve], [solve], [stats], [metrics], [sessions], [snapshot],
+    [restore], [shutdown] — see the README "Scheduler service" section for
+    a transcript.
+
+    Introspection ops come in two tiers.  [stats] always answers with the
+    engine's own basics — ["uptime_s"], ["version"], ["requests"] posted /
+    ["served"], ["sessions"], ["pending"] — because the engine maintains
+    them itself, independent of the [Obs] master switch; its ["counters"]
+    object carries the telemetry counters and is empty when [Obs] is
+    disabled.  [metrics] returns a full Prometheus text exposition in an
+    ["exposition"] string field (counters, latency histograms, span totals
+    from [Obs], plus live gauges: resident sessions, queue depth,
+    per-session task/proc/makespan) — the machine endpoint behind
+    [semimatch client --metrics]. *)
 
 type config = { procs : int array; weight : float }
 (** One candidate configuration of a task, as in {!Hyper.Graph}. *)
@@ -24,6 +35,7 @@ type request =
   | Resolve of { session : string; budget_ms : float }
   | Solve of { session : string }
   | Stats
+  | Metrics
   | Sessions
   | Snapshot of { session : string }
   | Restore of { session : string; state : Obs.Json.t }

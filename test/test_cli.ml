@@ -226,11 +226,54 @@ let test_client_without_server () =
   ignore
     (expect_clean_failure "serve without listener" (run_capture_err [ "serve" ]))
 
+let test_loadgen_and_metrics_e2e () =
+  (* The full service loop against a real daemon: loadgen reports per-op
+     quantiles, the metrics scrape lints clean, and shutdown is orderly. *)
+  let sock = Filename.temp_file "semimatch_e2e" ".sock" in
+  Sys.remove sock;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while not (Sys.file_exists sock) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.02
+      done;
+      check "daemon came up" true (Sys.file_exists sock);
+      let out =
+        expect_ok
+          (run_capture
+             [ "loadgen"; "--socket"; sock; "--duration"; "0.4"; "--rate"; "80"; "--seed"; "1" ])
+      in
+      check "loadgen headline" true (contains ~needle:"replies/s" out);
+      check "per-op quantile columns" true (contains ~needle:"p95_ms" out);
+      check "add_task row present" true (contains ~needle:"add_task" out);
+      let prom = expect_ok (run_capture [ "client"; "--socket"; sock; "--metrics" ]) in
+      check "exposition has TYPE lines" true (contains ~needle:"# TYPE" prom);
+      check "server gauges exported" true (contains ~needle:"semimatch_server_sessions" prom);
+      (match Obs.Prom.lint prom with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "scraped exposition fails lint: %s" msg);
+      ignore
+        (expect_ok (run_capture [ "client"; "--socket"; sock; "--request"; {|{"op":"shutdown"}|} ]));
+      ignore (Unix.waitpid [] pid))
+
 let suite =
   [
     Alcotest.test_case "gen/info/solve roundtrip" `Quick test_gen_info_solve_roundtrip;
     Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "client/serve operator errors" `Quick test_client_without_server;
+    Alcotest.test_case "loadgen + metrics against a live daemon" `Quick
+      test_loadgen_and_metrics_e2e;
     Alcotest.test_case "missing instance file" `Quick test_missing_instance_file;
     Alcotest.test_case "corrupt instance file" `Quick test_corrupt_instance_file;
     Alcotest.test_case "unknown flag and command" `Quick test_unknown_flag;

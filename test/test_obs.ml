@@ -281,6 +281,125 @@ let test_cli_profile_stats_json () =
         || List.exists (fun row -> member_str "name" row = Some "semimatch.greedy.candidates") rows)
         true)
 
+(* Quantile edge cases: empty, domain errors, clamping, and the sharding
+   invariant — observations split across domains merge to exactly the
+   buckets (hence quantiles) a single shard would hold. *)
+let test_quantile_edge_cases () =
+  Obs.with_recording (fun () ->
+      let empty = Obs.Metrics.histogram "edge.empty" in
+      check "empty histogram quantile is nan"
+        (Float.is_nan (Obs.Metrics.quantile empty ~q:0.5))
+        true;
+      let h = Obs.Metrics.histogram "edge.clamp" in
+      List.iter (Obs.Metrics.observe h) [ 3.0; 12.0 ];
+      Alcotest.(check (float 1e-9)) "q=0 clamps to min" 3.0 (Obs.Metrics.quantile h ~q:0.0);
+      Alcotest.(check (float 1e-9)) "q=1 clamps to max" 12.0 (Obs.Metrics.quantile h ~q:1.0);
+      List.iter
+        (fun q ->
+          check
+            (Printf.sprintf "q=%g is rejected" q)
+            (match Obs.Metrics.quantile h ~q with
+            | exception Invalid_argument _ -> true
+            | _ -> false)
+            true)
+        [ -0.01; 1.01; Float.nan ];
+      (* Same data, two shards: half observed on a spawned domain.  Bucket
+         merging is exact addition, so every quantile matches the
+         single-shard reference bit-for-bit. *)
+      let data = [ 1.0; 3.0; 9.0; 27.0; 81.0; 243.0 ] in
+      let reference = Obs.Metrics.histogram "edge.single_shard" in
+      List.iter (Obs.Metrics.observe reference) data;
+      let sharded = Obs.Metrics.histogram "edge.two_shards" in
+      let first, second = (List.filteri (fun i _ -> i < 3) data, List.filteri (fun i _ -> i >= 3) data) in
+      List.iter (Obs.Metrics.observe sharded) first;
+      Domain.join
+        (Domain.spawn (fun () -> List.iter (Obs.Metrics.observe sharded) second));
+      check_int "merged count" (Obs.Metrics.count reference) (Obs.Metrics.count sharded);
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "merged quantile q=%g" q)
+            (Obs.Metrics.quantile reference ~q)
+            (Obs.Metrics.quantile sharded ~q))
+        [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ])
+
+(* The sink layout is a machine contract: golden-pin the CSV header and the
+   histogram JSON keys, p95 included. *)
+let test_sink_layout_p95 () =
+  Obs.with_recording (fun () ->
+      let h = Obs.Metrics.histogram "layout.h" in
+      List.iter (Obs.Metrics.observe h) (List.init 100 (fun i -> float_of_int (i + 1)));
+      let csv = Obs.Sink.render Obs.Sink.Csv in
+      Alcotest.(check string) "CSV header"
+        "type,name,value,count,sum,min,max,mean,p50,p90,p95,p99,total_s,mean_s"
+        (List.hd (String.split_on_char '\n' csv));
+      let row =
+        List.find
+          (fun r -> member_str "name" r = Some "layout.h")
+          (parse_lines (Obs.Sink.render Obs.Sink.Json))
+      in
+      Alcotest.(check (list string)) "histogram JSON keys"
+        [ "type"; "name"; "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p95"; "p99" ]
+        (match row with Obs.Json.Obj fields -> List.map fst fields | _ -> []);
+      (* p95 is the real 0.95-quantile, between p90 and p99. *)
+      let p90 = Option.get (member_num "p90" row)
+      and p95 = Option.get (member_num "p95" row)
+      and p99 = Option.get (member_num "p99" row) in
+      Alcotest.(check (float 0.0)) "p95 matches quantile" (Obs.Metrics.quantile h ~q:0.95) p95;
+      check "p90 <= p95 <= p99" (p90 <= p95 && p95 <= p99) true;
+      check "table prints p95" (Test_cli.contains ~needle:"p95=" (Obs.Sink.render Obs.Sink.Table))
+        true)
+
+(* Prometheus exposition: a render of live metrics passes the lint, and the
+   lint actually rejects the malformations it exists to catch. *)
+let test_prom_render_and_lint () =
+  Obs.with_recording (fun () ->
+      Obs.reset ();
+      let c = Obs.Metrics.counter "prom.test.counter" in
+      Obs.Metrics.add c 42;
+      let h = Obs.Metrics.histogram "prom.test.hist_us" in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 3.0; 3.0; 700.0 ];
+      ignore (Obs.Span.timed "prom.test.span" (fun () -> Sys.opaque_identity ()));
+      let text =
+        Obs.Prom.render
+          ~gauges:
+            [
+              ("prom.test.gauge", [], 1.5);
+              ("prom.test.labeled", [ ("session", {|we"ird|}) ], 2.0);
+            ]
+          ()
+      in
+      (match Obs.Prom.lint text with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "live render fails lint: %s" msg);
+      let has needle = Test_cli.contains ~needle text in
+      check "counter family" true (has "# TYPE semimatch_prom_test_counter_total counter");
+      check "counter value" true (has "semimatch_prom_test_counter_total 42");
+      check "histogram family" true (has "# TYPE semimatch_prom_test_hist_us histogram");
+      check "+Inf bucket equals count" true (has {|semimatch_prom_test_hist_us_bucket{le="+Inf"} 4|});
+      check "histogram count" true (has "semimatch_prom_test_hist_us_count 4");
+      check "gauge" true (has "semimatch_prom_test_gauge 1.5");
+      check "label value escaped" true (has {|session="we\"ird"|});
+      check "span seconds total" true (has "semimatch_span_prom_test_span_seconds_total"));
+  let expect_bad name text =
+    match Obs.Prom.lint text with
+    | Ok () -> Alcotest.failf "lint accepted %s" name
+    | Error _ -> ()
+  in
+  expect_bad "duplicate TYPE"
+    "# TYPE foo counter\nfoo 1\n# TYPE foo counter\nfoo 2\n";
+  expect_bad "undeclared family" "# TYPE foo counter\nfoo 1\nbar 2\n";
+  expect_bad "non-monotone le buckets"
+    "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+  expect_bad "decreasing cumulative counts"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+  expect_bad "+Inf disagrees with count"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+  expect_bad "non-numeric value" "# TYPE foo counter\nfoo one\n";
+  match Obs.Prom.lint "# TYPE ok counter\nok 1\nok{label=\"x\"} 2\n" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "labelled samples under one family must pass: %s" msg
+
 let suite =
   [
     Alcotest.test_case "disabled probes record nothing" `Quick test_disabled_records_nothing;
@@ -292,5 +411,8 @@ let suite =
     Alcotest.test_case "NaN sentinels per sink format" `Quick test_nan_sentinels;
     Alcotest.test_case "CSV quotes hostile labels" `Quick test_csv_hostile_label;
     Alcotest.test_case "structured event log basics" `Quick test_events_basics;
+    Alcotest.test_case "quantile edge cases and shard merging" `Quick test_quantile_edge_cases;
+    Alcotest.test_case "sink layout pins p95 columns" `Quick test_sink_layout_p95;
+    Alcotest.test_case "Prometheus render and lint" `Quick test_prom_render_and_lint;
     Alcotest.test_case "CLI profile --stats=json" `Quick test_cli_profile_stats_json;
   ]

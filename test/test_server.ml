@@ -55,10 +55,11 @@ let load_line ?id ~session h =
 
 (* --- golden transcript -------------------------------------------------- *)
 
-(* Byte-for-byte, modulo the timing fields: elapsed_ms is wall clock and the
-   stats counters include timing-sensitive solver work, so both are blanked
-   before comparison.  Everything else — field order, number formatting, id
-   echoing — is part of the protocol contract scripted clients rely on. *)
+(* Byte-for-byte, modulo the timing fields: elapsed_ms and uptime_s are wall
+   clock and the stats counters include timing-sensitive solver work, so all
+   three are blanked before comparison.  Everything else — field order,
+   number formatting, id echoing — is part of the protocol contract scripted
+   clients rely on. *)
 let normalize reply =
   let rec strip = function
     | J.Obj fields ->
@@ -66,7 +67,7 @@ let normalize reply =
           (List.map
              (fun (k, v) ->
                match k with
-               | "elapsed_ms" -> (k, J.Num 0.0)
+               | "elapsed_ms" | "uptime_s" -> (k, J.Num 0.0)
                | "counters" -> (k, J.Obj [])
                | _ -> (k, strip v))
              fields)
@@ -97,7 +98,7 @@ let golden_expected =
     {|{"id":2,"ok":true,"op":"add_task","tid":3,"batched":1,"makespan":3,"moved":1,"infeasible":0}|};
     {|{"id":3,"ok":true,"op":"remove_task","task":1,"makespan":3}|};
     {|{"id":4,"ok":true,"op":"resolve","tier":"exact","degraded":false,"replaced":false,"makespan":3,"lower_bound":2,"elapsed_ms":0}|};
-    {|{"id":5,"ok":true,"op":"stats","sessions":1,"pending":0,"counters":{}}|};
+    {|{"id":5,"ok":true,"op":"stats","uptime_s":0,"version":"dev","requests":6,"served":5,"sessions":1,"pending":0,"counters":{}}|};
     {|{"ok":true,"op":"sessions","sessions":["g"]}|};
     {|{"id":"bye","ok":true,"op":"shutdown","shutting_down":true}|};
   ]
@@ -417,6 +418,84 @@ let test_error_codes () =
       let r = expect_ok (L.request lb (line [ ("op", J.Str "ping") ])) in
       check "server survives the gauntlet" true (is_ok r))
 
+(* --- introspection: stats basics, metrics exposition --------------------- *)
+
+let test_stats_basics_without_obs () =
+  (* The two-tier contract from protocol.mli: uptime/version/request totals
+     are engine state and answer even with the Obs switch off; only the
+     counters object goes dark. *)
+  check "obs off for this test" false (Obs.is_enabled ());
+  let lb = L.create () in
+  ignore (expect_ok (L.request lb (line [ ("op", J.Str "ping") ])));
+  let r = expect_ok (L.request lb (line [ ("op", J.Str "stats") ])) in
+  check "uptime_s present and sane" true (num r "uptime_s" >= 0.0);
+  (match field r "version" with
+  | J.Str "dev" -> ()
+  | v -> Alcotest.failf "version: %s" (J.to_string v));
+  Alcotest.(check int) "requests counts both" 2 (int_of_float (num r "requests"));
+  Alcotest.(check int) "served counts the ping" 1 (int_of_float (num r "served"));
+  match field r "counters" with
+  | J.Obj [] -> ()
+  | v -> Alcotest.failf "counters should be empty with Obs off: %s" (J.to_string v)
+
+let test_metrics_exposition () =
+  Obs.with_recording (fun () ->
+      let lb = L.create () in
+      ignore (expect_ok (L.request lb (load_line ~session:"m" (tiny ()))));
+      ignore (expect_ok (L.request lb (line [ ("op", J.Str "ping") ])));
+      let r = expect_ok (L.request lb (line [ ("op", J.Str "metrics") ])) in
+      let text =
+        match field r "exposition" with
+        | J.Str s -> s
+        | _ -> Alcotest.fail "exposition must be a string"
+      in
+      (match Obs.Prom.lint text with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "exposition fails its own lint: %s" msg);
+      let has needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check "session gauge" true (has {|semimatch_server_sessions 1|});
+      check "labeled per-session gauge" true (has {|{session="m"}|});
+      check "per-op latency histogram" true (has "semimatch_server_latency_ping_us_bucket");
+      check "cumulative +Inf bucket" true (has {|le="+Inf"|}))
+
+(* --- client timeout and mid-request hangup ------------------------------- *)
+
+let test_client_timeout () =
+  (* A connected peer that never replies: the read must give up after the
+     deadline, not hang the caller. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let c = Server.Client.of_fd a in
+  let t0 = Unix.gettimeofday () in
+  (match Server.Client.request ~timeout_s:0.3 c {|{"op":"ping"}|} with
+  | reply -> Alcotest.failf "expected Timeout, got reply %s" reply
+  | exception Server.Client.Timeout -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check "timed out promptly" true (elapsed >= 0.25 && elapsed < 3.0);
+  Server.Client.close c;
+  Unix.close b
+
+let test_client_server_death_mid_request () =
+  (* The daemon dies after accepting the request but before replying: the
+     client sees End_of_file, not a hang and not a Timeout. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let c = Server.Client.of_fd a in
+  let killer =
+    Domain.spawn (fun () ->
+        (* Wait for the request bytes so the close is genuinely mid-request. *)
+        let buf = Bytes.create 256 in
+        ignore (Unix.read b buf 0 256);
+        Unix.close b)
+  in
+  (match Server.Client.request ~timeout_s:5.0 c {|{"op":"ping"}|} with
+  | reply -> Alcotest.failf "expected End_of_file, got reply %s" reply
+  | exception End_of_file -> ());
+  Domain.join killer;
+  Server.Client.close c
+
 let suite =
   [
     Alcotest.test_case "golden transcript" `Quick test_golden_transcript;
@@ -431,4 +510,10 @@ let suite =
     Alcotest.test_case "reply order with malformed lines" `Quick test_reply_order_with_malformed;
     Alcotest.test_case "kill_proc and infeasible tasks" `Quick test_kill_proc_and_infeasible;
     Alcotest.test_case "error codes" `Quick test_error_codes;
+    Alcotest.test_case "stats basics answer with Obs disabled" `Quick
+      test_stats_basics_without_obs;
+    Alcotest.test_case "metrics exposition over loopback" `Quick test_metrics_exposition;
+    Alcotest.test_case "client read timeout" `Quick test_client_timeout;
+    Alcotest.test_case "client sees EOF when the server dies mid-request" `Quick
+      test_client_server_death_mid_request;
   ]

@@ -182,10 +182,64 @@ let test_pool_depth_guard () =
         (List.for_all (fun r -> r.Obs.Span.depth = 0) after)
         true)
 
+(* Runtime_events correlation: forced GCs under an active subscription must
+   land as gc.* spans on a dedicated track, named distinctly from domain
+   tracks in the trace metadata. *)
+let test_runtime_gc_track () =
+  Obs.with_recording (fun () ->
+      Obs.Runtime.start ();
+      check "subscription is live" true (Obs.Runtime.started ());
+      (* Generate minor collections, then drain the ring. *)
+      for _ = 1 to 50 do
+        ignore (Sys.opaque_identity (Array.make 20_000 0.0));
+        Gc.minor ()
+      done;
+      let consumed = ref (Obs.Runtime.poll ()) in
+      let retries = ref 0 in
+      while !consumed = 0 && !retries < 20 do
+        Gc.minor ();
+        incr retries;
+        consumed := Obs.Runtime.poll ()
+      done;
+      Obs.Runtime.stop ();
+      check "poll consumed runtime events" true (!consumed > 0);
+      let gc_spans =
+        List.filter
+          (fun r ->
+            String.length r.Obs.Span.r_name >= 3 && String.sub r.Obs.Span.r_name 0 3 = "gc.")
+          (Obs.Span.records ())
+      in
+      check "gc spans recorded" true (gc_spans <> []);
+      check "gc spans live on the offset tracks" true
+        (List.for_all (fun r -> r.Obs.Span.dom >= Obs.Runtime.track_offset) gc_spans);
+      check "gc spans are well-formed intervals" true
+        (List.for_all (fun r -> Int64.compare r.Obs.Span.stop_ns r.Obs.Span.start_ns >= 0) gc_spans);
+      (* The trace export names those tracks "gc-ring-N" and keeps engine
+         spans on ordinary "domain-N" tracks. *)
+      ignore (Obs.Span.timed "engine.work" (fun () -> Sys.opaque_identity ()));
+      let evs = events_of (Obs.Trace.to_json ()) in
+      let thread_names =
+        with_ph "M" evs
+        |> List.filter (fun e -> member_str "name" e = Some "thread_name")
+        |> List.filter_map (fun e ->
+               Option.bind (J.member "args" e) (fun a -> member_str "name" a))
+      in
+      let is_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+      check "a gc-ring track is named" true (List.exists (is_prefix "gc-ring-") thread_names);
+      check "domain tracks keep their names" true
+        (List.exists (is_prefix "domain-") thread_names);
+      let gc_slices =
+        with_ph "X" evs
+        |> List.filter (fun e ->
+               match member_str "name" e with Some n -> is_prefix "gc." n | None -> false)
+      in
+      check "gc slices exported" true (gc_slices <> []))
+
 let suite =
   [
     Alcotest.test_case "pool trace has two tracks and flows" `Quick test_pool_trace_two_tracks;
     Alcotest.test_case "CLI solve --trace golden schema" `Quick test_cli_solve_trace_golden;
     Alcotest.test_case "portfolio events log" `Quick test_portfolio_events;
     Alcotest.test_case "pool depth guard" `Quick test_pool_depth_guard;
+    Alcotest.test_case "runtime GC events land on gc-ring tracks" `Quick test_runtime_gc_track;
   ]
