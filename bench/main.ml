@@ -137,6 +137,10 @@ let ablation_exact =
              Semimatch.Exact_unit.solve ~strategy:Semimatch.Exact_unit.Bisection gap_instance));
       Test.make ~name:"harvey"
         (Staged.stage (fun () -> Semimatch.Harvey.solve gap_instance));
+      Test.make ~name:"gen-hk"
+        (Staged.stage (fun () -> Semimatch.Gen_hk.solve gap_instance));
+      Test.make ~name:"dnc"
+        (Staged.stage (fun () -> Semimatch.Divide_conquer.solve gap_instance));
     ]
 
 let ablation_engines =
@@ -248,15 +252,16 @@ let smoke () =
                ]))
         row.Experiments.Runner.results)
     specs;
-  (* Exact unit-weight solver through each matching engine. *)
+  (* Exact unit-weight solver through every engine of the catalogue: the
+     three binary searches plus the direct cost-reducing-path solvers. *)
   let sp_spec = Experiments.Instances.scaled_singleproc 16 (find_sp_spec "FG-20-1") in
   let sp = Experiments.Instances.generate_singleproc ~seed:0 sp_spec in
   List.iter
-    (fun engine ->
-      let name = Matching.engine_name engine in
+    (fun exact ->
+      let name = Semimatch.Exact_unit.exact_engine_name exact in
       let s, dt =
         Experiments.Runner.time_it ~span:("bench.exact-" ^ name) (fun () ->
-            Semimatch.Exact_unit.solve ~engine sp)
+            Semimatch.Exact_unit.solve_with ~exact sp)
       in
       add_line
         (Obs.Json.Obj
@@ -265,9 +270,11 @@ let smoke () =
              ("instance", Obs.Json.Str sp_spec.Experiments.Instances.sp_name);
              ("algo", Obs.Json.Str ("exact-" ^ name));
              ("makespan", Obs.Json.Num (float_of_int s.Semimatch.Exact_unit.makespan));
+             ("guarantee",
+              Obs.Json.Str (Semimatch.Exact_unit.guarantee_name s.Semimatch.Exact_unit.guarantee));
              ("time_s", Obs.Json.Num dt);
            ]))
-    Matching.all_engines;
+    Semimatch.Exact_unit.all_exact_engines;
   (* Full telemetry snapshot recorded while the work above ran. *)
   Buffer.add_string buf (Obs.Sink.render ~label:"bench-smoke" Obs.Sink.Json);
   let oc = open_out smoke_out in
@@ -441,11 +448,11 @@ let gate_workloads () =
   let sp = Experiments.Instances.generate_singleproc ~seed:0 sp_spec in
   let exact =
     List.map
-      (fun engine ->
+      (fun exact ->
         ( Printf.sprintf "%s/exact-%s" sp_spec.Experiments.Instances.sp_name
-            (Matching.engine_name engine),
-          fun () -> ignore (Semimatch.Exact_unit.solve ~engine sp) ))
-      Matching.all_engines
+            (Semimatch.Exact_unit.exact_engine_name exact),
+          fun () -> ignore (Semimatch.Exact_unit.solve_with ~exact sp) ))
+      Semimatch.Exact_unit.all_exact_engines
   in
   heuristics @ exact
 

@@ -111,20 +111,11 @@ let with_stats stats f = with_telemetry stats f
 
 (* SINGLEPROC-UNIT detection and embedding, shared by [exact] and
    [profile]: singleton unit-weight configurations are plain bipartite
-   edges. *)
-let is_singleton_unit h =
-  let ok = ref true in
-  for e = 0 to Hyper.Graph.num_hyperedges h - 1 do
-    if Hyper.Graph.h_size h e <> 1 || Hyper.Graph.h_weight h e <> 1.0 then ok := false
-  done;
-  !ok
-
-let bipartite_of_singleton h =
-  let edges = ref [] in
-  for e = Hyper.Graph.num_hyperedges h - 1 downto 0 do
-    Hyper.Graph.iter_h_procs h e (fun u -> edges := (Hyper.Graph.h_task h e, u) :: !edges)
-  done;
-  Bipartite.Graph.unit_weights ~n1:h.Hyper.Graph.n1 ~n2:h.Hyper.Graph.n2 ~edges:!edges
+   edges (Hyper.Graph.to_bipartite does the structural half). *)
+let singleton_unit h =
+  match Hyper.Graph.to_bipartite h with
+  | Some g when Bipartite.Graph.is_unit_weighted g -> Some g
+  | Some _ | None -> None
 
 let weights_conv =
   Arg.enum
@@ -374,30 +365,37 @@ let solve_cmd =
           $ faults $ repair $ stats_arg $ trace_arg $ events_arg $ file_arg)
 
 let exact_cmd =
-  let run strategy jobs stats trace events file =
+  let run strategy engine jobs stats trace events file =
     let h = load_instance file in
-    if not (is_singleton_unit h) then begin
-      prerr_endline
-        "exact: instance is not SINGLEPROC-UNIT (needs singleton unit-weight configurations);\n\
-         MULTIPROC is NP-complete - use 'solve' instead.";
-      exit 1
-    end;
-    with_telemetry ~trace ~events stats (fun () ->
-        let g = bipartite_of_singleton h in
-        if jobs > 1 then begin
-          (* Race the three matching engines; all compute the same optimum,
-             so only the winner (and its bookkeeping) depends on timing. *)
-          let s, engine = Semimatch.Portfolio.solve_exact_unit ~jobs g in
-          Printf.printf "optimal makespan: %d (%d deadlines tried, %s engine won the race)\n"
-            s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
-            (Matching.engine_name engine)
-        end
-        else begin
-          let s = Semimatch.Exact_unit.solve ~strategy g in
-          Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
-            s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
-            (Semimatch.Exact_unit.strategy_name strategy)
-        end)
+    match singleton_unit h with
+    | None ->
+        prerr_endline
+          "exact: instance is not SINGLEPROC-UNIT (needs singleton unit-weight configurations);\n\
+           MULTIPROC is NP-complete - use 'solve' instead.";
+        exit 1
+    | Some g ->
+        with_telemetry ~trace ~events stats (fun () ->
+            match engine with
+            | Some exact ->
+                let s = Semimatch.Exact_unit.solve_with ~strategy ~exact g in
+                Printf.printf "optimal makespan: %d (%d deadlines tried, %s engine, %s)\n"
+                  s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+                  (Semimatch.Exact_unit.exact_engine_name exact)
+                  (Semimatch.Exact_unit.guarantee_name s.Semimatch.Exact_unit.guarantee)
+            | None when jobs > 1 ->
+                (* Race every exact engine; all compute the same optimum, so
+                   only the winner (and its bookkeeping) depends on timing. *)
+                let s, exact = Semimatch.Portfolio.solve_exact_unit ~jobs g in
+                Printf.printf
+                  "optimal makespan: %d (%d deadlines tried, %s engine won the race, %s)\n"
+                  s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+                  (Semimatch.Exact_unit.exact_engine_name exact)
+                  (Semimatch.Exact_unit.guarantee_name s.Semimatch.Exact_unit.guarantee)
+            | None ->
+                let s = Semimatch.Exact_unit.solve ~strategy g in
+                Printf.printf "optimal makespan: %d (%d deadlines tried, %s search)\n"
+                  s.Semimatch.Exact_unit.makespan s.Semimatch.Exact_unit.deadlines_tried
+                  (Semimatch.Exact_unit.strategy_name strategy))
   in
   let strategy_conv =
     Arg.enum
@@ -405,11 +403,27 @@ let exact_cmd =
   in
   let strategy =
     Arg.(value & opt strategy_conv Semimatch.Exact_unit.Incremental
-         & info [ "strategy" ] ~docv:"S" ~doc:"incremental or bisection")
+         & info [ "strategy" ] ~docv:"S" ~doc:"incremental or bisection (binary search only)")
+  in
+  let engine_conv =
+    Arg.enum
+      (List.map
+         (fun e -> (Semimatch.Exact_unit.exact_engine_name e, e))
+         Semimatch.Exact_unit.all_exact_engines)
+  in
+  let engine =
+    Arg.(value & opt (some engine_conv) None
+         & info [ "engine" ]
+             ~docv:"E"
+             ~doc:
+               "exact engine: bs-dfs, bs-hk or bs-pr (deadline binary search over a matching \
+                engine; makespan-optimal), harvey, gen-hk or dnc (direct cost-reducing-path \
+                solvers; load-vector-optimal).  Default: binary search, or a race of all six \
+                with --jobs > 1.")
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact optimum for SINGLEPROC-UNIT instances")
-    Term.(const run $ strategy $ jobs_arg $ stats_arg $ trace_arg $ events_arg $ file_arg)
+    Term.(const run $ strategy $ engine $ jobs_arg $ stats_arg $ trace_arg $ events_arg $ file_arg)
 
 let compare_cmd =
   let run refine stats file =
@@ -516,17 +530,16 @@ let profile_cmd =
           snd (Semimatch.Annealing.solve rng h) )
     in
     let engine_tasks =
-      if not (is_singleton_unit h) then []
-      else begin
-        let g = bipartite_of_singleton h in
-        List.map
-          (fun engine ->
-            ( "exact-" ^ Matching.engine_name engine,
-              fun () ->
-                float_of_int (Semimatch.Exact_unit.solve ~engine g).Semimatch.Exact_unit.makespan
-            ))
-          Matching.all_engines
-      end
+      match singleton_unit h with
+      | None -> []
+      | Some g ->
+          List.map
+            (fun exact ->
+              ( "exact-" ^ Semimatch.Exact_unit.exact_engine_name exact,
+                fun () ->
+                  float_of_int
+                    (Semimatch.Exact_unit.solve_with ~exact g).Semimatch.Exact_unit.makespan ))
+            Semimatch.Exact_unit.all_exact_engines
     in
     let tasks = greedy_tasks @ [ ls_task; sa_task ] @ engine_tasks in
     let rows =

@@ -111,6 +111,26 @@ let of_bipartite g =
   done;
   create ~n1:g.B.n1 ~n2:g.B.n2 ~hyperedges:!hyperedges
 
+let to_bipartite h =
+  let all_singleton = ref true in
+  for e = 0 to num_hyperedges h - 1 do
+    if h_size h e <> 1 then all_singleton := false
+  done;
+  if not !all_singleton then None
+  else begin
+    (* Hyperedge e of task v becomes bipartite edge (v, its one processor).
+       Both CSRs group entries stably by task with one entry per hyperedge,
+       so bipartite edge index = hyperedge index — callers rely on it to map
+       assignments back. *)
+    let edges = ref [] in
+    for v = h.n1 - 1 downto 0 do
+      for e = h.task_off.(v + 1) - 1 downto h.task_off.(v) do
+        edges := (v, h.h_adj.(h.h_off.(e)), h.w.(e)) :: !edges
+      done
+    done;
+    Some (Bipartite.Graph.create ~n1:h.n1 ~n2:h.n2 ~edges:!edges)
+  end
+
 let min_max_h_size h =
   let nh = num_hyperedges h in
   if nh = 0 then invalid_arg "Hyper.Graph.min_max_h_size: no hyperedges";

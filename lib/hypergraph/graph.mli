@@ -61,6 +61,14 @@ val of_bipartite : Bipartite.Graph.t -> t
     hyperedge, so SINGLEPROC is literally the special case the paper
     describes.  Hypergraph heuristics run unchanged on the result. *)
 
+val to_bipartite : t -> Bipartite.Graph.t option
+(** Inverse of {!of_bipartite}: [Some g] iff every hyperedge is a singleton,
+    each becoming one bipartite edge of the same weight.  Contract: edge [e]
+    of the result corresponds to hyperedge [e] (both CSRs group stably by
+    task, one entry per hyperedge), so a {e bipartite} edge choice is
+    directly a {e hyperedge} choice.  [None] on any multi-processor
+    configuration. *)
+
 val min_max_h_size : t -> int * int
 (** Smallest and largest configuration sizes (used by the Related weight
     scheme).  Raises [Invalid_argument] on hypergraphs without

@@ -67,12 +67,34 @@ let solve ?pool ?jobs ?solvers ~budget_s h =
     end
     else None
   in
-  (* Tier 3 — exact, only on tiny instances with budget to spare. *)
+  (* Tier 3 — exact.  SINGLEPROC-UNIT instances (every configuration a
+     singleton of weight 1) get the polynomial Gen_hk engine whatever their
+     size; everything else falls back to brute force on tiny instances with
+     budget to spare.  Gen_hk adopts only on strict improvement so that an
+     undegraded run still returns the portfolio's bytes on ties. *)
   let _, best_m, _ = !incumbent in
-  if remaining () > 0.0 && best_m > lower_bound && search_space_small h then begin
-    let m, asg = Brute_force.multiproc h in
-    if m <= best_m then incumbent := (asg, m, Tier_exact);
-    emit_tier Tier_exact m (elapsed ())
+  if remaining () > 0.0 && best_m > lower_bound then begin
+    match Hyper.Graph.to_bipartite h with
+    | Some g when Bipartite.Graph.is_unit_weighted g ->
+        let s = Exact_unit.solve_with ~exact:Exact_unit.Gen_hk g in
+        let m = float_of_int s.Exact_unit.makespan in
+        if m < best_m then begin
+          (* to_bipartite's contract: bipartite edge index = hyperedge
+             index, so the bipartite choice is directly the hyperedge
+             choice. *)
+          let choice = Array.copy s.Exact_unit.assignment.Bip_assignment.edge in
+          incumbent := (Hyp_assignment.of_choices h choice, m, Tier_exact)
+        end;
+        if Obs.is_enabled () then
+          Obs.Events.emit "deadline.exact_engine"
+            [ Obs.Events.str "engine" (Exact_unit.exact_engine_name Exact_unit.Gen_hk) ];
+        emit_tier Tier_exact m (elapsed ())
+    | _ ->
+        if search_space_small h then begin
+          let m, asg = Brute_force.multiproc h in
+          if m <= best_m then incumbent := (asg, m, Tier_exact);
+          emit_tier Tier_exact m (elapsed ())
+        end
   end;
   let assignment, makespan, tier = !incumbent in
   (* Degraded: the budget cut off work that could still have improved the

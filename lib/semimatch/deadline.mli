@@ -10,11 +10,16 @@
     - {b portfolio}: with budget remaining, {!Portfolio.solve} races the
       remaining heuristics (greedies, local search, annealing) under the
       leftover wall clock.
-    - {b exact}: with budget still remaining and a search space of at most
-      [200_000] configurations (Π d_v), {!Brute_force.multiproc} settles the
-      instance optimally.  The bound keeps the exact tier off any instance
-      large enough that the portfolio's answer matters, so a generous budget
-      reproduces [Portfolio.solve] byte-for-byte there.
+    - {b exact}: with budget still remaining, a SINGLEPROC-UNIT instance
+      (every hyperedge a unit-weight singleton) is settled by the direct
+      {!Gen_hk} engine — polynomial, so no size bound is needed — adopted
+      only when it strictly improves the incumbent, and a
+      ["deadline.exact_engine"] event names the engine.  Otherwise, with a
+      search space of at most [200_000] configurations (Π d_v),
+      {!Brute_force.multiproc} settles the instance optimally.  The bound
+      keeps brute force off any instance large enough that the portfolio's
+      answer matters, so a generous budget reproduces [Portfolio.solve]
+      byte-for-byte there.
 
     The result is {e degraded} when the budget cut solvers off before they
     could have mattered: the portfolio tier never started, or some of its

@@ -4,7 +4,18 @@ type strategy = Incremental | Bisection
 
 let strategy_name = function Incremental -> "incremental" | Bisection -> "bisection"
 
-type solution = { makespan : int; assignment : Bip_assignment.t; deadlines_tried : int }
+type guarantee = Makespan_optimal | Load_vector_optimal
+
+let guarantee_name = function
+  | Makespan_optimal -> "makespan-optimal"
+  | Load_vector_optimal -> "load-vector-optimal"
+
+type solution = {
+  makespan : int;
+  assignment : Bip_assignment.t;
+  deadlines_tried : int;
+  guarantee : guarantee;
+}
 
 let check g =
   if not (G.is_unit_weighted g) then invalid_arg "Exact_unit: weights must all be 1";
@@ -21,7 +32,12 @@ let feasible ?engine g ~d =
 let solve ?engine ?(strategy = Incremental) g =
   check g;
   if g.G.n1 = 0 then
-    { makespan = 0; assignment = Bip_assignment.of_edges g [||]; deadlines_tried = 0 }
+    {
+      makespan = 0;
+      assignment = Bip_assignment.of_edges g [||];
+      deadlines_tried = 0;
+      guarantee = Makespan_optimal;
+    }
   else begin
     let tried = ref 0 in
     let attempt d =
@@ -33,14 +49,16 @@ let solve ?engine ?(strategy = Incremental) g =
     | Incremental ->
         let rec search d =
           match attempt d with
-          | Some assignment -> { makespan = d; assignment; deadlines_tried = !tried }
+          | Some assignment ->
+              { makespan = d; assignment; deadlines_tried = !tried; guarantee = Makespan_optimal }
           | None -> search (d + 1)
         in
         search lo0
     | Bisection ->
         (* Invariant: makespan lo-1 infeasible (lo0-1 < LB is), hi feasible. *)
         let rec bisect lo hi best =
-          if lo >= hi then { makespan = hi; assignment = best; deadlines_tried = !tried }
+          if lo >= hi then
+            { makespan = hi; assignment = best; deadlines_tried = !tried; guarantee = Makespan_optimal }
           else begin
             let mid = (lo + hi) / 2 in
             match attempt mid with
@@ -59,3 +77,55 @@ let solve ?engine ?(strategy = Incremental) g =
         let hi, best = find_hi (max lo0 1) in
         bisect lo0 hi best
   end
+
+(* ---- the unified exact-engine catalogue ------------------------------ *)
+
+type exact_engine =
+  | Binary_search of Matching.engine
+  | Harvey_online
+  | Gen_hk
+  | Divide_conquer
+
+let all_exact_engines =
+  List.map (fun e -> Binary_search e) Matching.all_engines
+  @ [ Harvey_online; Gen_hk; Divide_conquer ]
+
+let exact_engine_name = function
+  | Binary_search Matching.Dfs -> "bs-dfs"
+  | Binary_search Matching.Hopcroft_karp -> "bs-hk"
+  | Binary_search Matching.Push_relabel -> "bs-pr"
+  | Harvey_online -> "harvey"
+  | Gen_hk -> "gen-hk"
+  | Divide_conquer -> "dnc"
+
+let exact_engine_guarantee = function
+  | Binary_search _ -> Makespan_optimal
+  | Harvey_online | Gen_hk | Divide_conquer -> Load_vector_optimal
+
+let solve_with ?strategy ~exact g =
+  match exact with
+  | Binary_search engine -> solve ~engine ?strategy g
+  | Harvey_online ->
+      let s = Harvey.solve g in
+      {
+        makespan = s.Harvey.makespan;
+        assignment = s.Harvey.assignment;
+        deadlines_tried = 0;
+        guarantee = Load_vector_optimal;
+      }
+  | Gen_hk ->
+      let s = Gen_hk.solve g in
+      {
+        makespan = s.Gen_hk.makespan;
+        assignment = s.Gen_hk.assignment;
+        deadlines_tried = s.Gen_hk.phases;
+        guarantee = Load_vector_optimal;
+      }
+  | Divide_conquer ->
+      let s = Divide_conquer.solve g in
+      {
+        makespan = s.Divide_conquer.makespan;
+        assignment = s.Divide_conquer.assignment;
+        deadlines_tried = s.Divide_conquer.matchings;
+        guarantee = Load_vector_optimal;
+      }

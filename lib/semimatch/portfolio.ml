@@ -141,11 +141,11 @@ let solve ?pool ?(jobs = 1) ?(cutoff = true) ?timeout_s ?(solvers = default_solv
   in
   { best_makespan; assignment; winner = solvers.(!winner_idx); lower_bound = lb; outcomes }
 
-let solve_exact_unit ?pool ?(jobs = 1) ?(engines = Matching.all_engines) g =
+let solve_exact_unit ?pool ?(jobs = 1) ?(engines = Exact_unit.all_exact_engines) g =
   if engines = [] then invalid_arg "Portfolio.solve_exact_unit: engines must be non-empty";
   let engines = Array.of_list engines in
   let contenders =
-    Array.map (fun engine _token -> Exact_unit.solve ~engine g) engines
+    Array.map (fun exact _token -> Exact_unit.solve_with ~exact g) engines
   in
   let idx, solution =
     match pool with

@@ -65,13 +65,15 @@ val solve :
 val solve_exact_unit :
   ?pool:Parpool.Pool.t ->
   ?jobs:int ->
-  ?engines:Matching.engine list ->
+  ?engines:Exact_unit.exact_engine list ->
   Bipartite.Graph.t ->
-  Exact_unit.solution * Matching.engine
-(** Race the maximum-matching engines on the same SINGLEPROC-UNIT instance
-    and return the first solution to arrive with the engine that produced
-    it.  All engines compute the same optimal makespan (their matchings have
-    identical cardinality), so the solution value is engine- and
-    timing-independent; only [deadlines_tried] bookkeeping and the winning
-    engine vary.  With [jobs = 1] the first engine in [engines] (default
-    {!Matching.all_engines}) wins deterministically. *)
+  Exact_unit.solution * Exact_unit.exact_engine
+(** Race the exact engines — the three binary searches and the three direct
+    cost-reducing-path solvers — on the same SINGLEPROC-UNIT instance and
+    return the first solution to arrive with the engine that produced it.
+    All engines compute the same optimal {e makespan}, so that value is
+    engine- and timing-independent; the assignment, [deadlines_tried]
+    bookkeeping, the winning engine and its [guarantee] (makespan- vs
+    load-vector-optimal — see {!Exact_unit.guarantee}) vary with the
+    winner.  With [jobs = 1] the first engine in [engines] (default
+    {!Exact_unit.all_exact_engines}) wins deterministically. *)

@@ -18,6 +18,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("property", Test_property.suite);
       ("differential", Test_differential.suite);
+      ("exact-engines", Test_exact_engines.suite);
       ("determinism", Test_determinism.suite);
       ("invariants", Test_invariants.suite);
       ("annealing", Test_annealing.suite);

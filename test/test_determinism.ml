@@ -77,6 +77,47 @@ let test_portfolio_identical_across_jobs () =
       (outcomes 1 = outcomes 4)
   done
 
+let test_exact_engines_identical_across_jobs () =
+  (* The direct exact engines are pure functions of the instance bytes:
+     repeated runs and any pool size must return byte-identical edge
+     choices, not merely equal makespans.  Raced through the portfolio
+     with a singleton engine list, the winner is forced, so the raced
+     assignment must equal the sequential one at jobs 1, 4 and 8. *)
+  let module E = Semimatch.Exact_unit in
+  let rng = Randkit.Prng.create ~seed:23 in
+  for _ = 1 to 8 do
+    let r = Randkit.Prng.split rng in
+    let n1 = 5 + Randkit.Prng.int r 40 and n2 = 2 + Randkit.Prng.int r 8 in
+    let edges = ref [] in
+    for v = 0 to n1 - 1 do
+      let d = 1 + Randkit.Prng.int r (min 4 n2) in
+      let procs = Randkit.Prng.sample_without_replacement r ~k:d ~n:n2 in
+      Array.iter (fun u -> edges := (v, u) :: !edges) procs
+    done;
+    let g = Bipartite.Graph.unit_weights ~n1 ~n2 ~edges:!edges in
+    List.iter
+      (fun exact ->
+        let name = E.exact_engine_name exact in
+        let edges_of (s : E.solution) = s.E.assignment.Semimatch.Bip_assignment.edge in
+        let reference = edges_of (E.solve_with ~exact g) in
+        Alcotest.(check (array int))
+          (name ^ " repeated run byte-identical") reference
+          (edges_of (E.solve_with ~exact g));
+        List.iter
+          (fun jobs ->
+            let s, _ = Semimatch.Portfolio.solve_exact_unit ~jobs ~engines:[ exact ] g in
+            Alcotest.(check (array int))
+              (Printf.sprintf "%s raced at jobs=%d byte-identical" name jobs)
+              reference (edges_of s))
+          [ 1; 4; 8 ])
+      [ E.Gen_hk; E.Divide_conquer ];
+    (* The full six-engine race: makespan independent of jobs. *)
+    let m jobs = (fst (Semimatch.Portfolio.solve_exact_unit ~jobs g)).E.makespan in
+    let sequential = m 1 in
+    Alcotest.(check int) "race jobs=4" sequential (m 4);
+    Alcotest.(check int) "race jobs=8" sequential (m 8)
+  done
+
 let test_merged_counters_equal_shard_sum () =
   let c = Obs.Metrics.counter "test.determinism.sharded" in
   Obs.with_recording (fun () ->
@@ -128,6 +169,8 @@ let suite =
       test_runner_table_identical_across_jobs;
     Alcotest.test_case "portfolio makespans identical across jobs" `Quick
       test_portfolio_identical_across_jobs;
+    Alcotest.test_case "direct exact engines byte-identical across jobs 1/4/8" `Quick
+      test_exact_engines_identical_across_jobs;
     Alcotest.test_case "merged counters = sum of shards" `Quick
       test_merged_counters_equal_shard_sum;
     Alcotest.test_case "local shard diff exact under concurrency" `Quick

@@ -211,6 +211,70 @@ let test_bipartite_greedy_feasible () =
       done)
     Gb.all
 
+(* Flow-cost characterization of optimal semi-matchings: a schedule that
+   admits no cost-reducing path minimizes Sigma l(l+1)/2 over *all* feasible
+   assignments (Harvey et al.).  The direct exact engines claim exactly
+   that, so on brute-forceable instances their total flow time must equal
+   the enumerated minimum.  Failures shrink to a minimal counterexample and
+   print it in the Hyper.Io format like every other property here. *)
+let enum_min_flow_cost g =
+  let module B = Bipartite.Graph in
+  let loads = Array.make g.B.n2 0 in
+  let best = ref max_int in
+  let rec go v =
+    if v = g.B.n1 then begin
+      let c = Array.fold_left (fun acc l -> acc + (l * (l + 1) / 2)) 0 loads in
+      if c < !best then best := c
+    end
+    else
+      B.iter_neighbors g v (fun u _w ->
+          loads.(u) <- loads.(u) + 1;
+          go (v + 1);
+          loads.(u) <- loads.(u) - 1)
+  in
+  go 0;
+  !best
+
+let test_optimal_flow_cost () =
+  let prop c =
+    let g = bipartite_of c in
+    let space =
+      List.fold_left
+        (fun acc d -> if acc > 200_000 then acc else acc * max 1 d)
+        1
+        (List.init c.n1 (fun v -> Bipartite.Graph.degree g v))
+    in
+    if space > 200_000 then Ok () (* too big to enumerate; skip *)
+    else begin
+      let optimum = enum_min_flow_cost g in
+      let check name flow =
+        if flow <> optimum then
+          Error (Printf.sprintf "%s flow cost %d, enumerated optimum %d" name flow optimum)
+        else Ok ()
+      in
+      match check "gen-hk" (Semimatch.Gen_hk.solve g).Semimatch.Gen_hk.total_flow_time with
+      | Error _ as e -> e
+      | Ok () -> (
+          match
+            check "dnc"
+              (Semimatch.Divide_conquer.solve g).Semimatch.Divide_conquer.total_flow_time
+          with
+          | Error _ as e -> e
+          | Ok () -> check "harvey" (Semimatch.Harvey.solve g).Semimatch.Harvey.total_flow_time)
+    end
+  in
+  let rng = Prng.create ~seed:31 in
+  for i = 1 to 120 do
+    let case = bip_case (Prng.split rng) in
+    match prop case with
+    | Ok () -> ()
+    | Error _ ->
+        let small = shrink ~budget:500 prop case in
+        let msg = match prop small with Error m -> m | Ok () -> "(unshrinkable)" in
+        Alcotest.failf "flow-cost case %d failed: %s\nshrunk (Hyper.Io embedding):\n%s" i msg
+          (Hyper.Io.to_string (graph_of small))
+  done
+
 let test_shrinker_minimizes () =
   (* The shrinker itself: on an always-failing property it must reach a
      1-task, 1-configuration, 1-processor, unit-weight fixpoint. *)
@@ -233,5 +297,7 @@ let suite =
     Alcotest.test_case "portfolio: feasible, above LB" `Quick test_portfolio_feasible;
     Alcotest.test_case "bipartite greedies: feasible, makespan consistent" `Quick
       test_bipartite_greedy_feasible;
+    Alcotest.test_case "direct exact engines minimize total flow cost" `Quick
+      test_optimal_flow_cost;
     Alcotest.test_case "shrinker reaches the minimal instance" `Quick test_shrinker_minimizes;
   ]
