@@ -694,8 +694,21 @@ let simulate_cmd =
 (* serve: the long-running scheduler daemon.  All protocol errors are the
    server's business (it replies, it never dies); only operator mistakes
    (no listener, unbindable socket) exit 2 here. *)
+let parse_triggers spec =
+  try Obs.Anomaly.rules_of_string spec with Failure msg -> die "%s" msg
+
 let serve_cmd =
-  let run socket tcp jobs max_pending max_frame events_log trace slow_ms =
+  let run socket tcp jobs max_pending max_frame events_log trace slow_ms bundle_dir record_secs
+      triggers =
+    let triggers = match triggers with None -> [] | Some spec -> parse_triggers spec in
+    (* A bundle dir implies flight recording: default the window on unless
+       the operator explicitly disabled it with --record-secs 0. *)
+    let record_secs =
+      match (record_secs, bundle_dir) with
+      | Some s, _ -> s
+      | None, Some _ -> 30.0
+      | None, None -> 0.0
+    in
     let opts =
       {
         Server.Daemon.socket_path = socket;
@@ -708,6 +721,9 @@ let serve_cmd =
         version = Cli_version.version;
         slow_ms;
         runtime_events = true;
+        bundle_dir;
+        record_secs;
+        triggers;
       }
     in
     (match socket with
@@ -750,6 +766,25 @@ let serve_cmd =
              ~doc:
                "Slow-request log threshold in milliseconds (sampled into the event log); \
                 0 disables.")
+  and bundle_dir =
+    Arg.(value & opt (some string) None
+         & info [ "bundle-dir" ] ~docv:"DIR"
+             ~doc:
+               "Write anomaly-triggered (and $(b,dump)-forced) diagnostic bundles under \
+                $(docv); enables the default trigger rules unless $(b,--triggers) is given, \
+                and a 30s flight-recorder window unless $(b,--record-secs) overrides it.")
+  and record_secs =
+    Arg.(value & opt (some float) None
+         & info [ "record-secs" ] ~docv:"SECS"
+             ~doc:
+               "Flight-recorder window: keep the last $(docv) seconds of spans, events and \
+                periodic metrics snapshots for bundles; 0 disables.")
+  and triggers =
+    Arg.(value & opt (some string) None
+         & info [ "triggers" ] ~docv:"SPEC"
+             ~doc:
+               "Comma-separated anomaly trigger rules: latency[:OP]:MS, overbudget:F, \
+                queue:N, busy:N@S, heap:MB@S, stall:MS.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -757,7 +792,7 @@ let serve_cmd =
          "Run the scheduler service: a daemon holding live instances and updating their \
           semi-matchings incrementally over a newline-delimited JSON socket protocol")
     Term.(const run $ socket $ tcp $ jobs_arg $ max_pending $ max_frame $ events_log $ trace
-          $ slow_ms)
+          $ slow_ms $ bundle_dir $ record_secs $ triggers)
 
 let parse_hostport hostport =
   match String.rindex_opt hostport ':' with
@@ -1035,6 +1070,198 @@ let loadgen_cmd =
     Term.(const run $ socket $ tcp $ duration $ rate $ seed $ tasks $ procs $ budget_ms $ out
           $ baseline $ check $ write_baseline)
 
+(* doctor: offline validation of a diagnostic bundle directory plus a human
+   summary.  Every structural problem — missing/corrupt manifest, format
+   mismatch, listed file absent or resized, unparseable trace/events,
+   exposition failing the Prom lint — is a user-visible defect in the
+   bundle and exits 2 through [die]. *)
+let doctor_cmd =
+  let run jobs dir =
+    let path name = Filename.concat dir name in
+    (match Sys.is_directory dir with
+    | true -> ()
+    | false -> die "%s: not a directory" dir
+    | exception Sys_error msg -> die "%s" msg);
+    let read name =
+      match In_channel.with_open_bin (path name) In_channel.input_all with
+      | text -> text
+      | exception Sys_error msg -> die "%s" msg
+    in
+    (* The manifest is written last: a directory without one is a bundle
+       that never completed. *)
+    if not (Sys.file_exists (path "manifest.json")) then
+      die "%s: no manifest.json (incomplete or corrupt bundle)" dir;
+    let manifest =
+      match Obs.Json.of_string (read "manifest.json") with
+      | j -> j
+      | exception Failure msg -> die "manifest.json: %s" msg
+    in
+    let str_field name =
+      match Option.bind (Obs.Json.member name manifest) Obs.Json.to_str with
+      | Some s -> s
+      | None -> die "manifest.json: missing %S" name
+    in
+    let format = str_field "format" in
+    if format <> Obs.Recorder.format_tag then
+      die "manifest.json: format %S (this doctor understands %S)" format Obs.Recorder.format_tag;
+    let trigger = str_field "trigger" in
+    let version = str_field "version" in
+    let files =
+      match Obs.Json.member "files" manifest with
+      | Some (Obs.Json.List l) ->
+          List.map
+            (fun f ->
+              match
+                ( Option.bind (Obs.Json.member "name" f) Obs.Json.to_str,
+                  Option.bind (Obs.Json.member "bytes" f) Obs.Json.to_float )
+              with
+              | Some n, Some b -> (n, int_of_float b)
+              | _ -> die "manifest.json: malformed files entry")
+            l
+      | _ -> die "manifest.json: missing files list"
+    in
+    List.iter
+      (fun (name, bytes) ->
+        match (Unix.stat (path name)).Unix.st_size with
+        | size when size = bytes -> ()
+        | size -> die "%s: %d bytes on disk but the manifest recorded %d" name size bytes
+        | exception Unix.Unix_error (e, _, _) ->
+            die "%s: listed in the manifest but %s" name (Unix.error_message e))
+      files;
+    (* trace.json: Chrome trace-event schema — a traceEvents array whose
+       entries all carry a name and a phase. *)
+    let trace =
+      match Obs.Json.of_string (read "trace.json") with
+      | j -> j
+      | exception Failure msg -> die "trace.json: %s" msg
+    in
+    let tevents =
+      match Obs.Json.member "traceEvents" trace with
+      | Some (Obs.Json.List l) -> l
+      | _ -> die "trace.json: missing traceEvents array"
+    in
+    let slices =
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str,
+              Option.bind (Obs.Json.member "name" e) Obs.Json.to_str )
+          with
+          | Some ph, Some name ->
+              if ph <> "X" then None
+              else (
+                match
+                  ( Option.bind (Obs.Json.member "ts" e) Obs.Json.to_float,
+                    Option.bind (Obs.Json.member "dur" e) Obs.Json.to_float )
+                with
+                | Some ts, Some dur -> Some (name, ts, dur)
+                | _ -> die "trace.json: complete slice %S without ts/dur" name)
+          | _ -> die "trace.json: event without name and ph")
+        tevents
+    in
+    (match Obs.Prom.lint (read "metrics.prom") with
+    | Ok () -> ()
+    | Error msg -> die "metrics.prom: %s" msg);
+    let jsonl_lines fname =
+      let lines = String.split_on_char '\n' (read fname) in
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            match Obs.Json.of_string line with
+            | _ -> ()
+            | exception Failure msg -> die "%s:%d: %s" fname (i + 1) msg)
+        lines;
+      List.length (List.filter (fun l -> String.trim l <> "") lines)
+    in
+    let n_events = jsonl_lines "events.jsonl" in
+    let n_snaps = jsonl_lines "snapshots.jsonl" in
+    (* ---- validated; human summary from here on ---- *)
+    Printf.printf "bundle %s\n" dir;
+    Printf.printf "  trigger  %s%s\n" trigger
+      (match Option.bind (Obs.Json.member "rule" manifest) Obs.Json.to_str with
+      | Some r -> Printf.sprintf " (rule %s)" r
+      | None -> "");
+    Printf.printf "  version  %s\n" version;
+    (match Obs.Json.member "written_unix_s" manifest with
+    | Some j -> (
+        match Obs.Json.to_float j with
+        | Some s ->
+            let tm = Unix.gmtime s in
+            Printf.printf "  written  %04d-%02d-%02dT%02d:%02d:%02dZ\n" (tm.Unix.tm_year + 1900)
+              (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+        | None -> ())
+    | None -> ());
+    (match Option.bind (Obs.Json.member "window_s" manifest) Obs.Json.to_float with
+    | Some w -> Printf.printf "  window   %gs of recording, %d snapshots\n" w n_snaps
+    | None -> Printf.printf "  window   recorder off, %d snapshots\n" n_snaps);
+    (match Obs.Json.member "detail" manifest with
+    | Some (Obs.Json.Obj ((_ :: _) as fields)) ->
+        Printf.printf "  detail   %s\n"
+          (String.concat " "
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "%s=%s" k
+                    (match v with Obs.Json.Str s -> s | other -> Obs.Json.to_string other))
+                fields))
+    | _ -> ());
+    Printf.printf "  files    %d validated, %d trace events, %d event-log records\n"
+      (List.length files) (List.length tevents) n_events;
+    let by_dur = List.sort (fun (_, _, d1) (_, _, d2) -> compare d2 d1) slices in
+    (match by_dur with
+    | [] -> ()
+    | _ ->
+        Printf.printf "\nslowest spans:\n";
+        List.iteri
+          (fun i (name, _, dur) ->
+            if i < 5 then Printf.printf "  %-32s %10.3f ms\n" name (dur /. 1e3))
+          by_dur);
+    (* GC pressure during the incident: how much gc.* time lands inside the
+       slowest server-side span. *)
+    let prefixed p n = String.length n >= String.length p && String.sub n 0 (String.length p) = p in
+    (match List.filter (fun (n, _, _) -> prefixed "server." n) by_dur with
+    | [] -> ()
+    | (name, ts, dur) :: _ ->
+        let gc_us =
+          List.fold_left
+            (fun acc (n, gts, gdur) ->
+              if prefixed "gc." n then
+                let lo = Float.max ts gts and hi = Float.min (ts +. dur) (gts +. gdur) in
+                acc +. Float.max 0.0 (hi -. lo)
+              else acc)
+            0.0 slices
+        in
+        Printf.printf "\ngc overlap: %.3f ms of gc.* inside the slowest server span (%s, %.3f ms)\n"
+          (gc_us /. 1e3) name (dur /. 1e3));
+    (* Replay: the captured instance re-solved locally proves the bundle is
+       actionable, and gives a second opinion on the makespan. *)
+    if Sys.file_exists (path "instance.hg") then begin
+      let h = load_instance (path "instance.hg") in
+      Printf.printf "\nreplay: instance.hg — %d tasks, %d processors\n" h.Hyper.Graph.n1
+        h.Hyper.Graph.n2;
+      let t0 = Unix.gettimeofday () in
+      match Semimatch.Portfolio.solve ~jobs h with
+      | r ->
+          Printf.printf "  portfolio best makespan %g (winner %s, lower bound %g) in %.2fs\n"
+            r.Semimatch.Portfolio.best_makespan
+            (Semimatch.Portfolio.solver_name r.Semimatch.Portfolio.winner)
+            r.Semimatch.Portfolio.lower_bound
+            (Unix.gettimeofday () -. t0)
+      | exception (Failure msg | Invalid_argument msg) -> die "replay failed: %s" msg
+    end;
+    Printf.printf "\nbundle OK\n"
+  in
+  let bundle =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BUNDLE" ~doc:"Diagnostic bundle directory to validate.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Validate a diagnostic bundle (manifest, trace schema, Prometheus lint, event log) \
+          and print a human summary: slowest spans, GC overlap, and a local replay of the \
+          captured instance; exits 2 on any structural problem")
+    Term.(const run $ jobs_arg $ bundle)
+
 (* version: one line for bug reports and CI log headers — package version
    (from semimatch.opam via dune's %{version:semimatch}) plus the build
    features that change behavior. *)
@@ -1058,7 +1285,7 @@ let () =
       (Cmd.group info
          [
            gen_cmd; gen_sp_cmd; info_cmd; solve_cmd; compare_cmd; profile_cmd; simulate_cmd;
-           exact_cmd; serve_cmd; client_cmd; loadgen_cmd; version_cmd;
+           exact_cmd; serve_cmd; client_cmd; loadgen_cmd; doctor_cmd; version_cmd;
          ])
   in
   (* Cmdliner reports usage errors (unknown flag, bad value) as 124; the

@@ -1,0 +1,422 @@
+(* Declarative anomaly triggers over the live telemetry: the service feeds
+   cheap observations (request latencies, queue depth, busy rejections,
+   solve budgets) and a periodic poll (heap size, watchdog), and a rule
+   that trips returns a [firing] the caller turns into a diagnostic bundle
+   (see [Recorder.write_bundle]).
+
+   Rules are plain data with a textual spec grammar mirroring
+   [Semimatch.Faults] ("latency:250", "stall:5000", "heap:64@10"), so a
+   trigger set travels through CLI flags and manifests unchanged.
+
+   The watchdog is the one rule that cannot be evaluated by the thread it
+   watches: a single-threaded engine stuck inside a solve serves nothing,
+   including its own health checks.  Progress is therefore a process-global
+   monotonic heartbeat ([Config.beat], stamped by every span exit and event
+   emission — solver phases, portfolio incumbents, annealing epochs — plus
+   explicit [beat] calls from the engine), readable with two atomic loads
+   from a background watchdog domain.  [solve_begin]/[solve_end] bracket the
+   in-flight request; [check_stuck] is the cross-domain live check and
+   [solve_end] the same-thread post-hoc one (largest silent gap), so a stall
+   is caught while it happens and recorded even if the solve eventually
+   returns.
+
+   All state is mutex-guarded and observation calls are O(rules); with no
+   anomaly instance wired in, the service pays nothing. *)
+
+type rule =
+  | Latency of { op : string option; ms : float }
+  | Over_budget of { factor : float }
+  | Queue_full of { pending : int }
+  | Busy_burst of { count : int; window_s : float }
+  | Heap_growth of { mb_per_s : float; window_s : float }
+  | Stall of { ms : float }
+
+let rule_kind = function
+  | Latency _ -> "latency"
+  | Over_budget _ -> "overbudget"
+  | Queue_full _ -> "queue"
+  | Busy_burst _ -> "busy"
+  | Heap_growth _ -> "heap"
+  | Stall _ -> "stall"
+
+let rule_to_string = function
+  | Latency { op = None; ms } -> Printf.sprintf "latency:%g" ms
+  | Latency { op = Some op; ms } -> Printf.sprintf "latency:%s:%g" op ms
+  | Over_budget { factor } -> Printf.sprintf "overbudget:%g" factor
+  | Queue_full { pending } -> Printf.sprintf "queue:%d" pending
+  | Busy_burst { count; window_s } -> Printf.sprintf "busy:%d@%g" count window_s
+  | Heap_growth { mb_per_s; window_s } -> Printf.sprintf "heap:%g@%g" mb_per_s window_s
+  | Stall { ms } -> Printf.sprintf "stall:%g" ms
+
+let bad spec reason = failwith (Printf.sprintf "bad trigger %S: %s" spec reason)
+
+let pos_float spec s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f && f > 0.0 -> f
+  | _ -> bad spec "expected a positive number"
+
+let pos_int spec s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> n
+  | _ -> bad spec "expected a positive integer"
+
+(* "N@SECS" *)
+let windowed spec s =
+  match String.split_on_char '@' s with
+  | [ v; w ] -> (v, pos_float spec w)
+  | _ -> bad spec "expected VALUE@SECONDS"
+
+let rule_of_string spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ "latency"; ms ] -> Latency { op = None; ms = pos_float spec ms }
+  | [ "latency"; op; ms ] when op <> "" -> Latency { op = Some op; ms = pos_float spec ms }
+  | [ "overbudget"; f ] ->
+      let factor = pos_float spec f in
+      if factor < 1.0 then bad spec "factor must be >= 1" else Over_budget { factor }
+  | [ "queue"; n ] -> Queue_full { pending = pos_int spec n }
+  | [ "busy"; nw ] ->
+      let n, window_s = windowed spec nw in
+      Busy_burst { count = pos_int spec n; window_s }
+  | [ "heap"; mw ] ->
+      let mb, window_s = windowed spec mw in
+      Heap_growth { mb_per_s = pos_float spec mb; window_s }
+  | [ "stall"; ms ] -> Stall { ms = pos_float spec ms }
+  | _ -> bad spec "unknown rule (latency[:OP]:MS, overbudget:F, queue:N, busy:N@S, heap:MB@S, stall:MS)"
+
+let rules_of_string specs =
+  String.split_on_char ',' specs
+  |> List.filter_map (fun s -> if String.trim s = "" then None else Some (rule_of_string s))
+
+(* A conservative production set: only clearly-pathological behaviour
+   fires.  [queue] is engine-capacity-dependent, so it is opt-in. *)
+let default_rules =
+  [
+    Latency { op = None; ms = 1000.0 };
+    Over_budget { factor = 4.0 };
+    Busy_burst { count = 64; window_s = 5.0 };
+    Heap_growth { mb_per_s = 512.0; window_s = 10.0 };
+    Stall { ms = 5000.0 };
+  ]
+
+type firing = { f_rule : rule; f_ts_ns : int64; f_detail : (string * Json.t) list }
+
+type t = {
+  rules : rule list;
+  cooldown_ns : int64;
+  lock : Mutex.t;
+  mutable last_fire : (string * int64) list;  (* per rule kind *)
+  mutable busy_ts : int64 list;  (* newest first, pruned to the widest window *)
+  mutable heap_samples : (int64 * float) list;  (* (ts, bytes), newest first *)
+  mutable n_firings : int;
+  mutable last_firing : (string * int64) option;  (* (rule spec, ts) *)
+  (* the watchdog slot: the one in-flight request of a single-threaded
+     engine, captured as immutable strings so the watchdog domain can put
+     them in a bundle without touching engine state *)
+  mutable wd_inflight : bool;
+  mutable wd_op : string;
+  mutable wd_session : string option;
+  mutable wd_request : string;
+  mutable wd_start_ns : int64;
+  mutable wd_beat_ns : int64;
+  mutable wd_max_gap_ns : int64;
+  mutable wd_beats : int;
+}
+
+let create ?(cooldown_s = 5.0) rules =
+  if cooldown_s < 0.0 then invalid_arg "Anomaly.create: cooldown_s must be >= 0";
+  {
+    rules;
+    cooldown_ns = Int64.of_float (cooldown_s *. 1e9);
+    lock = Mutex.create ();
+    last_fire = [];
+    busy_ts = [];
+    heap_samples = [];
+    n_firings = 0;
+    last_firing = None;
+    wd_inflight = false;
+    wd_op = "";
+    wd_session = None;
+    wd_request = "";
+    wd_start_ns = 0L;
+    wd_beat_ns = 0L;
+    wd_max_gap_ns = 0L;
+    wd_beats = 0;
+  }
+
+let rules t = t.rules
+let firings t = Mutex.protect t.lock (fun () -> t.n_firings)
+let last_firing t = Mutex.protect t.lock (fun () -> t.last_firing)
+
+let stall_ms t =
+  List.fold_left
+    (fun acc r -> match r with Stall { ms } -> Some (match acc with Some a -> Float.min a ms | None -> ms) | _ -> acc)
+    None t.rules
+
+(* One firing per rule kind per cooldown window: a stuck solve checked every
+   50ms must produce one bundle, not twenty. *)
+let fire t rule detail =
+  let now = Span.now_ns () in
+  let kind = rule_kind rule in
+  let accepted =
+    Mutex.protect t.lock (fun () ->
+        match List.assoc_opt kind t.last_fire with
+        | Some last when Int64.compare (Int64.sub now last) t.cooldown_ns < 0 -> false
+        | _ ->
+            t.last_fire <- (kind, now) :: List.remove_assoc kind t.last_fire;
+            t.n_firings <- t.n_firings + 1;
+            t.last_firing <- Some (rule_to_string rule, now);
+            true)
+  in
+  if accepted then begin
+    Events.emit ~level:Events.Warn "anomaly.fired"
+      (Events.str "rule" (rule_to_string rule) :: detail);
+    Some { f_rule = rule; f_ts_ns = now; f_detail = detail }
+  end
+  else None
+
+let first_firing f rules = List.find_map f rules
+
+let observe_request t ~op ~ms =
+  first_firing
+    (function
+      | Latency { op = rop; ms = threshold }
+        when (rop = None || rop = Some op) && ms >= threshold ->
+          fire t
+            (Latency { op = rop; ms = threshold })
+            [ Events.str "op" op; Events.num "ms" ms; Events.num "threshold_ms" threshold ]
+      | _ -> None)
+    t.rules
+
+let observe_solve t ~op ~budget_ms ~elapsed_ms =
+  first_firing
+    (function
+      | Over_budget { factor } when budget_ms > 0.0 && elapsed_ms >= budget_ms *. factor ->
+          fire t (Over_budget { factor })
+            [
+              Events.str "op" op;
+              Events.num "budget_ms" budget_ms;
+              Events.num "elapsed_ms" elapsed_ms;
+              Events.num "factor" factor;
+            ]
+      | _ -> None)
+    t.rules
+
+let observe_queue t ~pending =
+  first_firing
+    (function
+      | Queue_full { pending = threshold } when pending >= threshold ->
+          fire t (Queue_full { pending = threshold })
+            [ Events.int "pending" pending; Events.int "threshold" threshold ]
+      | _ -> None)
+    t.rules
+
+let observe_busy t =
+  let now = Span.now_ns () in
+  let widest =
+    List.fold_left
+      (fun acc r -> match r with Busy_burst { window_s; _ } -> Float.max acc window_s | _ -> acc)
+      0.0 t.rules
+  in
+  if widest = 0.0 then None
+  else begin
+    let horizon = Int64.sub now (Int64.of_float (widest *. 1e9)) in
+    let within =
+      Mutex.protect t.lock (fun () ->
+          t.busy_ts <- now :: List.filter (fun ts -> Int64.compare ts horizon >= 0) t.busy_ts;
+          t.busy_ts)
+    in
+    first_firing
+      (function
+        | Busy_burst { count; window_s } ->
+            let h = Int64.sub now (Int64.of_float (window_s *. 1e9)) in
+            let n = List.length (List.filter (fun ts -> Int64.compare ts h >= 0) within) in
+            if n >= count then
+              fire t (Busy_burst { count; window_s })
+                [ Events.int "busy_replies" n; Events.num "window_s" window_s ]
+            else None
+        | _ -> None)
+      t.rules
+  end
+
+(* ---------- watchdog ---------- *)
+
+(* Last known progress of the in-flight solve: the later of the engine's
+   explicit beats and the process-global heartbeat — clamped to the solve's
+   start, so activity from before it began never counts. *)
+let progress_ns t =
+  let hb = Atomic.get Config.heartbeat_ns in
+  let hb = if Int64.compare hb t.wd_start_ns > 0 then hb else t.wd_start_ns in
+  if Int64.compare t.wd_beat_ns hb > 0 then t.wd_beat_ns else hb
+
+let solve_begin t ~op ?session ~request () =
+  let now = Span.now_ns () in
+  (* A solve that stalls and then recovers beats again before the bracket
+     closes; the global max-gap tracker is what remembers the silence. *)
+  Config.reset_gap now;
+  Mutex.protect t.lock (fun () ->
+      t.wd_inflight <- true;
+      t.wd_op <- op;
+      t.wd_session <- session;
+      t.wd_request <- request;
+      t.wd_start_ns <- now;
+      t.wd_beat_ns <- now;
+      t.wd_max_gap_ns <- 0L;
+      t.wd_beats <- 0)
+
+let beat t =
+  let now = Span.now_ns () in
+  Mutex.protect t.lock (fun () ->
+      if t.wd_inflight then begin
+        let gap = Int64.sub now (progress_ns t) in
+        if Int64.compare gap t.wd_max_gap_ns > 0 then t.wd_max_gap_ns <- gap;
+        t.wd_beat_ns <- now;
+        t.wd_beats <- t.wd_beats + 1
+      end)
+
+(* Post-hoc stall detection on the engine thread: the largest silent gap
+   observed across the whole solve, evaluated once the handler returns.
+   Shares cooldown state with [check_stuck], so a stall the watchdog domain
+   already bundled is not bundled twice. *)
+let solve_end t =
+  let now = Span.now_ns () in
+  let op, session, request, gap_ms, beats =
+    Mutex.protect t.lock (fun () ->
+        let gap = Int64.sub now (progress_ns t) in
+        if Int64.compare gap t.wd_max_gap_ns > 0 then t.wd_max_gap_ns <- gap;
+        (* Silences that ended before this call: the beat terminating one
+           recorded its length in the global tracker. *)
+        let hb_gap = Atomic.get Config.max_gap_ns in
+        if Int64.compare hb_gap t.wd_max_gap_ns > 0 then t.wd_max_gap_ns <- hb_gap;
+        t.wd_inflight <- false;
+        ( t.wd_op,
+          t.wd_session,
+          t.wd_request,
+          Int64.to_float t.wd_max_gap_ns /. 1e6,
+          t.wd_beats ))
+  in
+  first_firing
+    (function
+      | Stall { ms } when gap_ms >= ms ->
+          fire t (Stall { ms })
+            ([ Events.str "op" op ]
+            @ (match session with None -> [] | Some s -> [ Events.str "session" s ])
+            @ [
+                Events.num "silent_ms" gap_ms;
+                Events.num "threshold_ms" ms;
+                Events.int "beats" beats;
+                Events.str "request" request;
+                Events.str "phase" "post";
+              ])
+      | _ -> None)
+    t.rules
+
+(* The cross-domain live check, called periodically by a watchdog domain:
+   fires while the engine thread is still silent inside the solve. *)
+let check_stuck t =
+  let now = Span.now_ns () in
+  let stuck =
+    Mutex.protect t.lock (fun () ->
+        if not t.wd_inflight then None
+        else
+          Some
+            ( t.wd_op,
+              t.wd_session,
+              t.wd_request,
+              Int64.to_float (Int64.sub now (progress_ns t)) /. 1e6,
+              t.wd_beats ))
+  in
+  match stuck with
+  | None -> None
+  | Some (op, session, request, silent_ms, beats) ->
+      first_firing
+        (function
+          | Stall { ms } when silent_ms >= ms ->
+              fire t (Stall { ms })
+                ([ Events.str "op" op ]
+                @ (match session with None -> [] | Some s -> [ Events.str "session" s ])
+                @ [
+                    Events.num "silent_ms" silent_ms;
+                    Events.num "threshold_ms" ms;
+                    Events.int "beats" beats;
+                    Events.str "request" request;
+                    Events.str "phase" "live";
+                  ])
+          | _ -> None)
+        t.rules
+
+type watchdog = {
+  w_inflight : bool;
+  w_op : string option;
+  w_session : string option;
+  w_silent_ms : float;  (** time since last observed progress (0 when idle) *)
+  w_beats : int;
+}
+
+let watchdog t =
+  let now = Span.now_ns () in
+  Mutex.protect t.lock (fun () ->
+      if t.wd_inflight then
+        {
+          w_inflight = true;
+          w_op = Some t.wd_op;
+          w_session = t.wd_session;
+          w_silent_ms = Int64.to_float (Int64.sub now (progress_ns t)) /. 1e6;
+          w_beats = t.wd_beats;
+        }
+      else
+        { w_inflight = false; w_op = None; w_session = None; w_silent_ms = 0.0; w_beats = t.wd_beats })
+
+(* Periodic heap-growth evaluation; [heap_bytes] overrides the live
+   [Gc.quick_stat] reading so tests can replay a synthetic growth curve. *)
+let poll ?heap_bytes t =
+  let widest =
+    List.fold_left
+      (fun acc r -> match r with Heap_growth { window_s; _ } -> Float.max acc window_s | _ -> acc)
+      0.0 t.rules
+  in
+  if widest = 0.0 then None
+  else begin
+    let now = Span.now_ns () in
+    let bytes =
+      match heap_bytes with
+      | Some b -> b
+      | None ->
+          let s = Gc.quick_stat () in
+          float_of_int s.Gc.heap_words *. float_of_int (Sys.word_size / 8)
+    in
+    let horizon = Int64.sub now (Int64.of_float (widest *. 1e9)) in
+    let samples =
+      Mutex.protect t.lock (fun () ->
+          t.heap_samples <-
+            (now, bytes) :: List.filter (fun (ts, _) -> Int64.compare ts horizon >= 0) t.heap_samples;
+          t.heap_samples)
+    in
+    first_firing
+      (function
+        | Heap_growth { mb_per_s; window_s } -> (
+            let h = Int64.sub now (Int64.of_float (window_s *. 1e9)) in
+            (* oldest sample still inside this rule's window *)
+            match List.filter (fun (ts, _) -> Int64.compare ts h >= 0) samples with
+            | [] | [ _ ] -> None
+            | within -> (
+                match List.rev within with
+                | (ts0, b0) :: _ ->
+                    let dt_s = Int64.to_float (Int64.sub now ts0) /. 1e9 in
+                    (* demand at least half the window of baseline, so one
+                       early sample cannot fabricate a rate *)
+                    if dt_s < window_s /. 2.0 then None
+                    else
+                      let rate = (bytes -. b0) /. dt_s /. 1e6 in
+                      if rate >= mb_per_s then
+                        fire t (Heap_growth { mb_per_s; window_s })
+                          [
+                            Events.num "mb_per_s" rate;
+                            Events.num "threshold_mb_per_s" mb_per_s;
+                            Events.num "window_s" window_s;
+                            Events.num "heap_mb" (bytes /. 1e6);
+                          ]
+                      else None
+                | [] -> None))
+        | _ -> None)
+      t.rules
+  end

@@ -2,3 +2,32 @@
    with the flag off the hot paths reduce to a test-and-skip and allocate
    nothing. *)
 let enabled = ref false
+
+(* Process-global liveness heartbeat for the watchdog (Anomaly): every span
+   exit and event emission stamps the monotonic clock here, so "the solver
+   made progress" is observable from another domain without touching the
+   mutex-guarded rings.  Always just two atomic stores; declared here (the
+   bottom of the module graph) so Span and Events can bump it without a
+   dependency cycle. *)
+let heartbeat_ns = Atomic.make 0L
+let heartbeats = Atomic.make 0
+
+(* Largest gap between consecutive beats since the last [reset_gap]: the
+   post-hoc stall evidence.  A solve that stalls and then recovers beats
+   again before its bracket closes, so the tail gap alone forgets the
+   stall — only the beat that ended the silence ever saw its length.
+   Read-modify-write races between beating domains can under-record a
+   concurrent gap; that is fine for diagnostics (the live watchdog domain
+   is the authoritative detector). *)
+let max_gap_ns = Atomic.make 0L
+
+let beat now_ns =
+  let prev = Atomic.exchange heartbeat_ns now_ns in
+  (if Int64.compare prev 0L > 0 then
+     let gap = Int64.sub now_ns prev in
+     if Int64.compare gap (Atomic.get max_gap_ns) > 0 then Atomic.set max_gap_ns gap);
+  Atomic.incr heartbeats
+
+let reset_gap now_ns =
+  Atomic.set heartbeat_ns now_ns;
+  Atomic.set max_gap_ns 0L

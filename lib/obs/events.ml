@@ -49,6 +49,13 @@ let ring = ref (Array.make default_capacity None)
 let ring_next = ref 0
 let ring_stored = ref 0
 
+(* Overwrites of never-read records, mirroring [runtime.lost_events]: when
+   the ring laps itself the oldest event silently vanishes from any later
+   render, and a bundle's events tail is truncated.  The counter makes that
+   truncation visible in the Prometheus exposition. *)
+let c_dropped = Metrics.counter "events.dropped"
+let () = Prom.describe "events.dropped" "Event-log ring overwrites of never-rendered records."
+
 let emit ?(level = Info) name fields =
   if !Config.enabled && level_rank level >= level_rank !min_level then begin
     let r =
@@ -60,8 +67,10 @@ let emit ?(level = Info) name fields =
         e_fields = fields;
       }
     in
+    Config.beat r.e_ts_ns;
     Mutex.protect lock (fun () ->
         let a = !ring in
+        if a.(!ring_next) <> None then Metrics.incr c_dropped;
         a.(!ring_next) <- Some r;
         ring_next := (!ring_next + 1) mod Array.length a;
         Stdlib.incr ring_stored)
@@ -105,11 +114,12 @@ let to_json r =
      ]
     @ r.e_fields)
 
-let render_jsonl ?(min_level = Debug) () =
+let render_jsonl ?(min_level = Debug) ?(since_ns = Int64.min_int) () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun r ->
-      if level_rank r.e_level >= level_rank min_level then begin
+      if level_rank r.e_level >= level_rank min_level && Int64.compare r.e_ts_ns since_ns >= 0
+      then begin
         Buffer.add_string buf (Json.to_string (to_json r));
         Buffer.add_char buf '\n'
       end)
@@ -142,8 +152,8 @@ let render_text ?(min_level = Debug) () =
         rs;
       Buffer.contents buf
 
-let write_jsonl ?min_level path =
+let write_jsonl ?min_level ?since_ns path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render_jsonl ?min_level ()))
+    (fun () -> output_string oc (render_jsonl ?min_level ?since_ns ()))

@@ -6,6 +6,8 @@ module Sink = Sink
 module Json = Json
 module Prom = Prom
 module Runtime = Runtime
+module Recorder = Recorder
+module Anomaly = Anomaly
 
 let enabled = Config.enabled
 let set_enabled b = Config.enabled := b

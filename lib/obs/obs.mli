@@ -262,12 +262,18 @@ module Events : sig
 
   val recorded : unit -> int
   val set_capacity : int -> unit
-  (** Resize the ring (clears it).  Default 8192. *)
+  (** Resize the ring (clears it).  Default 8192.  When the ring laps
+      itself, each overwritten record increments the ["events.dropped"]
+      counter, so silent truncation is visible in the exposition. *)
 
   val to_json : record -> Json.t
-  val render_jsonl : ?min_level:level -> unit -> string
+
+  val render_jsonl : ?min_level:level -> ?since_ns:int64 -> unit -> string
+  (** [since_ns] keeps only records at or after that monotonic instant —
+      the tail a diagnostic bundle wants. *)
+
   val render_text : ?min_level:level -> unit -> string
-  val write_jsonl : ?min_level:level -> string -> unit
+  val write_jsonl : ?min_level:level -> ?since_ns:int64 -> string -> unit
   val reset : unit -> unit
 end
 
@@ -279,11 +285,14 @@ module Trace : sig
       thread-scoped instants.  Open the written file in
       {{:https://ui.perfetto.dev}ui.perfetto.dev} or [chrome://tracing]. *)
 
-  val to_json : unit -> Json.t
-  (** [Obj] with a ["traceEvents"] list — parseable by {!Obs.Json}. *)
+  val to_json : ?since_ns:int64 -> unit -> Json.t
+  (** [Obj] with a ["traceEvents"] list — parseable by {!Obs.Json}.
+      [since_ns] slices the export to records alive at or after that
+      monotonic instant (spans qualify by their stop time, so a span
+      straddling the cut is kept). *)
 
-  val render : unit -> string
-  val write_file : string -> unit
+  val render : ?since_ns:int64 -> unit -> string
+  val write_file : ?since_ns:int64 -> string -> unit
 end
 
 module Prom : sig
@@ -307,17 +316,26 @@ module Prom : sig
   (** (metric name, labels, value) — the name is sanitized and namespaced
       by {!render}; samples sharing a name are grouped under one family. *)
 
+  val describe : string -> string -> unit
+  (** [describe name help] registers the [# HELP] text for the family
+      derived from the raw metric name ([name] before namespacing:
+      ["server.requests"], ["span.portfolio"]...).  Families without a
+      registration get a kind-derived default, so every family always
+      carries a HELP line. *)
+
   val render : ?namespace:string -> ?gauges:gauge list -> unit -> string
   (** The full exposition: every registered counter, histogram and span
       aggregate, plus the caller's gauges (live state the registry does not
-      hold: resident sessions, queue depth...). *)
+      hold: resident sessions, queue depth...).  Each family is preceded by
+      [# HELP] then [# TYPE]. *)
 
   val lint : string -> (unit, string) result
   (** Validate an exposition: every sample under a declared [# TYPE]
-      family, no duplicate families, numeric values, and per histogram
-      strictly increasing [le] bounds with non-decreasing cumulative counts
-      ending at a [+Inf] bucket that agrees with [_count].  Returns the
-      first violation. *)
+      family, each [# TYPE] preceded by a [# HELP] for the same family, no
+      duplicate families, numeric values, and per histogram strictly
+      increasing [le] bounds with non-decreasing cumulative counts ending
+      at a [+Inf] bucket that agrees with [_count].  Returns the first
+      violation. *)
 end
 
 module Runtime : sig
@@ -346,6 +364,180 @@ module Runtime : sig
 
   val stop : unit -> unit
   (** Final poll, then free the cursor.  Idempotent. *)
+end
+
+module Recorder : sig
+  (** Flight recorder: keep the last N seconds of telemetry resident in
+      bounded rings and write it out as a self-contained diagnostic bundle
+      directory on demand.
+
+      {!start} sizes the {!Span} and {!Events} rings for the window and
+      enables telemetry; the host loop calls {!tick} periodically (the
+      daemon does so every select round) to take bounded periodic
+      Prometheus snapshots.  {!write_bundle} assembles a bundle directory:
+      [manifest.json] (written last — its presence marks a complete
+      bundle), [trace.json] (Chrome/Perfetto slice of the window),
+      [events.jsonl] (event tail), [metrics.prom] (exposition at the
+      trigger), [snapshots.jsonl] (the periodic ring) and any
+      caller-supplied extra files (the offending request, a [Hyper.Io]
+      instance dump for replay). *)
+
+  type config = {
+    window_s : float;  (** recording window the rings are sized for *)
+    span_capacity : int;
+    event_capacity : int;
+    snapshot_every_s : float;
+    max_snapshots : int;
+  }
+
+  val default_config : config
+  (** 30s window, 16384-record rings, a snapshot every 5s, 64 kept. *)
+
+  val start : ?config:config -> unit -> unit
+  (** Resize the rings (clearing them), enable telemetry, begin
+      snapshotting.  Raises [Invalid_argument] on non-positive sizes. *)
+
+  val started : unit -> bool
+  val config : unit -> config option
+  val stop : unit -> unit
+
+  val tick : ?prom:(unit -> string) -> unit -> bool
+  (** Take a periodic snapshot when one is due; returns whether one was.
+      [prom] supplies the exposition (default {!Prom.render}; the engine
+      passes its gauge-enriched rendering) and is only evaluated when a
+      snapshot is actually taken. *)
+
+  type snapshot = { snap_ts_ns : int64; snap_prom : string }
+
+  val snapshots : unit -> snapshot list
+  (** Oldest first. *)
+
+  val since_ns : unit -> int64
+  (** Start of the current recording window ([Int64.min_int] — everything —
+      when the recorder is not running). *)
+
+  val format_tag : string
+  (** ["semimatch.bundle/1"], the manifest ["format"] field. *)
+
+  val write_bundle :
+    dir:string ->
+    trigger:string ->
+    ?rule:string ->
+    ?detail:(string * Json.t) list ->
+    ?prom:string ->
+    ?extra:(string * string) list ->
+    version:string ->
+    unit ->
+    (string, string) result
+  (** Write one bundle under [dir] (created as needed) into a fresh
+      [bundle-<utc>-<seq>-<trigger>] subdirectory; returns its path.
+      [rule]/[detail] land in the manifest, [prom] overrides the exposition
+      text, [extra] is a list of [(filename, contents)] written alongside
+      and listed in the manifest.  Any I/O failure is [Error]. *)
+end
+
+module Anomaly : sig
+  (** Declarative anomaly triggers over the live telemetry.  The service
+      feeds cheap observations; a rule that trips returns a {!firing}
+      (subject to a per-rule-kind cooldown) which the caller turns into a
+      {!Recorder.write_bundle}.
+
+      Spec grammar, comma-separable ({!rules_of_string}):
+      [latency:MS] / [latency:OP:MS], [overbudget:FACTOR], [queue:N],
+      [busy:N@SECS], [heap:MB_PER_S@SECS], [stall:MS]. *)
+
+  type rule =
+    | Latency of { op : string option; ms : float }
+        (** request end-to-end latency at or over [ms] (optionally only
+            for one op) *)
+    | Over_budget of { factor : float }
+        (** a budgeted solve took [factor]× its budget or more *)
+    | Queue_full of { pending : int }  (** pending queue at or over [pending] *)
+    | Busy_burst of { count : int; window_s : float }
+        (** [count] busy rejections within [window_s] seconds *)
+    | Heap_growth of { mb_per_s : float; window_s : float }
+        (** major-heap growth rate sustained over at least half of
+            [window_s] *)
+    | Stall of { ms : float }
+        (** watchdog: no progress heartbeat for [ms] on an in-flight
+            solve *)
+
+  val rule_kind : rule -> string
+  (** ["latency"], ["overbudget"], ["queue"], ["busy"], ["heap"],
+      ["stall"] — the cooldown key and bundle trigger name. *)
+
+  val rule_to_string : rule -> string
+  (** Round-trips through {!rule_of_string}. *)
+
+  val rule_of_string : string -> rule
+  (** Raises [Failure] on a malformed spec. *)
+
+  val rules_of_string : string -> rule list
+  (** Comma-separated specs; empty segments are skipped. *)
+
+  val default_rules : rule list
+  (** [latency:1000, overbudget:4, busy:64@5, heap:512@10, stall:5000] —
+      only clearly-pathological behaviour.  [queue] is capacity-dependent
+      and therefore opt-in. *)
+
+  type t
+
+  val create : ?cooldown_s:float -> rule list -> t
+  (** [cooldown_s] (default 5) is the minimum spacing between firings of
+      the same rule kind — a stuck solve checked every 50ms must produce
+      one bundle, not twenty. *)
+
+  val rules : t -> rule list
+  val firings : t -> int
+  val last_firing : t -> (string * int64) option
+  (** (rule spec, monotonic ns) of the most recent firing. *)
+
+  val stall_ms : t -> float option
+  (** Smallest [Stall] threshold, when one is configured. *)
+
+  type firing = { f_rule : rule; f_ts_ns : int64; f_detail : (string * Json.t) list }
+  (** Every firing also emits an ["anomaly.fired"] warn event. *)
+
+  val observe_request : t -> op:string -> ms:float -> firing option
+  val observe_solve : t -> op:string -> budget_ms:float -> elapsed_ms:float -> firing option
+  val observe_queue : t -> pending:int -> firing option
+  val observe_busy : t -> firing option
+
+  val poll : ?heap_bytes:float -> t -> firing option
+  (** Periodic heap-growth evaluation ([Gc.quick_stat] major-heap bytes;
+      [heap_bytes] overrides the reading so tests can replay a synthetic
+      growth curve). *)
+
+  (** {2 Watchdog}
+
+      Progress is a process-global monotonic heartbeat: every {!Span} exit
+      and {!Events} emission stamps it (solver phases, portfolio
+      incumbents, annealing epochs...), and the engine adds explicit
+      {!beat}s at its own checkpoints.  {!solve_begin}/{!solve_end}
+      bracket the in-flight request; {!check_stuck} is the cross-domain
+      live check a background watchdog domain runs while the engine thread
+      is stuck, {!solve_end} the same-thread post-hoc check (largest
+      silent gap over the whole solve).  Both share cooldown state, so one
+      stall yields one firing. *)
+
+  val solve_begin : t -> op:string -> ?session:string -> request:string -> unit -> unit
+  (** Capture the in-flight request (immutable strings, safe to bundle
+      from the watchdog domain) and reset the gap tracking. *)
+
+  val beat : t -> unit
+  val solve_end : t -> firing option
+  val check_stuck : t -> firing option
+
+  type watchdog = {
+    w_inflight : bool;
+    w_op : string option;
+    w_session : string option;
+    w_silent_ms : float;  (** time since last observed progress (0 when idle) *)
+    w_beats : int;
+  }
+
+  val watchdog : t -> watchdog
+  (** The [health] op's watchdog status: in-memory reads only. *)
 end
 
 module Sink : sig

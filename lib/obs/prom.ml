@@ -55,9 +55,34 @@ let fmt_value v =
 
 type gauge = string * (string * string) list * float
 
+(* Registered metric descriptions, keyed by the raw (pre-namespace) metric
+   name: ["server.requests"], ["span.portfolio"]...  Families without a
+   registration fall back to a kind-derived default, so the exposition
+   always carries one [# HELP] per family. *)
+let descriptions : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let describe name desc = Hashtbl.replace descriptions name desc
+
+(* HELP text escaping per the 0.0.4 exposition format: backslash and
+   newline only (no quote escaping outside label values). *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let render ?(namespace = default_namespace) ?(gauges : gauge list = []) () =
   let buf = Buffer.create 4096 in
-  let type_line name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
+  let family ~raw ~kind ~default fam =
+    let help = match Hashtbl.find_opt descriptions raw with Some d -> d | None -> default in
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam (escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
+  in
   let sample ?(labels = []) name v =
     Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name (labels_to_string labels) (fmt_value v))
   in
@@ -65,14 +90,16 @@ let render ?(namespace = default_namespace) ?(gauges : gauge list = []) () =
   Metrics.fold_counters
     (fun name v () ->
       let fam = metric_name ~namespace name ^ "_total" in
-      type_line fam "counter";
+      family ~raw:name ~kind:"counter" ~default:(Printf.sprintf "Total %s events." name) fam;
       sample fam (float_of_int v))
     ();
   (* histograms: cumulative le buckets + sum + count *)
   Metrics.fold_histograms
     (fun name s () ->
       let fam = metric_name ~namespace name in
-      type_line fam "histogram";
+      family ~raw:name ~kind:"histogram"
+        ~default:(Printf.sprintf "Distribution of %s observations." name)
+        fam;
       let buckets = Metrics.cumulative_buckets (Metrics.histogram name) in
       List.iter
         (fun (le, cum) ->
@@ -85,11 +112,16 @@ let render ?(namespace = default_namespace) ?(gauges : gauge list = []) () =
   (* span aggregates as a pair of counters *)
   Span.fold_aggregates
     (fun name ~count ~total_s () ->
-      let base = metric_name ~namespace ("span." ^ name) in
+      let raw = "span." ^ name in
+      let base = metric_name ~namespace raw in
       let secs = base ^ "_seconds_total" and runs = base ^ "_runs_total" in
-      type_line secs "counter";
+      family ~raw ~kind:"counter"
+        ~default:(Printf.sprintf "Cumulative seconds spent in span %s." name)
+        secs;
       sample secs total_s;
-      type_line runs "counter";
+      family ~raw ~kind:"counter"
+        ~default:(Printf.sprintf "Completed runs of span %s." name)
+        runs;
       sample runs (float_of_int count))
     ();
   (* caller gauges, grouped by family in first-seen order *)
@@ -98,12 +130,12 @@ let render ?(namespace = default_namespace) ?(gauges : gauge list = []) () =
     (fun (name, labels, v) ->
       let fam = metric_name ~namespace name in
       match List.assoc_opt fam !families with
-      | Some cell -> cell := (labels, v) :: !cell
-      | None -> families := !families @ [ (fam, ref [ (labels, v) ]) ])
+      | Some (_, cell) -> cell := (labels, v) :: !cell
+      | None -> families := !families @ [ (fam, (name, ref [ (labels, v) ])) ])
     gauges;
   List.iter
-    (fun (fam, cell) ->
-      type_line fam "gauge";
+    (fun (fam, (raw, cell)) ->
+      family ~raw ~kind:"gauge" ~default:(Printf.sprintf "Current value of %s." raw) fam;
       List.iter (fun (labels, v) -> sample ~labels fam v) (List.rev !cell))
     !families;
   Buffer.contents buf
@@ -159,6 +191,7 @@ let lint text =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let helps : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   (* per histogram family: le/cumulative pairs in order of appearance *)
   let hist_buckets : (string, (float * float) list ref) Hashtbl.t = Hashtbl.create 16 in
   let hist_counts : (string, float) Hashtbl.t = Hashtbl.create 16 in
@@ -167,16 +200,28 @@ let lint text =
     (fun i line ->
       let ln = i + 1 in
       if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        match String.index_from_opt line 7 ' ' with
+        | Some j when j > 7 ->
+            let name = String.sub line 7 (j - 7) in
+            if Hashtbl.mem helps name then err "line %d: duplicate # HELP for %s" ln name
+            else Hashtbl.replace helps name ()
+        | _ -> err "line %d: malformed # HELP line" ln
+      end
       else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
         match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
         | [ name; kind ] ->
             if Hashtbl.mem types name then err "line %d: duplicate # TYPE for %s" ln name
             else if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
             then err "line %d: unknown metric type %S for %s" ln kind name
-            else Hashtbl.replace types name kind
+            else begin
+              if not (Hashtbl.mem helps name) then
+                err "line %d: # TYPE %s without a preceding # HELP" ln name;
+              Hashtbl.replace types name kind
+            end
         | _ -> err "line %d: malformed # TYPE line" ln
       end
-      else if String.length line >= 1 && line.[0] = '#' then () (* HELP / comments *)
+      else if String.length line >= 1 && line.[0] = '#' then () (* comments *)
       else
         match split_sample line with
         | None -> err "line %d: unparseable sample %S" ln line

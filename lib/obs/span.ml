@@ -69,6 +69,7 @@ let enter ?(flow = 0) name =
   else inert
 
 let push_record r update_agg =
+  Config.beat r.stop_ns;
   Mutex.protect lock (fun () ->
       let a = !ring in
       a.(!ring_next) <- r;

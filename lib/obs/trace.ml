@@ -137,9 +137,17 @@ let events_of_log ~t0 log =
         ])
     log
 
-let to_json () =
-  let spans = Span.records () in
-  let log = Events.records () in
+let to_json ?(since_ns = Int64.min_int) () =
+  (* A span is kept while any part of it is inside the window (it may have
+     started before [since_ns] but still explain what the slice shows). *)
+  let spans =
+    List.filter (fun (r : Span.record) -> Int64.compare r.Span.stop_ns since_ns >= 0)
+      (Span.records ())
+  in
+  let log =
+    List.filter (fun (e : Events.record) -> Int64.compare e.Events.e_ts_ns since_ns >= 0)
+      (Events.records ())
+  in
   let t0 =
     List.fold_left
       (fun acc (r : Span.record) -> if Int64.compare r.Span.start_ns acc < 0 then r.Span.start_ns else acc)
@@ -173,8 +181,10 @@ let to_json () =
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let render () = Json.to_string (to_json ())
+let render ?since_ns () = Json.to_string (to_json ?since_ns ())
 
-let write_file path =
+let write_file ?since_ns path =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ()))
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?since_ns ()))

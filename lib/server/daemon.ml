@@ -9,6 +9,9 @@ type opts = {
   version : string;
   slow_ms : float;
   runtime_events : bool;
+  bundle_dir : string option;
+  record_secs : float;
+  triggers : Obs.Anomaly.rule list;
 }
 
 let default_opts =
@@ -23,6 +26,9 @@ let default_opts =
     version = "dev";
     slow_ms = 100.0;
     runtime_events = true;
+    bundle_dir = None;
+    record_secs = 0.0;
+    triggers = [];
   }
 
 type conn = {
@@ -116,9 +122,50 @@ let run opts =
   Obs.set_enabled true;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if opts.runtime_events then Obs.Runtime.start ();
+  (* Flight recorder: size the rings for the requested window and start the
+     periodic exposition snapshots. *)
+  if opts.record_secs > 0.0 then
+    Obs.Recorder.start
+      ~config:{ Obs.Recorder.default_config with Obs.Recorder.window_s = opts.record_secs }
+      ();
+  (* Trigger evaluation is on whenever bundles can land somewhere or rules
+     were given explicitly; a bundle dir with no rules gets the default
+     conservative set. *)
+  let anomaly =
+    match (opts.bundle_dir, opts.triggers) with
+    | None, [] -> None
+    | _, (_ :: _ as rules) -> Some (Obs.Anomaly.create rules)
+    | Some _, [] -> Some (Obs.Anomaly.create Obs.Anomaly.default_rules)
+  in
   let engine =
     Engine.create ~jobs:opts.jobs ~max_pending:opts.max_pending ~max_frame:opts.max_frame
-      ~version:opts.version ~slow_ms:opts.slow_ms ()
+      ~version:opts.version ~slow_ms:opts.slow_ms ?anomaly ?bundle_dir:opts.bundle_dir ()
+  in
+  (* The stall watchdog cannot run on the engine thread (a stuck solve
+     serves nothing, including its own health checks): a background domain
+     polls the heartbeat and writes a partial bundle — trace, events,
+     exposition, the offending request, no instance dump (session state
+     belongs to the engine thread) — while the stall is still happening.
+     The engine's own post-hoc check adds the full bundle if the solve
+     eventually returns (cooldown keeps that to one bundle per stall). *)
+  let wd_stop = Atomic.make false in
+  let watchdog =
+    match (anomaly, opts.bundle_dir) with
+    | Some a, Some dir when Obs.Anomaly.stall_ms a <> None ->
+        Some
+          (Domain.spawn (fun () ->
+               while not (Atomic.get wd_stop) do
+                 Unix.sleepf 0.05;
+                 match Obs.Anomaly.check_stuck a with
+                 | None -> ()
+                 | Some f ->
+                     ignore
+                       (Obs.Recorder.write_bundle ~dir
+                          ~trigger:(Obs.Anomaly.rule_kind f.Obs.Anomaly.f_rule)
+                          ~rule:(Obs.Anomaly.rule_to_string f.Obs.Anomaly.f_rule)
+                          ~detail:f.Obs.Anomaly.f_detail ~version:opts.version ())
+               done))
+    | _ -> None
   in
   let listeners =
     (match opts.socket_path with None -> [] | Some p -> [ listen_unix p ])
@@ -156,9 +203,13 @@ let run opts =
         (* Replay whatever GC/runtime activity the round produced into the
            span ring, so the trace interleaves it with the request spans. *)
         if opts.runtime_events then ignore (Obs.Runtime.poll ());
+        (* Recorder snapshot + periodic anomaly poll (heap growth). *)
+        Engine.tick engine;
         List.iter (fun c -> if c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
         conns := List.filter (fun c -> not c.closed) !conns
   done;
+  Atomic.set wd_stop true;
+  Option.iter Domain.join watchdog;
   if opts.runtime_events then Obs.Runtime.stop ();
   (match opts.events_log with
   | None -> ()

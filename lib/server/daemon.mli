@@ -24,16 +24,33 @@ type opts = {
   slow_ms : float;  (** slow-request log threshold; [<= 0] disables *)
   runtime_events : bool;
       (** subscribe to OCaml [Runtime_events] and poll every select round *)
+  bundle_dir : string option;
+      (** where anomaly-triggered and [dump]-forced diagnostic bundles are
+          written; [None] disables bundling (firings are still logged) *)
+  record_secs : float;
+      (** flight-recorder window; [<= 0] leaves the default ring sizes and
+          takes no periodic snapshots *)
+  triggers : Obs.Anomaly.rule list;
+      (** anomaly trigger rules; [[]] with a [bundle_dir] uses
+          {!Obs.Anomaly.default_rules} *)
 }
 
 val default_opts : opts
 (** No listeners (the caller must set at least one), [jobs = 1],
     [max_pending = 64], [max_frame = {!Protocol.default_max_frame}], no
     event log, no trace, [version = "dev"], [slow_ms = 100.],
-    [runtime_events = true]. *)
+    [runtime_events = true], no bundle dir, no recorder window, no
+    triggers. *)
 
 val run : opts -> unit
 (** Serve until a [shutdown] request; raises [Invalid_argument] when no
     listener is configured and [Unix.Unix_error] when binding fails.
     Enables telemetry ({!Obs.set_enabled}) so [stats] and the event log
-    have content. *)
+    have content.
+
+    With a [bundle_dir] and a [stall:MS] trigger, a background watchdog
+    domain polls the progress heartbeat every 50ms and writes a partial
+    bundle (trace slice, events tail, exposition, the offending request —
+    no instance dump, since session state belongs to the engine thread)
+    {e while} a solve is stuck; the engine's post-hoc check on the same
+    cooldown adds at most one full bundle when the solve returns. *)

@@ -7,6 +7,16 @@ let c_busy = Obs.Metrics.counter "server.busy"
 let c_batched = Obs.Metrics.counter "server.batched"
 let c_adopted = Obs.Metrics.counter "server.resolve.adopted"
 
+let () =
+  Obs.Prom.describe "server.requests" "Requests handled (batch members counted individually).";
+  Obs.Prom.describe "server.errors" "Error replies sent.";
+  Obs.Prom.describe "server.busy" "Requests rejected by admission control.";
+  Obs.Prom.describe "server.batched" "add_task requests served through a coalesced batch.";
+  Obs.Prom.describe "server.resolve.adopted" "Budgeted resolves whose schedule beat the incumbent.";
+  Obs.Prom.describe "server.sessions" "Resident sessions.";
+  Obs.Prom.describe "server.pending" "Requests waiting in the admission queue.";
+  Obs.Prom.describe "server.uptime_seconds" "Seconds since the engine was created."
+
 (* Per-request phase latencies in microseconds: admission-time parse,
    queue residency, handler execution ("solve"), reply write.  Per-op
    end-to-end latency histograms are interned on first use of each op. *)
@@ -27,6 +37,7 @@ let latency_hist op =
 
 type item = {
   parsed : (P.parsed, P.error_code * string * J.t option) result;
+  raw : string;  (* the request line as received — the "offending request" a bundle captures *)
   reply : string -> unit;
   posted_ns : int64;  (* admission timestamp, for the queue-wait phase *)
 }
@@ -42,6 +53,11 @@ type t = {
   slow_ms : float;  (* slow-request threshold; <= 0 disables the log *)
   slow_every : int;  (* sampling: log the 1st, then every nth slow request *)
   mutable slow_seen : int;
+  anomaly : Obs.Anomaly.t option;
+  bundle_dir : string option;
+  before_solve : (string -> unit) option;  (* fault-injection hook for tests *)
+  mutable bundles : int;
+  mutable last_bundle : string option;
   (* Plain request totals, maintained by the engine itself so [stats] can
      always answer them — independent of the [Obs] master switch. *)
   mutable posted : int;
@@ -50,7 +66,8 @@ type t = {
 }
 
 let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
-    ?(version = "dev") ?(slow_ms = 100.0) ?(slow_every = 10) () =
+    ?(version = "dev") ?(slow_ms = 100.0) ?(slow_every = 10) ?anomaly ?bundle_dir ?before_solve
+    () =
   if max_pending < 1 then invalid_arg "Engine.create: max_pending must be positive";
   if slow_every < 1 then invalid_arg "Engine.create: slow_every must be positive";
   {
@@ -64,6 +81,11 @@ let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
     slow_ms;
     slow_every;
     slow_seen = 0;
+    anomaly;
+    bundle_dir;
+    before_solve;
+    bundles = 0;
+    last_bundle = None;
     posted = 0;
     served = 0;
     shutdown = false;
@@ -128,7 +150,22 @@ let op_name = function
   | P.Sessions -> "sessions"
   | P.Snapshot _ -> "snapshot"
   | P.Restore _ -> "restore"
+  | P.Health -> "health"
+  | P.Dump _ -> "dump"
   | P.Shutdown -> "shutdown"
+
+let session_of_req = function
+  | P.Load { session; _ }
+  | P.Add_task { session; _ }
+  | P.Remove_task { session; _ }
+  | P.Kill_proc { session; _ }
+  | P.Resolve { session; _ }
+  | P.Solve { session }
+  | P.Snapshot { session }
+  | P.Restore { session; _ } ->
+      Some session
+  | P.Dump { session } -> session
+  | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Health | P.Shutdown -> None
 
 (* The Prometheus exposition: everything Obs holds (counters, phase and
    per-op latency histograms, span totals) plus live engine gauges.  The
@@ -156,9 +193,164 @@ let prom t =
       ("server.requests_posted", [], float_of_int t.posted);
       ("server.requests_served", [], float_of_int t.served);
     ]
+    @ (match t.anomaly with
+      | None -> []
+      | Some a -> [ ("server.anomaly_firings", [], float_of_int (Obs.Anomaly.firings a)) ])
     @ session_gauges
   in
   Obs.Prom.render ~gauges ()
+
+(* ---------- diagnostic bundles ---------- *)
+
+(* The instance to embed: an explicit session when the trigger names one,
+   otherwise the only resident session (ambiguity means none — a bundle
+   must never guess which tenant's data to copy out). *)
+let bundle_session t = function
+  | Some sid -> Hashtbl.find_opt t.registry sid |> Option.map (fun s -> (sid, s))
+  | None -> (
+      match Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.registry [] with
+      | [ one ] -> Some one
+      | _ -> None)
+
+(* Turn a firing (or a manual dump) into a bundle directory.  Total: bundle
+   I/O failure is reported as a warn event, never a dead request. *)
+let write_bundle t ~trigger ?rule ?(detail = []) ?raw ?session () =
+  match t.bundle_dir with
+  | None -> Error "no bundle directory configured (serve --bundle-dir)"
+  | Some dir -> (
+      let request_json =
+        J.to_string
+          (J.Obj
+             ((match raw with None -> [] | Some line -> [ ("raw", J.Str line) ])
+             @ (match session with None -> [] | Some s -> [ ("session", J.Str s) ])
+             @ [ ("trigger", J.Str trigger); ("detail", J.Obj detail) ]))
+      in
+      let instance_files =
+        match bundle_session t session with
+        | None -> []
+        | Some (sid, s) ->
+            [
+              ("instance.hg", Session.instance_text s);
+              ( "session.json",
+                J.to_string (J.Obj [ ("id", J.Str sid); ("state", Session.snapshot s) ]) );
+            ]
+      in
+      match
+        Obs.Recorder.write_bundle ~dir ~trigger ?rule ~detail ~prom:(prom t)
+          ~extra:(("request.json", request_json) :: instance_files)
+          ~version:t.version ()
+      with
+      | Ok bundle ->
+          t.bundles <- t.bundles + 1;
+          t.last_bundle <- Some bundle;
+          Ok bundle
+      | Error msg ->
+          Obs.Events.emit ~level:Obs.Events.Warn "bundle.failed"
+            [ Obs.Events.str "trigger" trigger; Obs.Events.str "error" msg ];
+          Error msg)
+
+let bundle_of_firing t (f : Obs.Anomaly.firing) ?raw ?session () =
+  ignore
+    (write_bundle t
+       ~trigger:(Obs.Anomaly.rule_kind f.Obs.Anomaly.f_rule)
+       ~rule:(Obs.Anomaly.rule_to_string f.Obs.Anomaly.f_rule)
+       ~detail:f.Obs.Anomaly.f_detail ?raw ?session ())
+
+let maybe_bundle t firing ?raw ?session () =
+  match firing with
+  | None -> ()
+  | Some f -> bundle_of_firing t f ?raw ?session ()
+
+(* ---------- health ---------- *)
+
+(* Cheap and always-on: every field is an in-memory read (counters, queue
+   length, watchdog atomics) — no solver work, no I/O, no rendering. *)
+let health_fields t =
+  let now = Obs.Span.now_ns () in
+  let wd = Option.map Obs.Anomaly.watchdog t.anomaly in
+  let stuck =
+    match (t.anomaly, wd) with
+    | Some a, Some w -> (
+        w.Obs.Anomaly.w_inflight
+        &&
+        match Obs.Anomaly.stall_ms a with
+        | Some ms -> w.Obs.Anomaly.w_silent_ms >= ms
+        | None -> false)
+    | _ -> false
+  in
+  let recent_firing =
+    match t.anomaly with
+    | None -> None
+    | Some a -> (
+        match Obs.Anomaly.last_firing a with
+        | Some (rule, ts) ->
+            let age_s = Obs.Span.ns_to_s (Int64.sub now ts) in
+            if age_s <= 60.0 then Some (rule, age_s) else None
+        | None -> None)
+  in
+  let queue_pressure = pending t * 5 >= t.max_pending * 4 in
+  let status =
+    if stuck then "stuck"
+    else if queue_pressure || recent_firing <> None then "degraded"
+    else "ready"
+  in
+  [
+    ("status", J.Str status);
+    ("uptime_s", J.Num (uptime_s t));
+    ("pending", int_j (pending t));
+    ("max_pending", int_j t.max_pending);
+    ("sessions", int_j (sessions t));
+    ("posted", int_j t.posted);
+    ("served", int_j t.served);
+    ("bundles", int_j t.bundles);
+  ]
+  @ (match t.last_bundle with None -> [] | Some dir -> [ ("last_bundle", J.Str dir) ])
+  @ (match wd with
+    | None -> []
+    | Some w ->
+        [
+          ( "watchdog",
+            J.Obj
+              ([ ("inflight", J.Bool w.Obs.Anomaly.w_inflight) ]
+              @ (match w.Obs.Anomaly.w_op with None -> [] | Some op -> [ ("op", J.Str op) ])
+              @ [
+                  ("silent_ms", J.Num w.Obs.Anomaly.w_silent_ms);
+                  ("beats", int_j w.Obs.Anomaly.w_beats);
+                ]) );
+        ])
+  @ (match t.anomaly with
+    | None -> []
+    | Some a ->
+        [
+          ( "anomaly",
+            J.Obj
+              ([
+                 ( "rules",
+                   J.List
+                     (List.map
+                        (fun r -> J.Str (Obs.Anomaly.rule_to_string r))
+                        (Obs.Anomaly.rules a)) );
+                 ("firings", int_j (Obs.Anomaly.firings a));
+               ]
+              @
+              match recent_firing with
+              | None -> []
+              | Some (rule, age_s) ->
+                  [ ("last_rule", J.Str rule); ("last_age_s", J.Num age_s) ]) );
+        ])
+  @
+  match Obs.Recorder.config () with
+  | None -> [ ("recorder", J.Obj [ ("enabled", J.Bool false) ]) ]
+  | Some cfg ->
+      [
+        ( "recorder",
+          J.Obj
+            [
+              ("enabled", J.Bool true);
+              ("window_s", J.Num cfg.Obs.Recorder.window_s);
+              ("snapshots", int_j (List.length (Obs.Recorder.snapshots ())));
+            ] );
+      ]
 
 (* One request, already parsed (add_task goes through [handle_adds] so the
    batch path is the only path).  Total: internal failures become an
@@ -281,6 +473,20 @@ let handle_one t ({ req; id } : P.parsed) =
                     ("procs", int_j (Session.n_procs s));
                     ("makespan", J.Num (Session.makespan s));
                   ])
+        | P.Health ->
+            (* No [event op]: a tight readiness probe must not flood the
+               event ring the recorder is trying to keep useful. *)
+            P.ok_reply ?id ~op (health_fields t)
+        | P.Dump { session } -> (
+            event op session;
+            match session with
+            | Some sid when not (Hashtbl.mem t.registry sid) ->
+                P.error_reply ?id ~code:P.Unknown_session
+                  (Printf.sprintf "unknown session %S" sid)
+            | _ -> (
+                match write_bundle t ~trigger:"manual" ?session () with
+                | Ok dir -> P.ok_reply ?id ~op [ ("dir", J.Str dir); ("bundles", int_j t.bundles) ]
+                | Error msg -> P.error_reply ?id ~code:P.Bad_request msg))
         | P.Shutdown ->
             event op None;
             t.shutdown <- true;
@@ -335,7 +541,7 @@ let us_between later earlier = Int64.to_float (Int64.sub later earlier) /. 1e3
    request; the handler phase is observed once per batch by the caller),
    per-op end-to-end latency, the always-on served total, and the sampled
    slow-request log. *)
-let finish t op ~posted_ns ~done_ns ~replied_ns =
+let finish t op ?raw ?session ~posted_ns ~done_ns ~replied_ns () =
   Obs.Metrics.observe h_reply (us_between replied_ns done_ns);
   let total_us = us_between replied_ns posted_ns in
   Obs.Metrics.observe (latency_hist op) total_us;
@@ -351,12 +557,18 @@ let finish t op ~posted_ns ~done_ns ~replied_ns =
           Obs.Events.num "threshold_ms" t.slow_ms;
           Obs.Events.int "nth" t.slow_seen;
         ]
-  end
+  end;
+  match t.anomaly with
+  | None -> ()
+  | Some a -> maybe_bundle t (Obs.Anomaly.observe_request a ~op ~ms:total_ms) ?raw ?session ()
 
 let post t ~reply line =
   t.posted <- t.posted + 1;
   if Queue.length t.queue >= t.max_pending then begin
     Obs.Metrics.incr c_busy;
+    (match t.anomaly with
+    | None -> ()
+    | Some a -> maybe_bundle t (Obs.Anomaly.observe_busy a) ~raw:line ());
     (* Best-effort id recovery so the busy reply can still be matched. *)
     let id =
       match P.parse ~max_frame:t.max_frame line with
@@ -371,8 +583,35 @@ let post t ~reply line =
     let parsed = P.parse ~max_frame:t.max_frame line in
     let t1 = Obs.Span.now_ns () in
     Obs.Metrics.observe h_parse (us_between t1 t0);
-    Queue.push { parsed; reply; posted_ns = t1 } t.queue
+    Queue.push { parsed; raw = line; reply; posted_ns = t1 } t.queue;
+    match t.anomaly with
+    | None -> ()
+    | Some a -> maybe_bundle t (Obs.Anomaly.observe_queue a ~pending:(Queue.length t.queue)) ~raw:line ()
   end
+
+(* Watchdog bracketing around the handler phase: the in-flight request is
+   captured before the handler runs (so a stuck solve can be bundled from
+   the watchdog domain), the test-only [before_solve] stall hook runs
+   inside the bracket, and [solve_end]'s post-hoc gap check fires after —
+   then anything beyond a Resolve budget is checked too. *)
+let solve_bracket t ~op ?session ~raw f =
+  (match t.anomaly with
+  | None -> ()
+  | Some a -> Obs.Anomaly.solve_begin a ~op ?session ~request:raw ());
+  (match t.before_solve with None -> () | Some hook -> hook raw);
+  let result = f () in
+  (match t.anomaly with
+  | None -> ()
+  | Some a -> maybe_bundle t (Obs.Anomaly.solve_end a) ~raw ?session ());
+  result
+
+let observe_budget t ~op ~budget_ms ~elapsed_us ~raw ?session () =
+  match t.anomaly with
+  | None -> ()
+  | Some a ->
+      maybe_bundle t
+        (Obs.Anomaly.observe_solve a ~op ~budget_ms ~elapsed_ms:(elapsed_us /. 1000.0))
+        ~raw ?session ()
 
 let drain t =
   while not (Queue.is_empty t.queue) do
@@ -385,7 +624,8 @@ let drain t =
         let line = P.error_reply ?id ~code msg in
         let done_ns = Obs.Span.now_ns () in
         item.reply line;
-        finish t "invalid" ~posted_ns:item.posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ())
+        finish t "invalid" ~raw:item.raw ~posted_ns:item.posted_ns ~done_ns
+          ~replied_ns:(Obs.Span.now_ns ()) ()
     | Ok { req = P.Add_task { session; configs }; id } ->
         let batch = ref [ (configs, id, item.reply, item.posted_ns) ] in
         let continue = ref true in
@@ -396,6 +636,7 @@ let drain t =
                 parsed = Ok { req = P.Add_task { session = s2; configs = c2 }; id = id2 };
                 reply;
                 posted_ns;
+                _;
               }
             when s2 = session ->
               ignore (Queue.pop t.queue);
@@ -404,19 +645,48 @@ let drain t =
           | _ -> continue := false
         done;
         let batch = List.rev !batch in
-        let replies = handle_adds t session batch in
+        let replies =
+          solve_bracket t ~op:"add_task" ~session ~raw:item.raw (fun () ->
+              handle_adds t session batch)
+        in
         let done_ns = Obs.Span.now_ns () in
         Obs.Metrics.observe h_solve (us_between done_ns start_ns);
         List.iter2
           (fun (_, _, reply, posted_ns) line ->
             reply line;
-            finish t "add_task" ~posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ()))
+            finish t "add_task" ~raw:item.raw ~session ~posted_ns ~done_ns
+              ~replied_ns:(Obs.Span.now_ns ()) ())
           batch replies
     | Ok parsed ->
         let op = op_name parsed.P.req in
-        let line = handle_one t parsed in
+        let session = session_of_req parsed.P.req in
+        let line =
+          match parsed.P.req with
+          (* The health probe snapshots the watchdog — bracketing it would
+             make every probe report itself as the in-flight solve. *)
+          | P.Health -> handle_one t parsed
+          | _ -> solve_bracket t ~op ?session ~raw:item.raw (fun () -> handle_one t parsed)
+        in
         let done_ns = Obs.Span.now_ns () in
-        Obs.Metrics.observe h_solve (us_between done_ns start_ns);
+        let elapsed_us = us_between done_ns start_ns in
+        Obs.Metrics.observe h_solve elapsed_us;
+        (match parsed.P.req with
+        | P.Resolve { budget_ms; _ } ->
+            observe_budget t ~op ~budget_ms ~elapsed_us ~raw:item.raw ?session ()
+        | _ -> ());
         item.reply line;
-        finish t op ~posted_ns:item.posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ())
+        finish t op ~raw:item.raw ?session ~posted_ns:item.posted_ns ~done_ns
+          ~replied_ns:(Obs.Span.now_ns ()) ()
   done
+
+(* Host-loop pulse between requests: recorder snapshots and the periodic
+   anomaly poll (heap growth).  The daemon calls this every select round. *)
+let tick t =
+  ignore (Obs.Recorder.tick ~prom:(fun () -> prom t) ());
+  match t.anomaly with
+  | None -> ()
+  | Some a -> (
+      match Obs.Anomaly.poll a with None -> () | Some f -> bundle_of_firing t f ())
+
+let bundles_written t = t.bundles
+let last_bundle t = t.last_bundle

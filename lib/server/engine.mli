@@ -35,6 +35,9 @@ val create :
   ?version:string ->
   ?slow_ms:float ->
   ?slow_every:int ->
+  ?anomaly:Obs.Anomaly.t ->
+  ?bundle_dir:string ->
+  ?before_solve:(string -> unit) ->
   unit ->
   t
 (** [jobs] (default 1: deterministic) is passed to the resolve/solve
@@ -43,7 +46,15 @@ val create :
     [version] (default ["dev"]) is echoed in [stats] replies.  [slow_ms]
     (default 100, [<= 0] disables) is the slow-request log threshold;
     [slow_every] (default 10) its sampling stride — the first slow request
-    is logged, then every [slow_every]-th. *)
+    is logged, then every [slow_every]-th.
+
+    [anomaly] wires in trigger evaluation: request latencies, busy
+    rejections, queue depth, resolve budgets and the watchdog bracket are
+    fed to it, and any firing is written as a diagnostic bundle under
+    [bundle_dir] via {!Obs.Recorder.write_bundle} (no [bundle_dir] — the
+    firing is still counted and logged, just not bundled).  [before_solve]
+    is a test-only fault-injection hook run with the raw request line
+    inside the watchdog bracket, before the handler. *)
 
 val max_frame : t -> int
 val shutting_down : t -> bool
@@ -79,3 +90,15 @@ val drain : t -> unit
 (** Process every queued request in arrival order, invoking the reply
     callbacks.  Requests posted by callbacks during the drain are
     processed too.  No-op on an empty queue. *)
+
+val tick : t -> unit
+(** Host-loop pulse between requests: take a due {!Obs.Recorder} snapshot
+    (with this engine's gauges) and run the periodic {!Obs.Anomaly.poll}
+    (heap growth), bundling any firing.  The daemon calls this every
+    select round. *)
+
+val bundles_written : t -> int
+(** Diagnostic bundles written by this engine (triggered or manual). *)
+
+val last_bundle : t -> string option
+(** Directory of the most recent bundle. *)

@@ -4,8 +4,11 @@
 
 type t = { engine : Engine.t; mutable acc : string list (* newest first *) }
 
-let create ?jobs ?max_pending ?max_frame () =
-  { engine = Engine.create ?jobs ?max_pending ?max_frame (); acc = [] }
+let create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve () =
+  {
+    engine = Engine.create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve ();
+    acc = [];
+  }
 
 let engine t = t.engine
 let shutting_down t = Engine.shutting_down t.engine

@@ -4,7 +4,19 @@
 
 type t
 
-val create : ?jobs:int -> ?max_pending:int -> ?max_frame:int -> unit -> t
+(** The optional arguments of [create] are passed straight to
+    {!Engine.create}, so tests can wire in anomaly triggers, a bundle
+    directory and the [before_solve] stall-injection hook. *)
+val create :
+  ?jobs:int ->
+  ?max_pending:int ->
+  ?max_frame:int ->
+  ?slow_ms:float ->
+  ?anomaly:Obs.Anomaly.t ->
+  ?bundle_dir:string ->
+  ?before_solve:(string -> unit) ->
+  unit ->
+  t
 val engine : t -> Engine.t
 val shutting_down : t -> bool
 

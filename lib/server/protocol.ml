@@ -15,6 +15,8 @@ type request =
   | Sessions
   | Snapshot of { session : string }
   | Restore of { session : string; state : J.t }
+  | Health
+  | Dump of { session : string option }
   | Shutdown
 
 type parsed = { req : request; id : J.t option }
@@ -119,6 +121,12 @@ let request_of obj =
       match J.member "state" obj with
       | Some state -> Restore { session; state }
       | None -> reject Protocol "missing field \"state\"")
+  | "health" -> Health
+  | "dump" -> (
+      match J.member "session" obj with
+      | None -> Dump { session = None }
+      | Some (J.Str s) -> Dump { session = Some s }
+      | Some _ -> reject Protocol "field \"session\" must be a string")
   | "shutdown" -> Shutdown
   | op -> reject Protocol "unknown op %S" op
 

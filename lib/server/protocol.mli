@@ -9,8 +9,8 @@
 
     Ops: [ping], [load], [add_task], [remove_task], [kill_proc],
     [resolve], [solve], [stats], [metrics], [sessions], [snapshot],
-    [restore], [shutdown] — see the README "Scheduler service" section for
-    a transcript.
+    [restore], [health], [dump], [shutdown] — see the README "Scheduler
+    service" section for a transcript.
 
     Introspection ops come in two tiers.  [stats] always answers with the
     engine's own basics — ["uptime_s"], ["version"], ["requests"] posted /
@@ -21,7 +21,13 @@
     ["exposition"] string field (counters, latency histograms, span totals
     from [Obs], plus live gauges: resident sessions, queue depth,
     per-session task/proc/makespan) — the machine endpoint behind
-    [semimatch client --metrics]. *)
+    [semimatch client --metrics].
+
+    [health] is the probe tier: always-on, answered entirely from memory
+    (status ["ready"]/["degraded"]/["stuck"], watchdog and recorder
+    state), cheap enough for a tight readiness loop.  [dump] forces a
+    diagnostic bundle to the daemon's [--bundle-dir] and replies with its
+    path. *)
 
 type config = { procs : int array; weight : float }
 (** One candidate configuration of a task, as in {!Hyper.Graph}. *)
@@ -39,6 +45,10 @@ type request =
   | Sessions
   | Snapshot of { session : string }
   | Restore of { session : string; state : Obs.Json.t }
+  | Health  (** cheap liveness/readiness: always answered from memory *)
+  | Dump of { session : string option }
+      (** force a diagnostic bundle; [session] picks the instance to
+          embed (default: the only resident session, if unambiguous) *)
   | Shutdown
 
 type parsed = { req : request; id : Obs.Json.t option }

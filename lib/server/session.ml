@@ -176,6 +176,11 @@ let solve ?jobs t =
 
 let format_tag = "semimatch.session/1"
 
+(* The bare instance as Hyper.Io text — what a diagnostic bundle embeds as
+   [instance.hg] so [semimatch doctor] can replay the captured instance
+   through the solvers without understanding session state. *)
+let instance_text t = Hyper.Io.to_string (graph t)
+
 let snapshot t =
   let h = graph t in
   J.Obj

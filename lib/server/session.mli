@@ -51,6 +51,11 @@ val solve : ?jobs:int -> t -> Semimatch.Deadline.delta
 (** Unbudgeted {!resolve} whose result is adopted unconditionally — the
     from-scratch baseline a client asks for by name. *)
 
+val instance_text : t -> string
+(** The current instance as {!Hyper.Io} text — what a diagnostic bundle
+    embeds as [instance.hg] so [semimatch doctor] can replay it through
+    the solvers without understanding session state. *)
+
 val snapshot : t -> Obs.Json.t
 (** Full session state: the instance via {!Hyper.Io.to_string} plus tids,
     chosen configurations, dead processors and the tid counter. *)

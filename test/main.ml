@@ -29,4 +29,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("online", Test_online.suite);
       ("server", Test_server.suite);
+      ("recorder", Test_recorder.suite);
     ]

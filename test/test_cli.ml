@@ -267,6 +267,65 @@ let test_loadgen_and_metrics_e2e () =
         (expect_ok (run_capture [ "client"; "--socket"; sock; "--request"; {|{"op":"shutdown"}|} ]));
       ignore (Unix.waitpid [] pid))
 
+(* --- doctor: offline bundle validation.  The happy path validates and
+   replays a bundle written in-process; every corruption is one clean
+   diagnostic and exit 2. --- *)
+
+let test_doctor_validates_and_replays () =
+  Obs.with_recording (fun () ->
+      let dir = Filename.temp_file "semimatch_doctor" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+        (fun () ->
+          Obs.Events.emit "doctor.test" [ Obs.Events.int "x" 1 ];
+          ignore (Obs.Span.timed "server.resolve" (fun () -> Sys.opaque_identity ()));
+          let h =
+            Hyper.Graph.create ~n1:2 ~n2:2
+              ~hyperedges:[ (0, [| 0 |], 1.0); (0, [| 1 |], 2.0); (1, [| 1 |], 1.0) ]
+          in
+          let bundle =
+            match
+              Obs.Recorder.write_bundle ~dir ~trigger:"stall" ~rule:"stall:80"
+                ~extra:
+                  [ ("instance.hg", Hyper.Io.to_string h); ("request.json", {|{"op":"resolve"}|}) ]
+                ~version:"test" ()
+            with
+            | Ok b -> b
+            | Error msg -> Alcotest.failf "write_bundle failed: %s" msg
+          in
+          let out = expect_ok (run_capture [ "doctor"; bundle ]) in
+          check "verdict" true (contains ~needle:"bundle OK" out);
+          check "trigger summarized" true (contains ~needle:"stall (rule stall:80)" out);
+          check "slowest spans listed" true (contains ~needle:"slowest spans" out);
+          check "captured instance replayed" true
+            (contains ~needle:"portfolio best makespan" out);
+          (* A size mismatch between disk and manifest is corruption. *)
+          let events = Filename.concat bundle "events.jsonl" in
+          let saved = In_channel.with_open_bin events In_channel.input_all in
+          Out_channel.with_open_bin events (fun oc -> Out_channel.output_string oc "");
+          ignore (expect_clean_failure "truncated file" (run_capture_err [ "doctor"; bundle ]));
+          Out_channel.with_open_bin events (fun oc -> Out_channel.output_string oc saved);
+          (* An unparseable manifest is corruption... *)
+          let manifest = Filename.concat bundle "manifest.json" in
+          Out_channel.with_open_bin manifest (fun oc -> Out_channel.output_string oc "{not json");
+          ignore (expect_clean_failure "corrupt manifest" (run_capture_err [ "doctor"; bundle ]));
+          (* ...and a missing one marks a bundle that never completed. *)
+          Sys.remove manifest;
+          let out = expect_clean_failure "missing manifest" (run_capture_err [ "doctor"; bundle ]) in
+          check "names the incompleteness" true (contains ~needle:"manifest" out);
+          ignore
+            (expect_clean_failure "nonexistent bundle"
+               (run_capture_err [ "doctor"; "/nonexistent-semimatch-bundle" ]))))
+
 let suite =
   [
     Alcotest.test_case "gen/info/solve roundtrip" `Quick test_gen_info_solve_roundtrip;
@@ -284,4 +343,6 @@ let suite =
     Alcotest.test_case "exact on SINGLEPROC file" `Quick test_exact_on_singleproc;
     Alcotest.test_case "exact rejects MULTIPROC" `Quick test_exact_rejects_multiproc;
     Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "doctor validates and replays bundles" `Quick
+      test_doctor_validates_and_replays;
   ]

@@ -323,6 +323,26 @@ let test_quantile_edge_cases () =
             (Obs.Metrics.quantile sharded ~q))
         [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ])
 
+(* When the event ring laps itself the oldest records vanish from any later
+   render; the [events.dropped] counter makes that truncation visible. *)
+let test_events_dropped_counter () =
+  Obs.with_recording (fun () ->
+      Obs.reset ();
+      Obs.Events.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Obs.Events.set_capacity 8192)
+        (fun () ->
+          let dropped = Obs.Metrics.counter "events.dropped" in
+          let before = Obs.Metrics.value dropped in
+          List.iter
+            (fun i -> Obs.Events.emit "drop.test" [ Obs.Events.int "i" i ])
+            (List.init 10 Fun.id);
+          Alcotest.(check int) "overwrites counted" 6 (Obs.Metrics.value dropped - before);
+          Alcotest.(check int) "ring keeps the newest capacity-many" 4
+            (List.length (Obs.Events.records ()));
+          check "exposition carries the drop counter" true
+            (Test_cli.contains ~needle:"semimatch_events_dropped_total" (Obs.Prom.render ()))))
+
 (* The sink layout is a machine contract: golden-pin the CSV header and the
    histogram JSON keys, p95 included. *)
 let test_sink_layout_p95 () =
@@ -373,6 +393,10 @@ let test_prom_render_and_lint () =
       | Ok () -> ()
       | Error msg -> Alcotest.failf "live render fails lint: %s" msg);
       let has needle = Test_cli.contains ~needle text in
+      check "counter HELP line" true (has "# HELP semimatch_prom_test_counter_total");
+      Obs.Prom.describe "prom.test.counter" "A counter described for the test.";
+      check "described HELP text" true
+        (Test_cli.contains ~needle:"A counter described for the test." (Obs.Prom.render ()));
       check "counter family" true (has "# TYPE semimatch_prom_test_counter_total counter");
       check "counter value" true (has "semimatch_prom_test_counter_total 42");
       check "histogram family" true (has "# TYPE semimatch_prom_test_hist_us histogram");
@@ -387,16 +411,18 @@ let test_prom_render_and_lint () =
     | Error _ -> ()
   in
   expect_bad "duplicate TYPE"
-    "# TYPE foo counter\nfoo 1\n# TYPE foo counter\nfoo 2\n";
-  expect_bad "undeclared family" "# TYPE foo counter\nfoo 1\nbar 2\n";
+    "# HELP foo a\n# TYPE foo counter\nfoo 1\n# HELP foo a\n# TYPE foo counter\nfoo 2\n";
+  expect_bad "undeclared family" "# HELP foo a\n# TYPE foo counter\nfoo 1\nbar 2\n";
+  expect_bad "TYPE without HELP" "# TYPE foo counter\nfoo 1\n";
+  expect_bad "duplicate HELP" "# HELP foo a\n# HELP foo b\n# TYPE foo counter\nfoo 1\n";
   expect_bad "non-monotone le buckets"
-    "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+    "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
   expect_bad "decreasing cumulative counts"
-    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+    "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
   expect_bad "+Inf disagrees with count"
-    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
-  expect_bad "non-numeric value" "# TYPE foo counter\nfoo one\n";
-  match Obs.Prom.lint "# TYPE ok counter\nok 1\nok{label=\"x\"} 2\n" with
+    "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+  expect_bad "non-numeric value" "# HELP foo a\n# TYPE foo counter\nfoo one\n";
+  match Obs.Prom.lint "# HELP ok a counter\n# TYPE ok counter\nok 1\nok{label=\"x\"} 2\n" with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "labelled samples under one family must pass: %s" msg
 
@@ -411,6 +437,7 @@ let suite =
     Alcotest.test_case "NaN sentinels per sink format" `Quick test_nan_sentinels;
     Alcotest.test_case "CSV quotes hostile labels" `Quick test_csv_hostile_label;
     Alcotest.test_case "structured event log basics" `Quick test_events_basics;
+    Alcotest.test_case "event ring drop counter" `Quick test_events_dropped_counter;
     Alcotest.test_case "quantile edge cases and shard merging" `Quick test_quantile_edge_cases;
     Alcotest.test_case "sink layout pins p95 columns" `Quick test_sink_layout_p95;
     Alcotest.test_case "Prometheus render and lint" `Quick test_prom_render_and_lint;
