@@ -427,6 +427,64 @@ module Gate = Experiments.Bench_gate
 
 let trajectory_out = "BENCH_trajectory.json"
 
+(* Crash-recovery time is gated like solver time: a persist directory with
+   a checkpointed session plus a journal suffix of mutations is built once,
+   and the thunk times the full restart path — checkpoint load, journal
+   decode, replay through the engine, feasibility verify. *)
+let gate_recovery_workload () =
+  let dir = Filename.temp_file "bench-recovery" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  at_exit (fun () ->
+      try
+        Array.iter
+          (fun n ->
+            let p = Filename.concat dir n in
+            if Sys.is_directory p then begin
+              Array.iter (fun m -> Sys.remove (Filename.concat p m)) (Sys.readdir p);
+              Unix.rmdir p
+            end
+            else Sys.remove p)
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      with Sys_error _ | Unix.Unix_error _ -> ());
+  let rng = Randkit.Prng.create ~seed:7 in
+  let h =
+    Hyper.Generate.generate rng ~family:Hyper.Generate.Fewg_manyg ~n:200 ~p:32 ~dv:3 ~dh:4
+      ~g:4 ~weights:Hyper.Weights.Unit
+  in
+  let persist, _ = Server.Persist.open_ ~dir ~policy:Server.Journal.Never ~version:"bench" in
+  let lb = Server.Loopback.create ~persist () in
+  let req fields = ignore (Server.Loopback.request lb (Obs.Json.to_string (Obs.Json.Obj fields))) in
+  let module J = Obs.Json in
+  req [ ("op", J.Str "load"); ("session", J.Str "r"); ("instance", J.Str (Hyper.Io.to_string h)) ];
+  req [ ("op", J.Str "checkpoint") ];
+  for i = 0 to 49 do
+    if i mod 3 = 2 then req [ ("op", J.Str "remove_task"); ("session", J.Str "r"); ("task", J.Num (float_of_int i)) ]
+    else
+      req
+        [
+          ("op", J.Str "add_task"); ("session", J.Str "r");
+          ("configs",
+           J.List
+             [
+               J.Obj
+                 [
+                   ("procs", J.List [ J.Num (float_of_int (i mod 32)); J.Num (float_of_int ((i + 7) mod 32)) ]);
+                   ("weight", J.Num 1.0);
+                 ];
+             ]);
+        ]
+  done;
+  (* Close the journal without a final checkpoint, so the thunk replays a
+     genuine checkpoint + journal-suffix recovery, not checkpoint-only. *)
+  Server.Persist.close persist;
+  ( "recovery/ckpt+journal-50",
+    fun () ->
+      let r = Server.Persist.load dir in
+      let engine = Server.Engine.create () in
+      ignore (Server.Engine.recover engine r : Server.Engine.recovery_info) )
+
 (* The gated workloads mirror the smoke groups: the two scaled paper
    instances through every multiprocessor heuristic, plus the exact solver
    through each matching engine.  Instances are generated up front so the
@@ -454,7 +512,7 @@ let gate_workloads () =
           fun () -> ignore (Semimatch.Exact_unit.solve_with ~exact sp) ))
       Semimatch.Exact_unit.all_exact_engines
   in
-  heuristics @ exact
+  heuristics @ exact @ [ gate_recovery_workload () ]
 
 let gate_write_baseline path =
   (* Telemetry off: the gate times un-instrumented code, and must do so

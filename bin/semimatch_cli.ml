@@ -699,8 +699,11 @@ let parse_triggers spec =
 
 let serve_cmd =
   let run socket tcp jobs max_pending max_frame events_log trace slow_ms bundle_dir record_secs
-      triggers =
+      triggers persist_dir fsync checkpoint_secs =
     let triggers = match triggers with None -> [] | Some spec -> parse_triggers spec in
+    let fsync =
+      try Server.Journal.policy_of_string fsync with Failure msg -> die "bad --fsync: %s" msg
+    in
     (* A bundle dir implies flight recording: default the window on unless
        the operator explicitly disabled it with --record-secs 0. *)
     let record_secs =
@@ -724,6 +727,9 @@ let serve_cmd =
         bundle_dir;
         record_secs;
         triggers;
+        persist_dir;
+        fsync;
+        checkpoint_secs;
       }
     in
     (match socket with
@@ -785,6 +791,27 @@ let serve_cmd =
              ~doc:
                "Comma-separated anomaly trigger rules: latency[:OP]:MS, overbudget:F, \
                 queue:N, busy:N@S, heap:MB@S, stall:MS.")
+  and persist_dir =
+    Arg.(value & opt (some string) None
+         & info [ "persist-dir" ] ~docv:"DIR"
+             ~doc:
+               "Durability root: mutations are write-ahead journaled under $(docv) and \
+                checkpointed atomically; a restart with the same $(docv) recovers every \
+                session (a torn journal tail from a crash is truncated, never fatal).")
+  and fsync =
+    Arg.(value & opt string "interval:100"
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:
+               "Journal fsync policy: $(b,always) (fsync every record), $(b,interval:MS) \
+                (batch fsyncs, at most one per $(i,MS) milliseconds), or $(b,never) (leave \
+                flushing to the OS).  All policies survive a process kill; they differ only \
+                in the window a $(i,power) loss can lose.")
+  and checkpoint_secs =
+    Arg.(value & opt float 60.0
+         & info [ "checkpoint-secs" ] ~docv:"SECS"
+             ~doc:
+               "Checkpoint cadence: write an atomic checkpoint (and rotate the journal) \
+                every $(docv) seconds; 0 checkpoints only on graceful shutdown.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -792,7 +819,8 @@ let serve_cmd =
          "Run the scheduler service: a daemon holding live instances and updating their \
           semi-matchings incrementally over a newline-delimited JSON socket protocol")
     Term.(const run $ socket $ tcp $ jobs_arg $ max_pending $ max_frame $ events_log $ trace
-          $ slow_ms $ bundle_dir $ record_secs $ triggers)
+          $ slow_ms $ bundle_dir $ record_secs $ triggers $ persist_dir $ fsync
+          $ checkpoint_secs)
 
 let parse_hostport hostport =
   match String.rindex_opt hostport ':' with
@@ -807,14 +835,19 @@ let parse_hostport hostport =
       | Some port -> ("127.0.0.1", port)
       | None -> die "bad --tcp %S (expected HOST:PORT or PORT)" hostport)
 
+(* One-shot client connections retry once with a short backoff before the
+   exit-2 diagnostic, so a script racing a daemon restart (crash recovery,
+   a rolling upgrade) does not fail on the connect it could have won 200ms
+   later.  [Client.retrying] only retries transient connection errors. *)
 let connect_client socket tcp =
   match (socket, tcp) with
   | Some path, None -> (
-      try Server.Client.connect_unix path
+      try Server.Client.retrying ~attempts:2 ~delay_s:0.2 (fun () -> Server.Client.connect_unix path)
       with Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" path (Unix.error_message err))
   | None, Some hostport -> (
       let host, port = parse_hostport hostport in
-      try Server.Client.connect_tcp ~host ~port with
+      try Server.Client.retrying ~attempts:2 ~delay_s:0.2 (fun () -> Server.Client.connect_tcp ~host ~port)
+      with
       | Unix.Unix_error (err, _, _) -> die "cannot connect to %s: %s" hostport (Unix.error_message err)
       | Not_found -> die "cannot resolve host %S" host)
   | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
@@ -928,17 +961,20 @@ let client_cmd =
    report per-op latency quantiles; optionally write BENCH_server.json and
    gate the medians against a committed baseline. *)
 let loadgen_cmd =
-  let run socket tcp duration rate seed tasks procs budget_ms out baseline check write_baseline =
-    let fd =
+  let run socket tcp duration rate seed tasks procs budget_ms reconnect out baseline check
+      write_baseline =
+    (* The dial is a closure so Loadgen can redial the same endpoint after
+       a dropped connection (--reconnect). *)
+    let connect () =
       match (socket, tcp) with
-      | Some path, None -> (
+      | Some path, None ->
           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          try
-            Unix.connect fd (Unix.ADDR_UNIX path);
-            fd
-          with Unix.Unix_error (err, _, _) ->
-            die "cannot connect to %s: %s" path (Unix.error_message err))
-      | None, Some hostport -> (
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          fd
+      | None, Some hostport ->
           let host, port = parse_hostport hostport in
           let addr =
             try Unix.inet_addr_of_string host
@@ -949,13 +985,20 @@ let loadgen_cmd =
               | exception Not_found -> die "cannot resolve host %S" host)
           in
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          try
-            Unix.connect fd (Unix.ADDR_INET (addr, port));
-            fd
-          with Unix.Unix_error (err, _, _) ->
-            die "cannot connect to %s: %s" hostport (Unix.error_message err))
+          (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          fd
       | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
       | None, None -> die "loadgen needs --socket PATH or --tcp HOST:PORT"
+    in
+    let fd =
+      try connect ()
+      with Unix.Unix_error (err, _, _) ->
+        die "cannot connect to %s: %s"
+          (match (socket, tcp) with Some p, _ -> p | _, Some hp -> hp | _ -> "?")
+          (Unix.error_message err)
     in
     let opts =
       {
@@ -966,10 +1009,11 @@ let loadgen_cmd =
         procs;
         budget_ms;
         stall_timeout_s = Server.Loadgen.default_opts.Server.Loadgen.stall_timeout_s;
+        reconnect_attempts = reconnect;
       }
     in
     let report =
-      match Server.Loadgen.run fd opts with
+      match Server.Loadgen.run ~connect fd opts with
       | Ok r -> r
       | Error msg -> die "loadgen failed: %s" msg
       | exception Invalid_argument msg -> die "%s" msg
@@ -1044,6 +1088,14 @@ let loadgen_cmd =
   and budget_ms =
     Arg.(value & opt float Server.Loadgen.default_opts.Server.Loadgen.budget_ms
          & info [ "budget-ms" ] ~docv:"MS" ~doc:"Budget passed to resolve requests.")
+  and reconnect =
+    Arg.(value & opt int 0
+         & info [ "reconnect" ] ~docv:"N"
+             ~doc:
+               "Survive a dropped connection (daemon crash/restart): redial up to $(docv) \
+                times with exponential backoff and resend outstanding requests, tagging \
+                mutations with idempotency ids so resends are never double-applied.  0 \
+                keeps a drop fatal.")
   and out =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE"
@@ -1067,14 +1119,58 @@ let loadgen_cmd =
        ~doc:
          "Drive a running scheduler daemon with a seeded open-loop request mix and report \
           throughput and per-op p50/p95/p99 latency; optionally bench-gate the medians")
-    Term.(const run $ socket $ tcp $ duration $ rate $ seed $ tasks $ procs $ budget_ms $ out
-          $ baseline $ check $ write_baseline)
+    Term.(const run $ socket $ tcp $ duration $ rate $ seed $ tasks $ procs $ budget_ms
+          $ reconnect $ out $ baseline $ check $ write_baseline)
+
+(* doctor over a --persist-dir: read-only validation (Persist.load never
+   writes, so this is safe against a live daemon's directory) plus a full
+   dry-run recovery into a scratch engine.  Invalid checkpoints and
+   sessions that fail restore or the feasibility recompute exit 2; a torn
+   journal tail is reported but is not a defect — it is exactly what a
+   crash mid-append leaves and what recovery truncates. *)
+let doctor_persist dir =
+  let r = Server.Persist.load dir in
+  Printf.printf "persist dir %s\n" dir;
+  Printf.printf "  epoch      %d\n" r.Server.Persist.r_epoch;
+  (match r.Server.Persist.r_checkpoint with
+  | Some name ->
+      Printf.printf "  checkpoint %s (%d sessions)\n" name
+        (List.length r.Server.Persist.r_sessions)
+  | None -> Printf.printf "  checkpoint (none)\n");
+  Printf.printf "  journal    %d records in %d groups, %d valid bytes, %d torn\n"
+    r.Server.Persist.r_records
+    (List.length r.Server.Persist.r_groups)
+    r.Server.Persist.r_valid_bytes r.Server.Persist.r_torn_bytes;
+  if r.Server.Persist.r_torn_bytes > 0 then
+    Printf.printf "  note: torn journal tail (crash mid-append); recovery will truncate it\n";
+  List.iter
+    (fun (name, why) -> Printf.printf "  skipped    %s: %s\n" name why)
+    r.Server.Persist.r_skipped;
+  (* Newer checkpoints than the one selected are damaged goods; the
+     recovery would silently fall back, so surface it as a defect. *)
+  if r.Server.Persist.r_skipped <> [] then
+    die "%d invalid checkpoint(s) in %s" (List.length r.Server.Persist.r_skipped) dir;
+  let engine = Server.Engine.create () in
+  let info = Server.Engine.recover engine r in
+  Printf.printf "\ndry-run recovery: %d records replayed in %.1f ms\n"
+    info.Server.Engine.rec_records
+    (info.Server.Engine.rec_replay_us /. 1000.0);
+  List.iter
+    (fun (sid, s) ->
+      Printf.printf "  session %-16s %d tasks, %d procs (%d dead), makespan %g\n" sid
+        (Server.Session.n_tasks s) (Server.Session.n_procs s) (Server.Session.dead_procs s)
+        (Server.Session.makespan s))
+    (Server.Engine.resident engine);
+  if info.Server.Engine.rec_failures > 0 then
+    die "recovery reported %d failed session(s)" info.Server.Engine.rec_failures;
+  Printf.printf "\npersist dir OK\n"
 
 (* doctor: offline validation of a diagnostic bundle directory plus a human
    summary.  Every structural problem — missing/corrupt manifest, format
    mismatch, listed file absent or resized, unparseable trace/events,
    exposition failing the Prom lint — is a user-visible defect in the
-   bundle and exits 2 through [die]. *)
+   bundle and exits 2 through [die].  A directory holding journal/checkpoint
+   entries instead is validated as a daemon --persist-dir. *)
 let doctor_cmd =
   let run jobs dir =
     let path name = Filename.concat dir name in
@@ -1082,6 +1178,16 @@ let doctor_cmd =
     | true -> ()
     | false -> die "%s: not a directory" dir
     | exception Sys_error msg -> die "%s" msg);
+    let looks_persist =
+      (not (Sys.file_exists (path "manifest.json")))
+      && Array.exists
+           (fun name ->
+             String.length name >= 8
+             && (String.sub name 0 8 = "journal-" || (String.length name >= 5 && String.sub name 0 5 = "ckpt-")))
+           (try Sys.readdir dir with Sys_error _ -> [||])
+    in
+    if looks_persist then doctor_persist dir
+    else begin
     let read name =
       match In_channel.with_open_bin (path name) In_channel.input_all with
       | text -> text
@@ -1249,17 +1355,20 @@ let doctor_cmd =
       | exception (Failure msg | Invalid_argument msg) -> die "replay failed: %s" msg
     end;
     Printf.printf "\nbundle OK\n"
+    end
   in
   let bundle =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"BUNDLE" ~doc:"Diagnostic bundle directory to validate.")
+         & info [] ~docv:"DIR"
+             ~doc:"Diagnostic bundle — or daemon $(b,--persist-dir) — to validate.")
   in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
-         "Validate a diagnostic bundle (manifest, trace schema, Prometheus lint, event log) \
-          and print a human summary: slowest spans, GC overlap, and a local replay of the \
-          captured instance; exits 2 on any structural problem")
+         "Validate a diagnostic bundle (manifest, trace schema, Prometheus lint, event log, \
+          local replay of the captured instance) or a daemon persist dir (checkpoint \
+          manifests, journal integrity, dry-run crash recovery); exits 2 on any structural \
+          problem")
     Term.(const run $ jobs_arg $ bundle)
 
 (* version: one line for bug reports and CI log headers — package version

@@ -84,3 +84,21 @@ let request ?timeout_s t line =
   read_line ?timeout_s t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* The connection failures a retry can plausibly outlive: the daemon is
+   restarting (refused / socket file not there yet) or just dropped us
+   (reset / broken pipe).  Anything else propagates immediately. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.EPIPE -> true
+  | _ -> false
+
+let retrying ?(attempts = 3) ?(delay_s = 0.1) connect =
+  if attempts < 1 then invalid_arg "Client.retrying: attempts must be positive";
+  let rec go n delay =
+    match connect () with
+    | t -> t
+    | exception Unix.Unix_error (err, _, _) when transient err && n < attempts ->
+        Unix.sleepf delay;
+        go (n + 1) (delay *. 2.0)
+  in
+  go 1 delay_s

@@ -21,3 +21,10 @@ val request : ?timeout_s:float -> t -> string -> string
     wait is unbounded (the pre-timeout behaviour). *)
 
 val close : t -> unit
+
+val retrying : ?attempts:int -> ?delay_s:float -> (unit -> t) -> t
+(** Run [connect] up to [attempts] times (default 3), sleeping [delay_s]
+    (default 0.1, doubling each retry) between attempts, retrying only the
+    transient connection failures a daemon restart produces
+    ([ECONNREFUSED], [ECONNRESET], [ENOENT], [EPIPE]).  The last failure —
+    and any non-transient one — propagates as [Unix.Unix_error]. *)

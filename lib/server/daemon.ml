@@ -12,6 +12,9 @@ type opts = {
   bundle_dir : string option;
   record_secs : float;
   triggers : Obs.Anomaly.rule list;
+  persist_dir : string option;
+  fsync : Journal.policy;
+  checkpoint_secs : float;
 }
 
 let default_opts =
@@ -29,6 +32,9 @@ let default_opts =
     bundle_dir = None;
     record_secs = 0.0;
     triggers = [];
+    persist_dir = None;
+    fsync = Journal.Interval 0.1;
+    checkpoint_secs = 60.0;
   }
 
 type conn = {
@@ -121,6 +127,15 @@ let run opts =
     invalid_arg "Daemon.run: configure a Unix socket path or a TCP port";
   Obs.set_enabled true;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* SIGTERM/SIGINT request the same graceful exit a [shutdown] op does:
+     finish the select round, flush replies, write a final checkpoint.
+     kill -9 is the crash the journal exists for. *)
+  let signalled = ref None in
+  let on_signal s = signalled := Some s in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> on_signal "SIGTERM"))
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> on_signal "SIGINT"))
+   with Invalid_argument _ -> ());
   if opts.runtime_events then Obs.Runtime.start ();
   (* Flight recorder: size the rings for the requested window and start the
      periodic exposition snapshots. *)
@@ -137,10 +152,21 @@ let run opts =
     | _, (_ :: _ as rules) -> Some (Obs.Anomaly.create rules)
     | Some _, [] -> Some (Obs.Anomaly.create Obs.Anomaly.default_rules)
   in
+  (* Durability: open (or create) the persist dir — which truncates any
+     torn journal tail — then rebuild state from it before serving. *)
+  let persist, recovery =
+    match opts.persist_dir with
+    | None -> (None, None)
+    | Some dir ->
+        let p, r = Persist.open_ ~dir ~policy:opts.fsync ~version:opts.version in
+        (Some p, Some r)
+  in
   let engine =
     Engine.create ~jobs:opts.jobs ~max_pending:opts.max_pending ~max_frame:opts.max_frame
-      ~version:opts.version ~slow_ms:opts.slow_ms ?anomaly ?bundle_dir:opts.bundle_dir ()
+      ~version:opts.version ~slow_ms:opts.slow_ms ?anomaly ?bundle_dir:opts.bundle_dir ?persist
+      ~checkpoint_secs:opts.checkpoint_secs ()
   in
+  Option.iter (fun r -> ignore (Engine.recover engine r : Engine.recovery_info)) recovery;
   (* The stall watchdog cannot run on the engine thread (a stuck solve
      serves nothing, including its own health checks): a background domain
      polls the heartbeat and writes a partial bundle — trace, events,
@@ -173,7 +199,7 @@ let run opts =
   in
   let conns = ref [] in
   let buf = Bytes.create 65536 in
-  while not (Engine.shutting_down engine) do
+  while (not (Engine.shutting_down engine)) && !signalled = None do
     let client_fds = List.map (fun c -> c.fd) !conns in
     match Unix.select (listeners @ client_fds) [] [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -208,9 +234,15 @@ let run opts =
         List.iter (fun c -> if c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
         conns := List.filter (fun c -> not c.closed) !conns
   done;
+  (match !signalled with
+  | None -> ()
+  | Some s -> Obs.Events.emit "server.signal_shutdown" [ Obs.Events.str "signal" s ]);
   Atomic.set wd_stop true;
   Option.iter Domain.join watchdog;
   if opts.runtime_events then Obs.Runtime.stop ();
+  (* Final checkpoint + journal close before the logs are written, so the
+     checkpoint event itself lands in the event log. *)
+  Engine.close_persist engine;
   (match opts.events_log with
   | None -> ()
   | Some path -> ( try Obs.Events.write_jsonl path with Sys_error _ -> ()));

@@ -33,6 +33,12 @@ type opts = {
   triggers : Obs.Anomaly.rule list;
       (** anomaly trigger rules; [[]] with a [bundle_dir] uses
           {!Obs.Anomaly.default_rules} *)
+  persist_dir : string option;
+      (** durability root: write-ahead journal + atomic checkpoints; on
+          startup the newest valid checkpoint and the journal suffix are
+          recovered before serving.  [None] disables persistence *)
+  fsync : Journal.policy;  (** journal fsync policy *)
+  checkpoint_secs : float;  (** checkpoint cadence; [<= 0] only on shutdown *)
 }
 
 val default_opts : opts
@@ -40,13 +46,17 @@ val default_opts : opts
     [max_pending = 64], [max_frame = {!Protocol.default_max_frame}], no
     event log, no trace, [version = "dev"], [slow_ms = 100.],
     [runtime_events = true], no bundle dir, no recorder window, no
-    triggers. *)
+    triggers, no persist dir, [fsync = Interval 0.1],
+    [checkpoint_secs = 60.]. *)
 
 val run : opts -> unit
-(** Serve until a [shutdown] request; raises [Invalid_argument] when no
-    listener is configured and [Unix.Unix_error] when binding fails.
-    Enables telemetry ({!Obs.set_enabled}) so [stats] and the event log
-    have content.
+(** Serve until a [shutdown] request or a SIGTERM/SIGINT (both graceful:
+    the current select round finishes, replies are flushed, a final
+    checkpoint is written when persistence is on, logs land, the socket
+    file is unlinked); raises [Invalid_argument] when no listener is
+    configured and [Unix.Unix_error] when binding fails.  Enables
+    telemetry ({!Obs.set_enabled}) so [stats] and the event log have
+    content.
 
     With a [bundle_dir] and a [stall:MS] trigger, a background watchdog
     domain polls the progress heartbeat every 50ms and writes a partial

@@ -6,6 +6,8 @@ let c_errors = Obs.Metrics.counter "server.errors"
 let c_busy = Obs.Metrics.counter "server.busy"
 let c_batched = Obs.Metrics.counter "server.batched"
 let c_adopted = Obs.Metrics.counter "server.resolve.adopted"
+let c_idem_hits = Obs.Metrics.counter "server.idem.hits"
+let c_recovery_records = Obs.Metrics.counter "server.recovery.records"
 
 let () =
   Obs.Prom.describe "server.requests" "Requests handled (batch members counted individually).";
@@ -15,7 +17,13 @@ let () =
   Obs.Prom.describe "server.resolve.adopted" "Budgeted resolves whose schedule beat the incumbent.";
   Obs.Prom.describe "server.sessions" "Resident sessions.";
   Obs.Prom.describe "server.pending" "Requests waiting in the admission queue.";
-  Obs.Prom.describe "server.uptime_seconds" "Seconds since the engine was created."
+  Obs.Prom.describe "server.uptime_seconds" "Seconds since the engine was created.";
+  Obs.Prom.describe "server.idem.hits" "Mutations answered from the idempotency cache.";
+  Obs.Prom.describe "server.checkpoints" "Checkpoints written since startup.";
+  Obs.Prom.describe "server.recovery.records" "Journal records replayed at startup.";
+  Obs.Prom.describe "server.recovery.torn_bytes" "Torn journal bytes truncated at startup.";
+  Obs.Prom.describe "server.recovery.sessions" "Sessions restored by crash recovery.";
+  Obs.Prom.describe "server.recovery.replay_us" "Crash-recovery replay time, microseconds."
 
 (* Per-request phase latencies in microseconds: admission-time parse,
    queue residency, handler execution ("solve"), reply write.  Per-op
@@ -42,6 +50,15 @@ type item = {
   posted_ns : int64;  (* admission timestamp, for the queue-wait phase *)
 }
 
+type recovery_info = {
+  rec_records : int;
+  rec_torn_bytes : int;
+  rec_sessions : int;
+  rec_checkpoint : string option;
+  rec_replay_us : float;
+  rec_failures : int;  (* sessions that failed restore or the feasibility recompute *)
+}
+
 type t = {
   registry : (string, Session.t) Hashtbl.t;
   queue : item Queue.t;
@@ -63,13 +80,26 @@ type t = {
   mutable posted : int;
   mutable served : int;
   mutable shutdown : bool;
+  (* Durability: the persist layer (journal + checkpoints), the replay
+     flag that suppresses re-journaling during recovery, and the bounded
+     idempotency-id reply cache (FIFO eviction). *)
+  persist : Persist.t option;
+  checkpoint_secs : float;
+  mutable last_ckpt_ns : int64;
+  mutable replaying : bool;
+  mutable checkpoints : int;
+  mutable recovered : recovery_info option;
+  idem_cache : (string, string) Hashtbl.t;
+  idem_order : string Queue.t;
+  idem_cap : int;
 }
 
 let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
     ?(version = "dev") ?(slow_ms = 100.0) ?(slow_every = 10) ?anomaly ?bundle_dir ?before_solve
-    () =
+    ?persist ?(checkpoint_secs = 0.0) ?(idem_cap = 4096) () =
   if max_pending < 1 then invalid_arg "Engine.create: max_pending must be positive";
   if slow_every < 1 then invalid_arg "Engine.create: slow_every must be positive";
+  if idem_cap < 1 then invalid_arg "Engine.create: idem_cap must be positive";
   {
     registry = Hashtbl.create 8;
     queue = Queue.create ();
@@ -89,6 +119,15 @@ let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
     posted = 0;
     served = 0;
     shutdown = false;
+    persist;
+    checkpoint_secs;
+    last_ckpt_ns = Obs.Span.now_ns ();
+    replaying = false;
+    checkpoints = 0;
+    recovered = None;
+    idem_cache = Hashtbl.create 64;
+    idem_order = Queue.create ();
+    idem_cap;
   }
 
 let max_frame t = t.max_frame
@@ -152,6 +191,7 @@ let op_name = function
   | P.Restore _ -> "restore"
   | P.Health -> "health"
   | P.Dump _ -> "dump"
+  | P.Checkpoint -> "checkpoint"
   | P.Shutdown -> "shutdown"
 
 let session_of_req = function
@@ -165,7 +205,17 @@ let session_of_req = function
   | P.Restore { session; _ } ->
       Some session
   | P.Dump { session } -> session
-  | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Health | P.Shutdown -> None
+  | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Health | P.Checkpoint | P.Shutdown -> None
+
+(* The ops whose success changes session state — the ones the journal must
+   capture and the idempotency cache must guard. *)
+let mutating = function
+  | P.Load _ | P.Add_task _ | P.Remove_task _ | P.Kill_proc _ | P.Resolve _ | P.Solve _
+  | P.Restore _ ->
+      true
+  | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Snapshot _ | P.Health | P.Dump _
+  | P.Checkpoint | P.Shutdown ->
+      false
 
 (* The Prometheus exposition: everything Obs holds (counters, phase and
    per-op latency histograms, span totals) plus live engine gauges.  The
@@ -196,9 +246,122 @@ let prom t =
     @ (match t.anomaly with
       | None -> []
       | Some a -> [ ("server.anomaly_firings", [], float_of_int (Obs.Anomaly.firings a)) ])
+    @ (match t.persist with
+      | None -> []
+      | Some _ -> [ ("server.checkpoints", [], float_of_int t.checkpoints) ])
+    @ (match t.recovered with
+      | None -> []
+      | Some r ->
+          [
+            ("server.recovery.torn_bytes", [], float_of_int r.rec_torn_bytes);
+            ("server.recovery.sessions", [], float_of_int r.rec_sessions);
+            ("server.recovery.replay_us", [], r.rec_replay_us);
+          ])
     @ session_gauges
   in
   Obs.Prom.render ~gauges ()
+
+(* ---------- durability: idempotency cache, journaling, checkpoints ---------- *)
+
+let idem_lookup t = function
+  | Some key -> Hashtbl.find_opt t.idem_cache key
+  | None -> None
+
+let seed_idem t key reply =
+  if not (Hashtbl.mem t.idem_cache key) then begin
+    Queue.push key t.idem_order;
+    if Queue.length t.idem_order > t.idem_cap then
+      Hashtbl.remove t.idem_cache (Queue.pop t.idem_order)
+  end;
+  Hashtbl.replace t.idem_cache key reply
+
+let reply_is_ok line =
+  match J.of_string line with
+  | j -> J.member "ok" j = Some (J.Bool true)
+  | exception Failure _ -> false
+
+let reply_flag line name =
+  match J.of_string line with
+  | j -> J.member name j = Some (J.Bool true)
+  | exception Failure _ -> false
+
+(* Journal a mutation as the *resulting* session state rather than the raw
+   request when replay could diverge: [load] (a `path` source may change
+   under us), adopted [resolve] and [solve] (time-budgeted, so the search
+   is not replay-deterministic).  Everything else replays its raw line. *)
+let state_record t session =
+  match Hashtbl.find_opt t.registry session with
+  | None -> None
+  | Some s ->
+      Some
+        (J.to_string
+           (J.Obj
+              [
+                ("op", J.Str "restore");
+                ("session", J.Str session);
+                ("state", Session.snapshot s);
+              ]))
+
+(* Record one successful single (non-batched) mutation: seed the idem
+   cache and, with a persist dir, append the journal record — before the
+   caller flushes the reply. *)
+let journal_single t (parsed : P.parsed) ~raw ~reply =
+  if (not t.replaying) && mutating parsed.P.req && reply_is_ok reply then begin
+    (match parsed.P.idem with None -> () | Some k -> seed_idem t k reply) ;
+    match t.persist with
+    | None -> ()
+    | Some p ->
+        let cached = match parsed.P.idem with None -> [] | Some k -> [ (k, reply) ] in
+        let log lines = Persist.log p ~lines ~cached in
+        let log_state session =
+          match state_record t session with None -> () | Some line -> log [ line ]
+        in
+        (match parsed.P.req with
+        | P.Load { session; _ } | P.Solve { session } -> log_state session
+        | P.Resolve { session; _ } ->
+            (* An unadopted resolve left the incumbent untouched: nothing
+               to journal (the idem cache entry above still suppresses an
+               in-process retry). *)
+            if reply_flag reply "replaced" then log_state session
+        | P.Remove_task _ | P.Kill_proc _ | P.Restore _ -> log [ raw ]
+        | _ -> ())
+  end
+
+(* Record one successful add_task batch as a single journal group, so
+   replay reproduces the exact coalescing (batch boundaries change how
+   Repair.place groups the delta). *)
+let journal_batch t ~raws ~idems ~replies =
+  if (not t.replaying) && (match replies with r :: _ -> reply_is_ok r | [] -> false) then begin
+    let cached =
+      List.filter_map
+        (fun (idem, reply) ->
+          match idem with
+          | None -> None
+          | Some k ->
+              seed_idem t k reply;
+              Some (k, reply))
+        (List.combine idems replies)
+    in
+    match t.persist with None -> () | Some p -> Persist.log p ~lines:raws ~cached
+  end
+
+let do_checkpoint t =
+  match t.persist with
+  | None -> Error "no persist dir configured (serve --persist-dir)"
+  | Some p -> (
+      let sessions =
+        Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.registry []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map (fun (sid, s) -> (sid, Session.snapshot s))
+      in
+      match Persist.checkpoint p ~sessions with
+      | Ok name ->
+          t.checkpoints <- t.checkpoints + 1;
+          Ok name
+      | Error msg ->
+          Obs.Events.emit ~level:Obs.Events.Warn "server.checkpoint.failed"
+            [ Obs.Events.str "error" msg ];
+          Error msg)
 
 (* ---------- diagnostic bundles ---------- *)
 
@@ -305,6 +468,27 @@ let health_fields t =
     ("bundles", int_j t.bundles);
   ]
   @ (match t.last_bundle with None -> [] | Some dir -> [ ("last_bundle", J.Str dir) ])
+  @ (match t.persist with
+    | None -> []
+    | Some p ->
+        [
+          ( "persist",
+            J.Obj
+              ([
+                 ("epoch", int_j (Persist.epoch p));
+                 ("journal_records", int_j (Persist.journal_records p));
+                 ("checkpoints", int_j t.checkpoints);
+               ]
+              @
+              match t.recovered with
+              | None -> []
+              | Some r ->
+                  [
+                    ("recovered_records", int_j r.rec_records);
+                    ("recovered_sessions", int_j r.rec_sessions);
+                    ("torn_bytes", int_j r.rec_torn_bytes);
+                  ]) );
+        ])
   @ (match wd with
     | None -> []
     | Some w ->
@@ -355,7 +539,7 @@ let health_fields t =
 (* One request, already parsed (add_task goes through [handle_adds] so the
    batch path is the only path).  Total: internal failures become an
    [internal] error reply, never a dead server. *)
-let handle_one t ({ req; id } : P.parsed) =
+let handle_one t ({ req; id; _ } : P.parsed) =
   let op = op_name req in
   Obs.Metrics.incr c_requests;
   Obs.Span.timed ("server." ^ op) (fun () ->
@@ -487,6 +671,17 @@ let handle_one t ({ req; id } : P.parsed) =
                 match write_bundle t ~trigger:"manual" ?session () with
                 | Ok dir -> P.ok_reply ?id ~op [ ("dir", J.Str dir); ("bundles", int_j t.bundles) ]
                 | Error msg -> P.error_reply ?id ~code:P.Bad_request msg))
+        | P.Checkpoint -> (
+            event op None;
+            match do_checkpoint t with
+            | Ok dir ->
+                P.ok_reply ?id ~op
+                  [
+                    ("dir", J.Str dir);
+                    ("sessions", int_j (sessions t));
+                    ("checkpoints", int_j t.checkpoints);
+                  ]
+            | Error msg -> P.error_reply ?id ~code:P.Bad_request msg)
         | P.Shutdown ->
             event op None;
             t.shutdown <- true;
@@ -494,6 +689,18 @@ let handle_one t ({ req; id } : P.parsed) =
       with exn ->
         Obs.Metrics.incr c_errors;
         P.error_reply ?id ~code:P.Internal (Printexc.to_string exn))
+
+(* One member of a coalesced add_task batch: the parsed configs plus
+   everything the drain loop needs afterwards — the raw line (journaling),
+   the idem key (reply cache), the reply callback and timestamps. *)
+type add_member = {
+  m_configs : P.config list;
+  m_id : J.t option;
+  m_idem : string option;
+  m_raw : string;
+  m_reply : string -> unit;
+  m_posted_ns : int64;
+}
 
 (* The batch path: [n] consecutive add_task requests for one session become
    one graph rebuild and one Repair.place pass; every request still gets
@@ -509,19 +716,19 @@ let handle_adds t session batch =
         match Hashtbl.find_opt t.registry session with
         | None ->
             List.map
-              (fun (_, id, _, _) ->
-                P.error_reply ?id ~code:P.Unknown_session
+              (fun m ->
+                P.error_reply ?id:m.m_id ~code:P.Unknown_session
                   (Printf.sprintf "unknown session %S" session))
               batch
         | Some s -> (
-            match Session.add_tasks s (List.map (fun (configs, _, _, _) -> configs) batch) with
+            match Session.add_tasks s (List.map (fun m -> m.m_configs) batch) with
             | Error msg ->
-                List.map (fun (_, id, _, _) -> P.error_reply ?id ~code:P.Bad_request msg) batch
+                List.map (fun m -> P.error_reply ?id:m.m_id ~code:P.Bad_request msg) batch
             | Ok (tids, r) ->
                 let makespan = Session.makespan s in
                 List.map2
-                  (fun (_, id, _, _) tid ->
-                    P.ok_reply ?id ~op:"add_task"
+                  (fun m tid ->
+                    P.ok_reply ?id:m.m_id ~op:"add_task"
                       ([
                          ("tid", int_j tid);
                          ("batched", int_j n);
@@ -532,7 +739,7 @@ let handle_adds t session batch =
       with exn ->
         Obs.Metrics.incr c_errors;
         List.map
-          (fun (_, id, _, _) -> P.error_reply ?id ~code:P.Internal (Printexc.to_string exn))
+          (fun m -> P.error_reply ?id:m.m_id ~code:P.Internal (Printexc.to_string exn))
           batch)
 
 let us_between later earlier = Int64.to_float (Int64.sub later earlier) /. 1e3
@@ -626,22 +833,40 @@ let drain t =
         item.reply line;
         finish t "invalid" ~raw:item.raw ~posted_ns:item.posted_ns ~done_ns
           ~replied_ns:(Obs.Span.now_ns ()) ()
-    | Ok { req = P.Add_task { session; configs }; id } ->
-        let batch = ref [ (configs, id, item.reply, item.posted_ns) ] in
+    (* A mutation whose idempotency id is already cached: answer with the
+       recorded reply verbatim, apply nothing.  This is what makes a
+       client's retry-after-reconnect safe across a daemon restart (the
+       journal carries the cache entries). *)
+    | Ok { req; idem; _ } when mutating req && idem_lookup t idem <> None ->
+        let cached = Option.get (idem_lookup t idem) in
+        Obs.Metrics.incr c_idem_hits;
+        let done_ns = Obs.Span.now_ns () in
+        item.reply cached;
+        finish t (op_name req) ~raw:item.raw ?session:(session_of_req req)
+          ~posted_ns:item.posted_ns ~done_ns ~replied_ns:(Obs.Span.now_ns ()) ()
+    | Ok { req = P.Add_task { session; configs }; id; idem } ->
+        let member configs id idem raw reply posted_ns =
+          { m_configs = configs; m_id = id; m_idem = idem; m_raw = raw; m_reply = reply;
+            m_posted_ns = posted_ns }
+        in
+        let batch = ref [ member configs id idem item.raw item.reply item.posted_ns ] in
         let continue = ref true in
         while !continue do
           match Queue.peek_opt t.queue with
           | Some
               {
-                parsed = Ok { req = P.Add_task { session = s2; configs = c2 }; id = id2 };
+                parsed = Ok { req = P.Add_task { session = s2; configs = c2 }; id = id2; idem = idem2 };
+                raw = raw2;
                 reply;
                 posted_ns;
-                _;
               }
-            when s2 = session ->
+            (* A cached-idem member must not ride a batch (its recorded
+               reply would land out of order): leave it as the next
+               leading item, where the cache arm above serves it. *)
+            when s2 = session && idem_lookup t idem2 = None ->
               ignore (Queue.pop t.queue);
               Obs.Metrics.observe h_queue (us_between start_ns posted_ns);
-              batch := (c2, id2, reply, posted_ns) :: !batch
+              batch := member c2 id2 idem2 raw2 reply posted_ns :: !batch
           | _ -> continue := false
         done;
         let batch = List.rev !batch in
@@ -651,10 +876,16 @@ let drain t =
         in
         let done_ns = Obs.Span.now_ns () in
         Obs.Metrics.observe h_solve (us_between done_ns start_ns);
+        (* Journal (one record, preserving the batch boundary) before any
+           reply is flushed. *)
+        journal_batch t
+          ~raws:(List.map (fun m -> m.m_raw) batch)
+          ~idems:(List.map (fun m -> m.m_idem) batch)
+          ~replies;
         List.iter2
-          (fun (_, _, reply, posted_ns) line ->
-            reply line;
-            finish t "add_task" ~raw:item.raw ~session ~posted_ns ~done_ns
+          (fun m line ->
+            m.m_reply line;
+            finish t "add_task" ~raw:item.raw ~session ~posted_ns:m.m_posted_ns ~done_ns
               ~replied_ns:(Obs.Span.now_ns ()) ())
           batch replies
     | Ok parsed ->
@@ -674,15 +905,129 @@ let drain t =
         | P.Resolve { budget_ms; _ } ->
             observe_budget t ~op ~budget_ms ~elapsed_us ~raw:item.raw ?session ()
         | _ -> ());
+        (* Write-ahead: the journal record is durable before the reply is
+           flushed, so an acked mutation is never lost to a crash. *)
+        journal_single t parsed ~raw:item.raw ~reply:line;
         item.reply line;
         finish t op ~raw:item.raw ?session ~posted_ns:item.posted_ns ~done_ns
           ~replied_ns:(Obs.Span.now_ns ()) ()
   done
 
-(* Host-loop pulse between requests: recorder snapshots and the periodic
-   anomaly poll (heap growth).  The daemon calls this every select round. *)
+(* ---------- crash recovery ---------- *)
+
+(* Feed journaled request lines through the normal drain path, with replies
+   discarded and re-journaling suppressed.  The replay parser lifts the
+   frame cap (the record was already admitted once) and pushes straight
+   onto the queue — recovery must not be subject to admission control. *)
+let replay_lines t lines =
+  List.iter
+    (fun line ->
+      t.posted <- t.posted + 1;
+      Queue.push
+        { parsed = P.parse ~max_frame:max_int line; raw = line; reply = ignore;
+          posted_ns = Obs.Span.now_ns () }
+        t.queue)
+    lines;
+  drain t
+
+let recover t (r : Persist.recovery) =
+  let t0 = Obs.Span.now_ns () in
+  t.replaying <- true;
+  let failures = ref 0 in
+  let fail what detail =
+    incr failures;
+    Obs.Events.emit ~level:Obs.Events.Warn "server.recovery.failed"
+      [ Obs.Events.str "what" what; Obs.Events.str "detail" detail ]
+  in
+  (* Checkpoint sessions restore directly (no request round-trip: a
+     snapshot is its own proof of shape). *)
+  List.iter
+    (fun (sid, state) ->
+      match Session.restore ~id:sid state with
+      | Ok s -> Hashtbl.replace t.registry sid s
+      | Error msg -> fail ("checkpoint session " ^ sid) msg)
+    r.Persist.r_sessions;
+  (* Journal groups replay through the normal drain path, preserving the
+     original add_task batch boundaries: each group is pushed whole, then
+     drained, so coalescing regroups exactly the original batch. *)
+  let records = ref 0 in
+  List.iter
+    (fun (g : Persist.group) ->
+      records := !records + List.length g.Persist.g_lines;
+      replay_lines t g.Persist.g_lines;
+      List.iter (fun (k, reply) -> seed_idem t k reply) g.Persist.g_cached)
+    r.Persist.r_groups;
+  (* Feasibility recompute on everything that came back. *)
+  Hashtbl.iter
+    (fun sid s ->
+      match Session.verify s with
+      | Ok () -> ()
+      | Error msg ->
+          incr failures;
+          Obs.Events.emit ~level:Obs.Events.Warn "server.recovery.infeasible"
+            [ Obs.Events.str "session" sid; Obs.Events.str "error" msg ])
+    t.registry;
+  t.replaying <- false;
+  let info =
+    {
+      rec_records = !records;
+      rec_torn_bytes = r.Persist.r_torn_bytes;
+      rec_sessions = sessions t;
+      rec_checkpoint = r.Persist.r_checkpoint;
+      rec_replay_us = us_between (Obs.Span.now_ns ()) t0;
+      rec_failures = !failures;
+    }
+  in
+  t.recovered <- Some info;
+  Obs.Metrics.add c_recovery_records !records;
+  Obs.Events.emit "server.recovered"
+    [
+      Obs.Events.int "records" info.rec_records;
+      Obs.Events.int "torn_bytes" info.rec_torn_bytes;
+      Obs.Events.int "sessions" info.rec_sessions;
+      Obs.Events.str "checkpoint" (Option.value info.rec_checkpoint ~default:"(none)");
+      Obs.Events.num "replay_us" info.rec_replay_us;
+      Obs.Events.int "failures" info.rec_failures;
+    ];
+  info
+
+let recovered t = t.recovered
+
+(* Resident sessions in deterministic (sorted) order — what the chaos
+   harness and [doctor] compare snapshots over. *)
+let resident t =
+  Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let checkpoints_written t = t.checkpoints
+let checkpoint = do_checkpoint
+
+(* Final checkpoint (best-effort: shutdown must not hang on a full disk)
+   then release the journal fd.  After this the persist dir is exactly
+   what a restart recovers from. *)
+let close_persist t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      ignore (do_checkpoint t : (string, string) result);
+      Persist.close p
+
+(* Host-loop pulse between requests: recorder snapshots, the periodic
+   anomaly poll (heap growth), the journal's interval fsync, and the
+   checkpoint cadence.  The daemon calls this every select round. *)
 let tick t =
   ignore (Obs.Recorder.tick ~prom:(fun () -> prom t) ());
+  (match t.persist with
+  | None -> ()
+  | Some p ->
+      Persist.tick p;
+      if t.checkpoint_secs > 0.0 then begin
+        let now = Obs.Span.now_ns () in
+        if Obs.Span.ns_to_s (Int64.sub now t.last_ckpt_ns) >= t.checkpoint_secs then begin
+          t.last_ckpt_ns <- now;
+          ignore (do_checkpoint t : (string, string) result)
+        end
+      end);
   match t.anomaly with
   | None -> ()
   | Some a -> (

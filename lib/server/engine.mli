@@ -24,9 +24,28 @@
     Plain request totals and the start time are engine state, not [Obs]
     state, so the [stats] basics (uptime, version, requests posted/served)
     are always live even with telemetry disabled; the [metrics] op renders
-    the full {!Obs.Prom} exposition plus engine gauges. *)
+    the full {!Obs.Prom} exposition plus engine gauges.
+
+    {2 Durability}
+
+    With a {!Persist} handle, every state-mutating request that succeeds
+    is appended to the write-ahead journal {e before} its reply is handed
+    to the transport, and {!tick} writes periodic atomic checkpoints; a
+    restart calls {!recover} with what {!Persist.open_} found and replays
+    the journal suffix through the normal request path.  Requests carrying
+    an ["idem"] id (see {!Protocol.parsed}) are deduplicated against a
+    bounded reply cache that survives restarts via the journal. *)
 
 type t
+
+type recovery_info = {
+  rec_records : int;  (** journal request records replayed *)
+  rec_torn_bytes : int;  (** truncated torn-tail bytes *)
+  rec_sessions : int;  (** sessions resident after recovery *)
+  rec_checkpoint : string option;  (** checkpoint directory restored from *)
+  rec_replay_us : float;
+  rec_failures : int;  (** sessions that failed restore or verification *)
+}
 
 val create :
   ?jobs:int ->
@@ -38,6 +57,9 @@ val create :
   ?anomaly:Obs.Anomaly.t ->
   ?bundle_dir:string ->
   ?before_solve:(string -> unit) ->
+  ?persist:Persist.t ->
+  ?checkpoint_secs:float ->
+  ?idem_cap:int ->
   unit ->
   t
 (** [jobs] (default 1: deterministic) is passed to the resolve/solve
@@ -54,7 +76,12 @@ val create :
     [bundle_dir] via {!Obs.Recorder.write_bundle} (no [bundle_dir] — the
     firing is still counted and logged, just not bundled).  [before_solve]
     is a test-only fault-injection hook run with the raw request line
-    inside the watchdog bracket, before the handler. *)
+    inside the watchdog bracket, before the handler.
+
+    [persist] wires in the durability layer (journal + checkpoints);
+    [checkpoint_secs] (default 0: disabled) is the periodic checkpoint
+    cadence driven from {!tick}.  [idem_cap] (default 4096) bounds the
+    idempotency reply cache (FIFO eviction). *)
 
 val max_frame : t -> int
 val shutting_down : t -> bool
@@ -93,9 +120,40 @@ val drain : t -> unit
 
 val tick : t -> unit
 (** Host-loop pulse between requests: take a due {!Obs.Recorder} snapshot
-    (with this engine's gauges) and run the periodic {!Obs.Anomaly.poll}
-    (heap growth), bundling any firing.  The daemon calls this every
-    select round. *)
+    (with this engine's gauges), run the periodic {!Obs.Anomaly.poll}
+    (heap growth) bundling any firing, give the journal its interval-fsync
+    chance, and write a checkpoint when the cadence is due.  The daemon
+    calls this every select round. *)
+
+val recover : t -> Persist.recovery -> recovery_info
+(** Rebuild state from what {!Persist.open_} (or {!Persist.load}) found:
+    checkpoint sessions are restored directly via {!Session.restore}, then
+    each journal group is replayed through the normal {!post}/{!drain}
+    path (replies discarded, re-journaling suppressed, admission control
+    and the frame cap bypassed — every record was admitted once already)
+    with the original [add_task] batch boundaries preserved, and the
+    cached idempotency replies are re-seeded.  Every resulting session is
+    checked with {!Session.verify}; failures are Warn events and counted
+    in [rec_failures], never raised.  Call before serving traffic. *)
+
+val recovered : t -> recovery_info option
+(** The report of the {!recover} call that built this engine, if any. *)
+
+val checkpoint : t -> (string, string) result
+(** Force a checkpoint now (the [checkpoint] op does this).  [Ok name] is
+    the checkpoint directory basename; [Error] when no persist layer is
+    configured or the write failed (the previous checkpoint, if any, is
+    still intact either way). *)
+
+val checkpoints_written : t -> int
+
+val close_persist : t -> unit
+(** Graceful-shutdown hook: write a final checkpoint (best-effort) and
+    close the journal.  No-op without a persist layer. *)
+
+val resident : t -> (string * Session.t) list
+(** Resident sessions sorted by id — deterministic order for snapshot
+    comparison ([doctor], the chaos harness). *)
 
 val bundles_written : t -> int
 (** Diagnostic bundles written by this engine (triggered or manual). *)

@@ -27,6 +27,7 @@ type opts = {
   procs : int;
   budget_ms : float;  (* resolve budget *)
   stall_timeout_s : float;  (* no-reply guard *)
+  reconnect_attempts : int;  (* 0 = a dropped connection is fatal *)
 }
 
 let default_opts =
@@ -38,6 +39,7 @@ let default_opts =
     procs = 32;
     budget_ms = 10.0;
     stall_timeout_s = 10.0;
+    reconnect_attempts = 0;
   }
 
 type op_stats = {
@@ -57,6 +59,7 @@ type report = {
   r_replies : int;
   r_busy : int;
   r_errors : int;
+  r_reconnects : int;
   r_throughput_rps : float;
   r_ops : op_stats list;  (* name-sorted *)
 }
@@ -89,16 +92,20 @@ let session = "loadgen"
 let request_line ~id fields =
   J.to_string (J.Obj (("id", J.Num (float_of_int id)) :: fields))
 
-let run fd opts =
+let run ?connect fd opts =
   if opts.rate <= 0.0 then invalid_arg "Loadgen.run: rate must be positive";
   if opts.duration_s <= 0.0 then invalid_arg "Loadgen.run: duration must be positive";
   let rng = Randkit.Prng.create ~seed:opts.seed in
   let error = ref None in
   let fail fmt = Printf.ksprintf (fun m -> if !error = None then error := Some m) fmt in
-  (* reply bookkeeping *)
-  let pending : (int, string * int64) Hashtbl.t = Hashtbl.create 256 in
+  (* reply bookkeeping: pending keeps the request line so a reconnect can
+     resend everything still unanswered *)
+  let pending : (int, string * string * int64) Hashtbl.t = Hashtbl.create 256 in
   let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
   let sent = ref 0 and replies = ref 0 and busy = ref 0 and errors = ref 0 in
+  let reconnects = ref 0 in
+  let fdr = ref fd in
+  let inbuf = ref "" in
   let record op ms =
     let cell =
       match Hashtbl.find_opt samples op with
@@ -115,21 +122,64 @@ let run fd opts =
   let n_live = ref opts.tasks in
   let next_tid = ref opts.tasks in
   let next_id = ref 0 in
+  let write_raw line =
+    let bytes = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length bytes in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write !fdr bytes !off (len - !off)
+    done
+  in
+  (* A dropped connection: with [connect] and a positive attempt budget,
+     back off, redial, and resend every still-unanswered request in send
+     order — their idempotency ids keep already-applied mutations from
+     double-applying on the other side.  Otherwise it stays fatal. *)
+  let reconnect_or_fail why =
+    match connect with
+    | Some dial when opts.reconnect_attempts > 0 ->
+        (try Unix.close !fdr with Unix.Unix_error _ -> ());
+        inbuf := "";
+        let ok = ref false in
+        let attempt = ref 0 in
+        while (not !ok) && !attempt < opts.reconnect_attempts && !error = None do
+          Unix.sleepf (0.05 *. (2.0 ** float_of_int !attempt));
+          Stdlib.incr attempt;
+          match dial () with
+          | fd -> fdr := fd; ok := true
+          | exception Unix.Unix_error _ -> ()
+        done;
+        if not !ok then
+          fail "%s; reconnect failed after %d attempts" why opts.reconnect_attempts
+        else begin
+          Stdlib.incr reconnects;
+          let outstanding =
+            List.sort compare
+              (Hashtbl.fold (fun id (_, line, _) acc -> (id, line) :: acc) pending [])
+          in
+          try List.iter (fun (_, line) -> write_raw line) outstanding
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            fail "server hung up again while resending after reconnect"
+        end
+    | _ -> fail "%s" why
+  in
+  (* Only mutations need idempotency ids, and only when a resend is
+     possible at all. *)
+  let idem_for op =
+    opts.reconnect_attempts > 0 && (op = "load" || op = "add_task" || op = "remove_task")
+  in
   let send fields op =
     let id = !next_id in
     Stdlib.incr next_id;
-    let line = request_line ~id fields ^ "\n" in
-    let bytes = Bytes.of_string line in
-    let len = Bytes.length bytes in
-    let off = ref 0 in
-    (try
-       while !off < len do
-         off := !off + Unix.write fd bytes !off (len - !off)
-       done
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-       fail "server hung up while sending request %d" id);
-    Hashtbl.replace pending id (op, Obs.Span.now_ns ());
-    Stdlib.incr sent
+    let fields =
+      if idem_for op then fields @ [ ("idem", J.Str (Printf.sprintf "lg%d-%d" opts.seed id)) ]
+      else fields
+    in
+    let line = request_line ~id fields in
+    Hashtbl.replace pending id (op, line, Obs.Span.now_ns ());
+    Stdlib.incr sent;
+    try write_raw line
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      reconnect_or_fail (Printf.sprintf "server hung up while sending request %d" id)
   in
   let process_line line =
     if line <> "" then
@@ -142,7 +192,7 @@ let run fd opts =
               let id = int_of_float f in
               match Hashtbl.find_opt pending id with
               | None -> fail "reply for unknown id %d" id
-              | Some (op, t_send) ->
+              | Some (op, _, t_send) ->
                   Hashtbl.remove pending id;
                   Stdlib.incr replies;
                   let ms =
@@ -153,14 +203,13 @@ let run fd opts =
                   else Stdlib.incr errors))
   in
   let chunk = Bytes.create 65536 in
-  let inbuf = ref "" in
   let drain_input wait =
-    match Unix.select [ fd ] [] [] wait with
+    match Unix.select [ !fdr ] [] [] wait with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> fail "server closed the connection"
+        match Unix.read !fdr chunk 0 (Bytes.length chunk) with
+        | 0 -> reconnect_or_fail "server closed the connection"
         | n ->
             inbuf := !inbuf ^ Bytes.sub_string chunk 0 n;
             let parts = String.split_on_char '\n' !inbuf in
@@ -173,13 +222,13 @@ let run fd opts =
             in
             consume parts
         | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-            fail "server reset the connection")
+            reconnect_or_fail "server reset the connection")
   in
   let stalled () =
     let now = Obs.Span.now_ns () in
     let limit = Int64.of_float (opts.stall_timeout_s *. 1e9) in
     Hashtbl.fold
-      (fun id (op, t_send) acc ->
+      (fun id (op, _, t_send) acc ->
         match acc with
         | Some _ -> acc
         | None -> if Int64.sub now t_send > limit then Some (id, op) else None)
@@ -326,6 +375,7 @@ let run fd opts =
           r_replies = !replies - 1 (* minus the load reply *);
           r_busy = !busy;
           r_errors = !errors;
+          r_reconnects = !reconnects;
           r_throughput_rps = (if wall_s > 0.0 then float_of_int !replies /. wall_s else 0.0);
           r_ops = ops;
         }
@@ -350,6 +400,7 @@ let report_json opts r =
          ("replies", J.Num (float_of_int r.r_replies));
          ("busy", J.Num (float_of_int r.r_busy));
          ("errors", J.Num (float_of_int r.r_errors));
+         ("reconnects", J.Num (float_of_int r.r_reconnects));
          ("throughput_rps", J.Num r.r_throughput_rps);
        ]);
   List.iter
@@ -372,8 +423,11 @@ let report_json opts r =
 let render r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "loadgen: %d sent, %d replies (%d busy, %d errors) in %.2fs — %.0f replies/s\n"
-       r.r_sent r.r_replies r.r_busy r.r_errors r.r_wall_s r.r_throughput_rps);
+    (Printf.sprintf
+       "loadgen: %d sent, %d replies (%d busy, %d errors%s) in %.2fs — %.0f replies/s\n" r.r_sent
+       r.r_replies r.r_busy r.r_errors
+       (if r.r_reconnects > 0 then Printf.sprintf ", %d reconnects" r.r_reconnects else "")
+       r.r_wall_s r.r_throughput_rps);
   Buffer.add_string buf
     (Printf.sprintf "  %-12s %7s %9s %9s %9s %9s %9s\n" "op" "count" "mean_ms" "p50_ms" "p95_ms"
        "p99_ms" "max_ms");

@@ -21,11 +21,18 @@ type opts = {
   procs : int;  (** preloaded instance: processors *)
   budget_ms : float;  (** budget passed to [resolve] requests *)
   stall_timeout_s : float;  (** abort when any request goes unanswered this long *)
+  reconnect_attempts : int;
+      (** on a dropped connection, redial (via [run]'s [connect]) up to
+          this many times with exponential backoff and resend outstanding
+          requests; [0] keeps a drop fatal.  When positive, mutating
+          requests carry ["idem"] ids so a resend of an already-applied
+          mutation is answered from the server's idempotency cache instead
+          of being applied twice. *)
 }
 
 val default_opts : opts
 (** 2 s at 200 req/s, seed 0, a 120-task / 32-processor instance, 10 ms
-    resolve budgets, 10 s stall guard. *)
+    resolve budgets, 10 s stall guard, no reconnects. *)
 
 type op_stats = {
   o_op : string;
@@ -44,6 +51,7 @@ type report = {
   r_replies : int;
   r_busy : int;  (** admission-control rejections (excluded from samples) *)
   r_errors : int;  (** non-busy error replies (excluded from samples) *)
+  r_reconnects : int;  (** successful redials after a dropped connection *)
   r_throughput_rps : float;
   r_ops : op_stats list;  (** name-sorted; ops with no ok replies omitted *)
 }
@@ -52,11 +60,15 @@ val quantile_sorted : float array -> float -> float
 (** Exact linear-interpolated quantile of a sorted sample array ([nan] when
     empty) — rank convention matches [Obs.Metrics.quantile]. *)
 
-val run : Unix.file_descr -> opts -> (report, string) result
+val run :
+  ?connect:(unit -> Unix.file_descr) -> Unix.file_descr -> opts -> (report, string) result
 (** Drive a connected daemon socket: preload the session, run the arrival
     process for [duration_s], drain outstanding replies.  [Error] on
     protocol violations, a hung server (stall guard) or a failed preload.
-    Raises [Invalid_argument] on non-positive [rate]/[duration_s]. *)
+    [connect] is the redial used when [reconnect_attempts > 0] and the
+    connection drops mid-run (a daemon crash/restart); without it a drop
+    is fatal as before.  Raises [Invalid_argument] on non-positive
+    [rate]/[duration_s]. *)
 
 val report_json : opts -> report -> string
 (** JSON lines for [BENCH_server.json]: one ["meta"] row (parameters,

@@ -4,9 +4,12 @@
 
 type t = { engine : Engine.t; mutable acc : string list (* newest first *) }
 
-let create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve () =
+let create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve ?persist
+    ?checkpoint_secs () =
   {
-    engine = Engine.create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve ();
+    engine =
+      Engine.create ?jobs ?max_pending ?max_frame ?slow_ms ?anomaly ?bundle_dir ?before_solve
+        ?persist ?checkpoint_secs ();
     acc = [];
   }
 

@@ -15,6 +15,8 @@ val create :
   ?anomaly:Obs.Anomaly.t ->
   ?bundle_dir:string ->
   ?before_solve:(string -> unit) ->
+  ?persist:Persist.t ->
+  ?checkpoint_secs:float ->
   unit ->
   t
 val engine : t -> Engine.t

@@ -17,9 +17,10 @@ type request =
   | Restore of { session : string; state : J.t }
   | Health
   | Dump of { session : string option }
+  | Checkpoint
   | Shutdown
 
-type parsed = { req : request; id : J.t option }
+type parsed = { req : request; id : J.t option; idem : string option }
 
 type error_code = Protocol | Bad_request | Unknown_session | Busy | Too_large | Internal
 
@@ -122,6 +123,7 @@ let request_of obj =
       | Some state -> Restore { session; state }
       | None -> reject Protocol "missing field \"state\"")
   | "health" -> Health
+  | "checkpoint" -> Checkpoint
   | "dump" -> (
       match J.member "session" obj with
       | None -> Dump { session = None }
@@ -139,7 +141,15 @@ let parse ?(max_frame = default_max_frame) line =
     | exception Failure msg -> Error (Protocol, msg, None)
     | J.Obj _ as obj -> (
         let id = J.member "id" obj in
-        match request_of obj with
-        | req -> Ok { req; id }
+        match
+          let idem =
+            match J.member "idem" obj with
+            | None -> None
+            | Some (J.Str s) when s <> "" -> Some s
+            | Some _ -> reject Protocol "field \"idem\" must be a non-empty string"
+          in
+          (request_of obj, idem)
+        with
+        | req, idem -> Ok { req; id; idem }
         | exception Reject (code, msg) -> Error (code, msg, id))
     | _ -> Error (Protocol, "request must be a JSON object", None)

@@ -9,8 +9,9 @@
 
     Ops: [ping], [load], [add_task], [remove_task], [kill_proc],
     [resolve], [solve], [stats], [metrics], [sessions], [snapshot],
-    [restore], [health], [dump], [shutdown] — see the README "Scheduler
-    service" section for a transcript.
+    [restore], [health], [dump], [checkpoint], [shutdown] — see the README
+    "Scheduler service" section for a transcript.  Any request may carry an
+    ["idem"] idempotency id (see {!parsed}).
 
     Introspection ops come in two tiers.  [stats] always answers with the
     engine's own basics — ["uptime_s"], ["version"], ["requests"] posted /
@@ -49,9 +50,23 @@ type request =
   | Dump of { session : string option }
       (** force a diagnostic bundle; [session] picks the instance to
           embed (default: the only resident session, if unambiguous) *)
+  | Checkpoint
+      (** force an immediate checkpoint to the daemon's [--persist-dir];
+          error when no persist dir is configured *)
   | Shutdown
 
-type parsed = { req : request; id : Obs.Json.t option }
+type parsed = { req : request; id : Obs.Json.t option; idem : string option }
+(** [idem] is the optional client-supplied {e idempotency id} (request
+    field ["idem"], a non-empty string).  A state-mutating request that
+    succeeds is remembered under its idem key — in memory and, with a
+    persist dir, in the write-ahead journal — and a later request carrying
+    the same key is answered with the {e cached reply verbatim} instead of
+    being applied again.  This is what makes client retry-after-reconnect
+    safe: a mutation whose reply was lost to a crash or connection drop can
+    be resent without being double-applied, even across a daemon restart.
+    Keys should be unique per logical mutation (e.g. [clientid-seqno]); the
+    cache is bounded (a few thousand entries, FIFO eviction), sized for
+    retry windows, not for permanent exactly-once semantics. *)
 
 type error_code =
   | Protocol  (** malformed JSON, missing/unknown op, wrong field type *)

@@ -172,6 +172,27 @@ let solve ?jobs t =
   write_back t h d.Deadline.d_repair.Repair.choice;
   d
 
+(* Feasibility recompute, for post-recovery verification: a restored
+   schedule must not pin any task on a processor recorded dead (restore
+   validates ranges but accepts any chosen index; a live session can never
+   reach this state because kill_proc re-places the affected tasks). *)
+let verify t =
+  let bad = ref None in
+  Array.iter
+    (fun e ->
+      if e.chosen >= 0 then
+        Array.iter
+          (fun u ->
+            if t.dead.(u) && !bad = None then
+              bad := Some (Printf.sprintf "task %d placed on dead processor %d" e.tid u))
+          e.configs.(e.chosen).Protocol.procs)
+    t.entries;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      if Float.is_finite (makespan t) then Ok ()
+      else Error "non-finite makespan"
+
 (* --- snapshot / restore: the instance rides through Hyper.Io text --- *)
 
 let format_tag = "semimatch.session/1"

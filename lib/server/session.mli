@@ -51,6 +51,11 @@ val solve : ?jobs:int -> t -> Semimatch.Deadline.delta
 (** Unbudgeted {!resolve} whose result is adopted unconditionally — the
     from-scratch baseline a client asks for by name. *)
 
+val verify : t -> (unit, string) result
+(** Feasibility recompute: no task placed on a dead processor, finite
+    makespan.  Crash recovery runs this on every restored session; a live
+    session always passes (mutations re-place affected tasks). *)
+
 val instance_text : t -> string
 (** The current instance as {!Hyper.Io} text — what a diagnostic bundle
     embeds as [instance.hg] so [semimatch doctor] can replay it through

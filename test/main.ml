@@ -30,4 +30,5 @@ let () =
       ("online", Test_online.suite);
       ("server", Test_server.suite);
       ("recorder", Test_recorder.suite);
+      ("durability", Test_durability.suite);
     ]

@@ -378,6 +378,54 @@ let test_kill_proc_and_infeasible () =
       Alcotest.(check int) "solve reports the stranded task" 1 (int_of_float (num s "infeasible"));
       Alcotest.(check (float 1e-9)) "survivor load" 2.0 (num s "makespan"))
 
+let test_snapshot_restore_after_kill_proc () =
+  Obs.with_recording (fun () ->
+      (* kill_proc can leave a task with no surviving configuration, i.e. a
+         [chosen = -1] slot in the snapshot's chosen vector.  That state
+         must survive a snapshot/restore round trip byte-identically, and
+         the restored session must still verify and serve mutations. *)
+      let h =
+        H.create ~n1:2 ~n2:2
+          ~hyperedges:[ (0, [| 0 |], 1.0); (1, [| 0 |], 2.0); (1, [| 1 |], 2.0) ]
+      in
+      let a = L.create () in
+      ignore (expect_ok (L.request a (load_line ~session:"k" h)));
+      let kill = line [ ("op", J.Str "kill_proc"); ("session", J.Str "k"); ("proc", J.Num 0.0) ] in
+      ignore (expect_ok (L.request a kill));
+      let state = field (expect_ok (L.request a (snapshot_line "k"))) "state" in
+      (* Restore into a *fresh* engine, as crash recovery does. *)
+      let b = L.create () in
+      ignore
+        (expect_ok
+           (L.request b
+              (line [ ("op", J.Str "restore"); ("session", J.Str "k"); ("state", state) ])));
+      let state2 = field (expect_ok (L.request b (snapshot_line "k"))) "state" in
+      Alcotest.(check string) "infeasible slot survives the round trip"
+        (J.to_string state) (J.to_string state2);
+      (match Server.Engine.resident (L.engine b) with
+      | [ (_, s) ] ->
+          (match Server.Session.verify s with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "restored session fails verify: %s" msg);
+          Alcotest.(check (list int)) "task 0 still unplaced" [ 0 ]
+            (Server.Session.unplaced s)
+      | _ -> Alcotest.fail "one session expected");
+      (* The restored session keeps serving: a task placeable on the
+         survivor lands there, the stranded one stays stranded. *)
+      let add =
+        line
+          [
+            ("op", J.Str "add_task"); ("session", J.Str "k");
+            ("configs", J.List [ J.Obj [ ("procs", J.List [ J.Num 1.0 ]); ("weight", J.Num 0.5) ] ]);
+          ]
+      in
+      ignore (expect_ok (L.request b add));
+      match Server.Engine.resident (L.engine b) with
+      | [ (_, s) ] ->
+          Alcotest.(check int) "task added after restore" 3 (Server.Session.n_tasks s);
+          Alcotest.(check (list int)) "stranded task unchanged" [ 0 ] (Server.Session.unplaced s)
+      | _ -> Alcotest.fail "one session expected")
+
 let test_error_codes () =
   Obs.with_recording (fun () ->
       let lb = L.create () in
@@ -509,6 +557,8 @@ let suite =
     Alcotest.test_case "batch coalescing" `Quick test_batch_coalescing;
     Alcotest.test_case "reply order with malformed lines" `Quick test_reply_order_with_malformed;
     Alcotest.test_case "kill_proc and infeasible tasks" `Quick test_kill_proc_and_infeasible;
+    Alcotest.test_case "snapshot/restore after kill_proc strands a task" `Quick
+      test_snapshot_restore_after_kill_proc;
     Alcotest.test_case "error codes" `Quick test_error_codes;
     Alcotest.test_case "stats basics answer with Obs disabled" `Quick
       test_stats_basics_without_obs;
