@@ -275,6 +275,70 @@ let smoke () =
              ("time_s", Obs.Json.Num dt);
            ]))
     Semimatch.Exact_unit.all_exact_engines;
+  (* Streaming tier: the same scaled SINGLEPROC shape as an edge stream,
+     solved out of core.  This is the quality-ratio gate: a streamed
+     makespan beyond its proven factor of the exact optimum, or solver
+     state not beating the CSR it avoided, fails the smoke run. *)
+  let stream_path = Filename.temp_file "bench-smoke-stream" ".sms" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove stream_path with Sys_error _ -> ())
+    (fun () ->
+      let rng = Randkit.Prng.create ~seed:0 in
+      let w =
+        Hyper.Stream_io.create_writer ~path:stream_path
+          ~n1:sp_spec.Experiments.Instances.sp_n ~n2:sp_spec.Experiments.Instances.sp_p ()
+      in
+      ignore
+        (Hyper.Generate.stream_sp rng ~family:Hyper.Generate.Fewg_manyg
+           ~n:sp_spec.Experiments.Instances.sp_n ~p:sp_spec.Experiments.Instances.sp_p
+           ~g:sp_spec.Experiments.Instances.sp_g ~d:sp_spec.Experiments.Instances.sp_d
+           ~emit:(fun ~task ~proc ->
+             Hyper.Stream_io.add w ~task ~procs:[| proc |] ~weight:1.0)
+          : int);
+      Hyper.Stream_io.close_writer w;
+      let exact = Stream.Ingest.solve ~threshold_words:max_int stream_path in
+      let opt = exact.Stream.Ingest.makespan in
+      let csr_words =
+        Option.value
+          (Hyper.Stream_io.csr_estimate_words exact.Stream.Ingest.header)
+          ~default:0
+      in
+      List.iter
+        (fun (name, solver) ->
+          let r = Hyper.Stream_io.open_reader stream_path in
+          let sol, dt =
+            Fun.protect
+              ~finally:(fun () -> Hyper.Stream_io.close_reader r)
+              (fun () ->
+                Experiments.Runner.time_it ~span:("bench.stream-" ^ name) (fun () -> solver r))
+          in
+          let ratio = sol.Stream.Kr.makespan /. opt in
+          if sol.Stream.Kr.makespan > (sol.Stream.Kr.factor *. opt) +. 1e-9 then
+            failwith
+              (Printf.sprintf
+                 "bench --smoke: %s makespan %g beyond its proven factor %g of opt %g" name
+                 sol.Stream.Kr.makespan sol.Stream.Kr.factor opt);
+          if sol.Stream.Kr.state_words >= csr_words then
+            failwith
+              (Printf.sprintf
+                 "bench --smoke: %s kept %d state words, not below the %d-word CSR it avoided"
+                 name sol.Stream.Kr.state_words csr_words);
+          add_line
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.Str "stream");
+                 ("instance", Obs.Json.Str sp_spec.Experiments.Instances.sp_name);
+                 ("algo", Obs.Json.Str name);
+                 ("makespan", Obs.Json.Num sol.Stream.Kr.makespan);
+                 ("opt", Obs.Json.Num opt);
+                 ("ratio", Obs.Json.Num ratio);
+                 ("factor", Obs.Json.Num sol.Stream.Kr.factor);
+                 ("passes", Obs.Json.Num (float_of_int sol.Stream.Kr.passes));
+                 ("state_words", Obs.Json.Num (float_of_int sol.Stream.Kr.state_words));
+                 ("csr_words", Obs.Json.Num (float_of_int csr_words));
+                 ("time_s", Obs.Json.Num dt);
+               ]))
+        [ ("one-pass", Stream.Kr.one_pass); ("few-pass", Stream.Kr.few_pass) ]);
   (* Full telemetry snapshot recorded while the work above ran. *)
   Buffer.add_string buf (Obs.Sink.render ~label:"bench-smoke" Obs.Sink.Json);
   let oc = open_out smoke_out in
@@ -485,6 +549,37 @@ let gate_recovery_workload () =
       let engine = Server.Engine.create () in
       ignore (Server.Engine.recover engine r : Server.Engine.recovery_info) )
 
+(* Streaming-tier gates.  The generator-throughput group times producing a
+   SINGLEPROC edge stream straight from the generator (no in-core graph);
+   the solver groups time the one-/few-pass Konrad–Rosén solvers over the
+   file the first group wrote.  Pre-written once so the solver thunks time
+   pure streaming, not generation. *)
+let gate_stream_workloads () =
+  let path = Filename.temp_file "bench-stream" ".sms" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  let write () =
+    let rng = Randkit.Prng.create ~seed:3 in
+    let w = Hyper.Stream_io.create_writer ~path ~n1:4000 ~n2:250 () in
+    ignore
+      (Hyper.Generate.stream_sp rng ~family:Hyper.Generate.Fewg_manyg ~n:4000 ~p:250 ~g:10
+         ~d:5 ~emit:(fun ~task ~proc ->
+           Hyper.Stream_io.add w ~task ~procs:[| proc |] ~weight:1.0)
+        : int);
+    Hyper.Stream_io.close_writer w
+  in
+  write ();
+  let solve f () =
+    let r = Hyper.Stream_io.open_reader path in
+    Fun.protect
+      ~finally:(fun () -> Hyper.Stream_io.close_reader r)
+      (fun () -> ignore (f r : Stream.Kr.solution))
+  in
+  [
+    ("stream/gen-sp-write-4000x250", write);
+    ("stream/one-pass-4000x250", solve Stream.Kr.one_pass);
+    ("stream/few-pass-4000x250", solve Stream.Kr.few_pass);
+  ]
+
 (* The gated workloads mirror the smoke groups: the two scaled paper
    instances through every multiprocessor heuristic, plus the exact solver
    through each matching engine.  Instances are generated up front so the
@@ -512,7 +607,7 @@ let gate_workloads () =
           fun () -> ignore (Semimatch.Exact_unit.solve_with ~exact sp) ))
       Semimatch.Exact_unit.all_exact_engines
   in
-  heuristics @ exact @ [ gate_recovery_workload () ]
+  heuristics @ exact @ [ gate_recovery_workload () ] @ gate_stream_workloads ()
 
 let gate_write_baseline path =
   (* Telemetry off: the gate times un-instrumented code, and must do so

@@ -229,6 +229,36 @@ let faults_cmd =
        ~doc:"Fault sweep: repaired-makespan/LB ratio vs fraction of processors killed")
     Term.(const run $ seeds_arg $ json_arg)
 
+let stream_cmd =
+  let run scale seeds d csv online =
+    let t0 = Obs.Span.now_ns () in
+    let rows = Experiments.Stream_quality.run ~seeds ~scale ~d () in
+    print_string (Experiments.Stream_quality.render rows);
+    Option.iter
+      (fun path -> write_file path (Experiments.Stream_quality.to_csv rows))
+      csv;
+    if online then begin
+      print_newline ();
+      let orows = Experiments.Stream_quality.run_online ~seeds ~scale () in
+      print_string (Experiments.Stream_quality.render_online orows);
+      Option.iter
+        (fun path -> write_file (path ^ ".online") (Experiments.Stream_quality.online_to_csv orows))
+        csv
+    end;
+    Printf.printf "\n(total %.1f s)\n" (Obs.Span.ns_to_s (Int64.sub (Obs.Span.now_ns ()) t0))
+  in
+  let online_arg =
+    Arg.(value & flag
+         & info [ "online" ]
+             ~doc:"Also run the online greedy over the general MULTIPROC grid.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Streaming quality vs memory: one-/few-pass makespan ratio to the exact optimum \
+          next to solver state as a fraction of the avoided CSR")
+    Term.(const run $ scale_arg $ seeds_arg $ d_arg $ csv_arg $ online_arg)
+
 let all_cmd =
   let run scale seeds =
     run_multiproc ~weights:Hyper.Weights.Unit
@@ -268,4 +298,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; table2_cmd; table3_cmd; table_random_cmd; singleproc_cmd; weighted_sp_cmd; online_cmd; ablations_cmd; sweep_cmd; hardness_cmd; bounds_cmd; robustness_cmd; faults_cmd; all_cmd ]))
+          [ table1_cmd; table2_cmd; table3_cmd; table_random_cmd; singleproc_cmd; weighted_sp_cmd; online_cmd; ablations_cmd; sweep_cmd; hardness_cmd; bounds_cmd; robustness_cmd; faults_cmd; stream_cmd; all_cmd ]))

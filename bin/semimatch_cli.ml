@@ -136,46 +136,126 @@ let algorithm_conv =
 
 let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 
+(* gen --stream-out: emit straight to the binary edge-stream format through
+   the streaming generators — the in-core graph never exists, so the
+   instance size is bounded by disk, not RAM. *)
+let stream_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stream-out" ] ~docv:"FILE"
+           ~doc:
+             "Also/instead write a binary edge stream, emitted directly from the generator \
+              without building the in-core graph (use alone for instances bigger than RAM).")
+
+let with_stream_writer path ~n1 ~n2 f =
+  let w =
+    try Hyper.Stream_io.create_writer ~path ~n1 ~n2 ()
+    with Sys_error msg | Invalid_argument msg -> die "%s" msg
+  in
+  let t0 = Unix.gettimeofday () in
+  (try Fun.protect ~finally:(fun () -> Hyper.Stream_io.close_writer w) (fun () -> f w)
+   with Invalid_argument msg | Failure msg -> die "%s" msg);
+  let dt = Unix.gettimeofday () -. t0 in
+  let records = Hyper.Stream_io.writer_records w in
+  Printf.printf "wrote %s: edge stream, %d tasks, %d processors, %d records (%.2fs, %.0f records/s)\n"
+    path n1 n2 records dt
+    (if dt > 0.0 then float_of_int records /. dt else 0.0)
+
+type gen_family = Paper of Hyper.Generate.family | Uniform | Powerlaw
+
+let gen_family_conv =
+  Arg.enum
+    [
+      ("fewg", Paper Hyper.Generate.Fewg_manyg);
+      ("hilo", Paper Hyper.Generate.Hilo);
+      ("uniform", Uniform);
+      ("powerlaw", Powerlaw);
+    ]
+
 let gen_cmd =
-  let run family n p dv dh g weights seed output =
-    let rng = Randkit.Prng.create ~seed in
-    let h = Hyper.Generate.generate rng ~family ~n ~p ~dv ~dh ~g ~weights in
-    save_instance output h;
-    Printf.printf "wrote %s: %d tasks, %d processors, %d hyperedges, %d pins\n" output
-      h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h) (Hyper.Graph.num_pins h)
+  let run family n p dv dh g alpha weights seed output stream_out =
+    if output = None && stream_out = None then die "gen needs -o FILE and/or --stream-out FILE";
+    (match output with
+    | None -> ()
+    | Some output ->
+        let rng = Randkit.Prng.create ~seed in
+        let h =
+          try
+            match family with
+            | Paper family -> Hyper.Generate.generate rng ~family ~n ~p ~dv ~dh ~g ~weights
+            | Uniform -> Hyper.Generate.generate_uniform rng ~n ~p ~dv ~dh ~weights
+            | Powerlaw -> Hyper.Generate.generate_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights
+          with Invalid_argument msg -> die "%s" msg
+        in
+        save_instance output h;
+        Printf.printf "wrote %s: %d tasks, %d processors, %d hyperedges, %d pins\n" output
+          h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h)
+          (Hyper.Graph.num_pins h));
+    match stream_out with
+    | None -> ()
+    | Some path ->
+        (* A fresh RNG with the same seed: with unit weights the streamed
+           instance is byte-for-byte the one `-o` materializes. *)
+        let rng = Randkit.Prng.create ~seed in
+        with_stream_writer path ~n1:n ~n2:p (fun w ->
+            let emit ~task ~procs ~weight = Hyper.Stream_io.add w ~task ~procs ~weight in
+            ignore
+              (match family with
+              | Paper family -> Hyper.Generate.stream rng ~family ~n ~p ~dv ~dh ~g ~weights ~emit
+              | Uniform -> Hyper.Generate.stream_uniform rng ~n ~p ~dv ~dh ~weights ~emit
+              | Powerlaw ->
+                  Hyper.Generate.stream_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights ~emit))
   in
   let family =
-    Arg.(value & opt family_conv Hyper.Generate.Fewg_manyg
-         & info [ "family" ] ~docv:"FAM" ~doc:"fewg or hilo")
+    Arg.(value & opt gen_family_conv (Paper Hyper.Generate.Fewg_manyg)
+         & info [ "family" ] ~docv:"FAM" ~doc:"fewg, hilo, uniform or powerlaw")
   and n = Arg.(value & opt int 1280 & info [ "n"; "tasks" ] ~doc:"number of tasks")
   and p = Arg.(value & opt int 256 & info [ "p"; "procs" ] ~doc:"number of processors")
   and dv = Arg.(value & opt int 5 & info [ "dv" ] ~doc:"mean configurations per task")
   and dh = Arg.(value & opt int 10 & info [ "dh" ] ~doc:"processors-per-configuration parameter")
   and g = Arg.(value & opt int 32 & info [ "g"; "groups" ] ~doc:"number of groups")
+  and alpha =
+    Arg.(value & opt float 1.2
+         & info [ "alpha" ] ~docv:"A" ~doc:"Zipf exponent for the powerlaw family")
   and weights =
     Arg.(value & opt weights_conv Hyper.Weights.Unit
          & info [ "weights" ] ~docv:"SCHEME" ~doc:"unit, related or random")
   and seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"random seed")
   and output =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a random MULTIPROC instance")
-    Term.(const run $ family $ n $ p $ dv $ dh $ g $ weights $ seed $ output)
+    Term.(const run $ family $ n $ p $ dv $ dh $ g $ alpha $ weights $ seed $ output
+          $ stream_out_arg)
 
 let gen_sp_cmd =
-  let run family n p d g seed output =
-    let graph =
-      match family with
-      | Hyper.Generate.Hilo -> Bipartite.Hilo.generate ~n1:n ~n2:p ~g ~d
-      | Hyper.Generate.Fewg_manyg ->
-          let rng = Randkit.Prng.create ~seed in
-          Bipartite.Fewg_manyg.generate rng ~n1:n ~n2:p ~g ~d
-    in
-    let h = Hyper.Graph.of_bipartite graph in
-    save_instance output h;
-    Printf.printf "wrote %s: SINGLEPROC-UNIT, %d tasks, %d processors, %d edges\n" output
-      h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h)
+  let run family n p d g seed output stream_out =
+    if output = None && stream_out = None then
+      die "gen-sp needs -o FILE and/or --stream-out FILE";
+    (match output with
+    | None -> ()
+    | Some output ->
+        let graph =
+          try
+            match family with
+            | Hyper.Generate.Hilo -> Bipartite.Hilo.generate ~n1:n ~n2:p ~g ~d
+            | Hyper.Generate.Fewg_manyg ->
+                let rng = Randkit.Prng.create ~seed in
+                Bipartite.Fewg_manyg.generate rng ~n1:n ~n2:p ~g ~d
+          with Invalid_argument msg -> die "%s" msg
+        in
+        let h = Hyper.Graph.of_bipartite graph in
+        save_instance output h;
+        Printf.printf "wrote %s: SINGLEPROC-UNIT, %d tasks, %d processors, %d edges\n" output
+          h.Hyper.Graph.n1 h.Hyper.Graph.n2 (Hyper.Graph.num_hyperedges h));
+    match stream_out with
+    | None -> ()
+    | Some path ->
+        let rng = Randkit.Prng.create ~seed in
+        with_stream_writer path ~n1:n ~n2:p (fun w ->
+            ignore
+              (Hyper.Generate.stream_sp rng ~family ~n ~p ~g ~d ~emit:(fun ~task ~proc ->
+                   Hyper.Stream_io.add w ~task ~procs:[| proc |] ~weight:1.0)))
   in
   let family =
     Arg.(value & opt family_conv Hyper.Generate.Fewg_manyg
@@ -186,11 +266,11 @@ let gen_sp_cmd =
   and g = Arg.(value & opt int 32 & info [ "g"; "groups" ] ~doc:"number of groups")
   and seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"random seed")
   and output =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
   in
   Cmd.v
     (Cmd.info "gen-sp" ~doc:"Generate a SINGLEPROC-UNIT instance (solvable exactly)")
-    Term.(const run $ family $ n $ p $ d $ g $ seed $ output)
+    Term.(const run $ family $ n $ p $ d $ g $ seed $ output $ stream_out_arg)
 
 let info_cmd =
   let run verbose dot file =
@@ -239,10 +319,71 @@ let repair_report h d (a : Semimatch.Hyp_assignment.t) =
      else 1.0);
   r
 
+(* solve --stream: the streaming tier.  The ingest layer decides from the
+   sealed header whether the instance fits in core (exact/portfolio
+   fallback) or must be solved over the stream in O(n+p) memory; either
+   way the CSR-estimate comparison and the recorded guarantee are printed,
+   and --mem-cap-mb turns the bounded-memory claim into a hard process
+   assertion (GC top-heap check, used by the CI smoke). *)
+let solve_stream ~jobs ~stream_solver ~threshold_mb ~mem_cap_mb file =
+  let threshold_words =
+    match threshold_mb with
+    | None -> Stream.Ingest.default_threshold_words
+    | Some mb ->
+        (* 0 = never materialize: force the streamed tier (tests, quality
+           experiments). *)
+        if mb < 0 then die "--stream-threshold-mb must be non-negative"
+        else mb * 1024 * 1024 / 8
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    try Stream.Ingest.solve ~jobs ~threshold_words ~stream_solver file with
+    | Sys_error msg | Failure msg -> die "%s" msg
+    | Invalid_argument msg -> die "invalid stream %s: %s" file msg
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let module I = Stream.Ingest in
+  let module Sio = Hyper.Stream_io in
+  let hdr = outcome.I.header in
+  let csr_bytes =
+    match Sio.csr_estimate_words hdr with Some w -> w * 8 | None -> 0
+  in
+  Printf.printf "stream:    %s — %d tasks, %d processors, %d records\n" file hdr.Sio.h_n1
+    hdr.Sio.h_n2 hdr.Sio.h_records;
+  Printf.printf "tier:      %s (CSR estimate %.1f MB vs threshold %.1f MB)\n"
+    (I.tier_name outcome.I.tier)
+    (float_of_int csr_bytes /. 1048576.0)
+    (float_of_int (threshold_words * 8) /. 1048576.0);
+  Printf.printf "makespan:  %g\n" outcome.I.makespan;
+  Printf.printf "LB:        %g  (ratio %.3f)\n" outcome.I.lower_bound
+    (if outcome.I.lower_bound > 0.0 then outcome.I.makespan /. outcome.I.lower_bound else 1.0);
+  Printf.printf "guarantee: %s%s\n" outcome.I.guarantee
+    (if Float.is_nan outcome.I.factor then " (no proven factor)"
+     else Printf.sprintf " (makespan <= %.1f x opt)" outcome.I.factor);
+  Printf.printf "passes:    %d  (%.2fs, %.0f records/s)\n" outcome.I.passes dt
+    (if dt > 0.0 then float_of_int (outcome.I.edges * outcome.I.passes) /. dt else 0.0);
+  let top_heap_bytes =
+    let s = Gc.quick_stat () in
+    s.Gc.top_heap_words * (Sys.word_size / 8)
+  in
+  Printf.printf "memory:    %.1f MB top heap, %d words solver state (peak)\n"
+    (float_of_int top_heap_bytes /. 1048576.0)
+    (Stream.Kr.peak_state_words ());
+  match mem_cap_mb with
+  | None -> ()
+  | Some cap ->
+      let cap_bytes = cap * 1024 * 1024 in
+      if top_heap_bytes > cap_bytes then
+        die "memory cap exceeded: top heap %d bytes > %d MB cap" top_heap_bytes cap
+      else Printf.printf "memory cap ok: %.1f MB <= %d MB\n"
+          (float_of_int top_heap_bytes /. 1048576.0) cap
+
 let solve_cmd =
-  let run algorithm refine loads portfolio jobs timeout deadline_ms faults repair stats trace
-      events file =
+  let run algorithm refine loads portfolio jobs timeout deadline_ms faults repair stream
+      stream_solver threshold_mb mem_cap_mb stats trace events file =
     with_telemetry ~trace ~events stats (fun () ->
+        if stream then solve_stream ~jobs ~stream_solver ~threshold_mb ~mem_cap_mb file
+        else begin
         let h = load_instance file in
         let lb = Semimatch.Lower_bound.multiproc h in
         let lb_refined = Semimatch.Lower_bound.multiproc_refined h in
@@ -321,7 +462,8 @@ let solve_cmd =
               in
               Printf.printf "affected tasks: %d (rerun with --repair to re-place them)\n"
                 (List.length affected)
-            end)
+            end
+        end)
   in
   let algorithm =
     Arg.(value & opt algorithm_conv Gh.Expected_vector_greedy_hyp
@@ -358,11 +500,46 @@ let solve_cmd =
                "Incrementally repair the schedule on the degraded machine (requires \
                 $(b,--faults)): re-places only the affected tasks and reports repaired \
                 makespan, repair cost and the surviving-machine lower bound.")
+  and stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:
+               "FILE is a binary edge stream (see $(b,gen --stream-out)): solve it through \
+                the streaming tier — bounded-memory one/few-pass solvers for instances \
+                bigger than RAM, automatic exact/portfolio fallback when the header shows \
+                the instance fits in core.")
+  and stream_solver =
+    let solver_conv =
+      Arg.enum
+        [
+          ("auto", Stream.Ingest.Auto);
+          ("one-pass", Stream.Ingest.One_pass);
+          ("few-pass", Stream.Ingest.Few_pass);
+        ]
+    in
+    Arg.(value & opt solver_conv Stream.Ingest.Auto
+         & info [ "stream-solver" ] ~docv:"S"
+             ~doc:
+               "Streamed-tier solver for singleton unit streams: one-pass (sqrt-factor), \
+                few-pass (log-factor) or auto (few-pass).")
+  and threshold_mb =
+    Arg.(value & opt (some int) None
+         & info [ "stream-threshold-mb" ] ~docv:"MB"
+             ~doc:
+               "In-core fallback threshold: instances whose CSR estimate fits in this many \
+                MB are materialized and solved exactly (default 64).")
+  and mem_cap_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-cap-mb" ] ~docv:"MB"
+             ~doc:
+               "Assert (exit 2) that the GC top heap stayed under this many MB — the \
+                enforced memory ceiling of the streaming CI smoke.")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a greedy heuristic (or the parallel portfolio) on an instance")
     Term.(const run $ algorithm $ refine $ loads $ portfolio $ jobs_arg $ timeout $ deadline
-          $ faults $ repair $ stats_arg $ trace_arg $ events_arg $ file_arg)
+          $ faults $ repair $ stream $ stream_solver $ threshold_mb $ mem_cap_mb $ stats_arg
+          $ trace_arg $ events_arg $ file_arg)
 
 let exact_cmd =
   let run strategy engine jobs stats trace events file =
@@ -857,7 +1034,7 @@ let connect_client socket tcp =
    on connection failures, timeouts and any error reply (the protocol-error
    contract scripts rely on). *)
 let client_cmd =
-  let run socket tcp request script metrics timeout =
+  let run socket tcp request script metrics stream session chunk threshold_mb solver timeout =
     let conn = connect_client socket tcp in
     let timeout_s = if timeout <= 0.0 then None else Some timeout in
     let send line =
@@ -865,6 +1042,96 @@ let client_cmd =
       | End_of_file -> die "server closed the connection"
       | Server.Client.Timeout -> die "no reply within %gs" timeout
     in
+    match stream with
+    | Some path ->
+        (* Chunked edge-stream upload: spool a local stream file into the
+           daemon through stream_begin / stream_chunk / stream_end.  A
+           [busy] reply is the daemon's backpressure (admission queue
+           full): the rejected chunk was not spooled, so resending it
+           verbatim after a short sleep is always safe. *)
+        if request <> None || script <> None || metrics then
+          die "--stream is exclusive with --request/--script/--metrics";
+        if chunk < 1 then die "--chunk must be positive";
+        let module J = Obs.Json in
+        let r = try Hyper.Stream_io.open_reader path with Failure msg -> die "%s" msg in
+        let h = Hyper.Stream_io.header r in
+        if not (Hyper.Stream_io.sealed h) then
+          die "%s: unsealed stream (writer never closed) — run doctor" path;
+        let send_ok line =
+          let rec go attempt =
+            let reply = send line in
+            match J.of_string reply with
+            | exception Failure _ -> die "unparseable reply: %s" reply
+            | j -> (
+                match (J.member "ok" j, J.member "error" j) with
+                | Some (J.Bool true), _ -> j
+                | _, Some (J.Str "busy") when attempt < 200 ->
+                    Unix.sleepf 0.05;
+                    go (attempt + 1)
+                | _ -> (
+                    match Option.bind (J.member "message" j) J.to_str with
+                    | Some m -> die "server replied with an error: %s" m
+                    | None -> die "server replied with an error: %s" reply))
+          in
+          go 0
+        in
+        let int_j n = J.Num (float_of_int n) in
+        ignore
+          (send_ok
+             (J.to_string
+                (J.Obj
+                   [
+                     ("op", J.Str "stream_begin");
+                     ("session", J.Str session);
+                     ("n1", int_j h.Hyper.Stream_io.h_n1);
+                     ("n2", int_j h.Hyper.Stream_io.h_n2);
+                   ])));
+        let buf = ref [] and nbuf = ref 0 and sent = ref 0 in
+        let flush_chunk () =
+          if !nbuf > 0 then begin
+            ignore
+              (send_ok
+                 (J.to_string
+                    (J.Obj
+                       [
+                         ("op", J.Str "stream_chunk");
+                         ("session", J.Str session);
+                         ("edges", J.List (List.rev !buf));
+                       ])));
+            sent := !sent + !nbuf;
+            buf := [];
+            nbuf := 0
+          end
+        in
+        Hyper.Stream_io.iter r (fun ~task ~procs ~weight ->
+            let edge =
+              J.Obj
+                [
+                  ("task", int_j task);
+                  ("weight", J.Num weight);
+                  ("procs", J.List (Array.to_list (Array.map int_j procs)));
+                ]
+            in
+            buf := edge :: !buf;
+            incr nbuf;
+            if !nbuf >= chunk then flush_chunk ());
+        flush_chunk ();
+        Hyper.Stream_io.close_reader r;
+        Printf.eprintf "uploaded %d records from %s\n%!" !sent path;
+        let reply =
+          send
+            (J.to_string
+               (J.Obj
+                  ([ ("op", J.Str "stream_end"); ("session", J.Str session) ]
+                  @ (match threshold_mb with None -> [] | Some mb -> [ ("threshold_mb", int_j mb) ])
+                  @ match solver with None -> [] | Some s -> [ ("solver", J.Str s) ])))
+        in
+        print_endline reply;
+        Server.Client.close conn;
+        (match J.of_string reply with
+        | j when J.member "ok" j = Some (J.Bool true) -> ()
+        | _ | (exception Failure _) -> die "stream_end failed: %s" reply)
+    | None ->
     if metrics then begin
       if request <> None || script <> None then
         die "--metrics is exclusive with --request/--script";
@@ -945,6 +1212,27 @@ let client_cmd =
              ~doc:
                "Scrape the daemon's Prometheus exposition (the $(b,metrics) op), lint its \
                 format and print it — exits 2 when the lint fails.")
+  and stream =
+    Arg.(value & opt (some string) None
+         & info [ "stream" ] ~docv:"FILE"
+             ~doc:
+               "Upload the binary edge-stream $(docv) through the chunked \
+                $(b,stream_begin)/$(b,stream_chunk)/$(b,stream_end) ops and print the solve \
+                reply; $(b,busy) backpressure replies are retried.")
+  and session =
+    Arg.(value & opt string "stream"
+         & info [ "session" ] ~docv:"NAME" ~doc:"Session name for $(b,--stream) uploads.")
+  and chunk =
+    Arg.(value & opt int 256
+         & info [ "chunk" ] ~docv:"EDGES" ~doc:"Records per $(b,stream_chunk) frame.")
+  and threshold_mb =
+    Arg.(value & opt (some int) None
+         & info [ "stream-threshold-mb" ] ~docv:"MB"
+             ~doc:"In-core fallback threshold forwarded with $(b,stream_end).")
+  and solver =
+    Arg.(value & opt (some string) None
+         & info [ "stream-solver" ] ~docv:"NAME"
+             ~doc:"Streaming solver forwarded with $(b,stream_end) (auto | one-pass | few-pass).")
   and timeout =
     Arg.(value & opt float 5.0
          & info [ "timeout" ] ~docv:"SECS"
@@ -955,7 +1243,8 @@ let client_cmd =
        ~doc:
          "Send scripted or one-shot requests to a running scheduler daemon; exits 2 on \
           connection failures, timeouts and error replies")
-    Term.(const run $ socket $ tcp $ request $ script $ metrics $ timeout)
+    Term.(const run $ socket $ tcp $ request $ script $ metrics $ stream $ session $ chunk
+          $ threshold_mb $ solver $ timeout)
 
 (* loadgen: drive a running daemon with the open-loop arrival process and
    report per-op latency quantiles; optionally write BENCH_server.json and
@@ -1165,18 +1454,65 @@ let doctor_persist dir =
     die "recovery reported %d failed session(s)" info.Server.Engine.rec_failures;
   Printf.printf "\npersist dir OK\n"
 
+(* doctor on a regular file: validate it as a binary edge stream — header,
+   chunk framing, record ranges — reporting the valid prefix when the tail
+   is torn, exactly like the persist-dir journal scan. *)
+let doctor_stream file =
+  let module Sio = Hyper.Stream_io in
+  let r = Sio.validate file in
+  (match r.Sio.r_header with
+  | None ->
+      die "%s: %s" file (match r.Sio.r_error with Some e -> e | None -> "invalid stream header")
+  | Some hdr ->
+      Printf.printf "stream file %s\n" file;
+      Printf.printf "  version    %d\n" hdr.Sio.h_version;
+      let flags =
+        List.filter_map
+          (fun (set, name) -> if set then Some name else None)
+          [
+            (Sio.singleton hdr, "singleton");
+            (Sio.unit_weight hdr, "unit-weight");
+            (Sio.task_grouped hdr, "task-grouped");
+          ]
+      in
+      Printf.printf "  flags      %s\n" (if flags = [] then "(none)" else String.concat "," flags);
+      Printf.printf "  instance   %d tasks, %d processors\n" hdr.Sio.h_n1 hdr.Sio.h_n2;
+      if r.Sio.r_sealed then
+        Printf.printf "  sealed     yes (%d records, %d pins declared)\n" hdr.Sio.h_records
+          hdr.Sio.h_pins
+      else Printf.printf "  sealed     NO — writer never closed\n";
+      Printf.printf "  scanned    %d chunks, %d records, %d pins\n" r.Sio.r_chunks r.Sio.r_records
+        r.Sio.r_pins;
+      (match Sio.csr_estimate_words hdr with
+      | Some words ->
+          Printf.printf "  csr est.   %.1f MB in core (streaming tier above %.1f MB)\n"
+            (float_of_int (words * 8) /. 1048576.0)
+            (float_of_int (Stream.Ingest.default_threshold_words * 8) /. 1048576.0)
+      | None -> ());
+      (match r.Sio.r_error with
+      | Some err ->
+          Printf.printf "  error      %s\n" err;
+          die "stream %s: torn or corrupt after %d valid records" file r.Sio.r_records
+      | None -> ());
+      if not r.Sio.r_sealed then die "stream %s: unsealed (writer crashed before close)" file;
+      if not r.Sio.r_counts_match then
+        die "stream %s: header declares %d records / %d pins but the chunks hold %d / %d" file
+          hdr.Sio.h_records hdr.Sio.h_pins r.Sio.r_records r.Sio.r_pins;
+      Printf.printf "\nstream OK\n")
+
 (* doctor: offline validation of a diagnostic bundle directory plus a human
    summary.  Every structural problem — missing/corrupt manifest, format
    mismatch, listed file absent or resized, unparseable trace/events,
    exposition failing the Prom lint — is a user-visible defect in the
    bundle and exits 2 through [die].  A directory holding journal/checkpoint
-   entries instead is validated as a daemon --persist-dir. *)
+   entries instead is validated as a daemon --persist-dir; a regular file is
+   validated as a binary edge stream. *)
 let doctor_cmd =
   let run jobs dir =
     let path name = Filename.concat dir name in
     (match Sys.is_directory dir with
     | true -> ()
-    | false -> die "%s: not a directory" dir
+    | false -> doctor_stream dir; exit 0
     | exception Sys_error msg -> die "%s" msg);
     let looks_persist =
       (not (Sys.file_exists (path "manifest.json")))
@@ -1359,16 +1695,18 @@ let doctor_cmd =
   in
   let bundle =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"DIR"
-             ~doc:"Diagnostic bundle — or daemon $(b,--persist-dir) — to validate.")
+         & info [] ~docv:"PATH"
+             ~doc:
+               "Diagnostic bundle, daemon $(b,--persist-dir), or binary edge-stream file to \
+                validate.")
   in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
          "Validate a diagnostic bundle (manifest, trace schema, Prometheus lint, event log, \
-          local replay of the captured instance) or a daemon persist dir (checkpoint \
-          manifests, journal integrity, dry-run crash recovery); exits 2 on any structural \
-          problem")
+          local replay of the captured instance), a daemon persist dir (checkpoint \
+          manifests, journal integrity, dry-run crash recovery), or a binary edge-stream \
+          file (header, chunk framing, truncation); exits 2 on any structural problem")
     Term.(const run $ jobs_arg $ bundle)
 
 (* version: one line for bug reports and CI log headers — package version

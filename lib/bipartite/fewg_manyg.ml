@@ -43,19 +43,25 @@ let neighbors_of rng ~pool ~degree =
     Array.of_list (List.map (fun i -> pool.(i)) distinct)
   end
 
-let adjacency rng ~n1 ~n2 ~g ~d =
+(* Rows stream in row order (groups are consecutive blocks), each handed to
+   [f] as a fresh array — the RNG draw sequence is identical to [adjacency],
+   so a streamed instance is byte-for-byte the materialized one. *)
+let iter_rows rng ~n1 ~n2 ~g ~d f =
   if g <= 0 || g > n2 then invalid_arg "Fewg_manyg.adjacency: invalid group count";
   if d <= 0 then invalid_arg "Fewg_manyg.adjacency: d must be positive";
   let b1 = group_bounds ~n:n1 ~g and b2 = group_bounds ~n:n2 ~g in
-  let adj = Array.make n1 [||] in
   for j = 0 to g - 1 do
     let pool = pool_of_group ~b2 ~g j in
     let pool_size = Array.length pool in
     for v = b1.(j) to b1.(j + 1) - 1 do
       let degree = draw_degree rng ~d ~pool_size in
-      adj.(v) <- neighbors_of rng ~pool ~degree
+      f v (neighbors_of rng ~pool ~degree)
     done
-  done;
+  done
+
+let adjacency rng ~n1 ~n2 ~g ~d =
+  let adj = Array.make (max n1 0) [||] in
+  iter_rows rng ~n1 ~n2 ~g ~d (fun v row -> adj.(v) <- row);
   adj
 
 let generate rng ~n1 ~n2 ~g ~d =

@@ -13,6 +13,12 @@
     the scheduling instance infeasible, and semi-matchings must cover every
     task.  (The clamp fires with probability ≤ (1−d/pool)^pool ≈ e^{−d}.) *)
 
+val iter_rows :
+  Randkit.Prng.t -> n1:int -> n2:int -> g:int -> d:int -> (int -> int array -> unit) -> unit
+(** Stream the family row by row in vertex order without materializing the
+    adjacency.  The RNG draw sequence equals [adjacency]'s, so for the same
+    seed the streamed rows are exactly the materialized rows. *)
+
 val adjacency : Randkit.Prng.t -> n1:int -> n2:int -> g:int -> d:int -> int array array
 (** Per-V1-vertex sorted arrays of distinct V2 neighbours. *)
 

@@ -4,11 +4,13 @@ let group_bounds ~n ~g =
   let base = n / g and rem = n mod g in
   Array.init (g + 1) (fun j -> (base * j) + min j rem)
 
-let adjacency ~n1 ~n2 ~g ~d =
+(* Rows are independent given the group bounds, so the family streams: each
+   row is handed to [f] as a fresh array and never retained — the O(n1·d)
+   adjacency below is just [iter_rows] accumulated. *)
+let iter_rows ~n1 ~n2 ~g ~d f =
   if g <= 0 || g > n1 || g > n2 then invalid_arg "Hilo.adjacency: invalid group count";
   if d < 0 then invalid_arg "Hilo.adjacency: negative d";
   let b1 = group_bounds ~n:n1 ~g and b2 = group_bounds ~n:n2 ~g in
-  let adj = Array.make n1 [||] in
   for j = 0 to g - 1 do
     let size2 j' = b2.(j' + 1) - b2.(j') in
     for v = b1.(j) to b1.(j + 1) - 1 do
@@ -26,9 +28,13 @@ let adjacency ~n1 ~n2 ~g ~d =
       in
       connect_to_group j;
       if j < g - 1 then connect_to_group (j + 1);
-      adj.(v) <- Ds.Vec.to_array neighbors
+      f v (Ds.Vec.to_array neighbors)
     done
-  done;
+  done
+
+let adjacency ~n1 ~n2 ~g ~d =
+  let adj = Array.make (max n1 0) [||] in
+  iter_rows ~n1 ~n2 ~g ~d (fun v row -> adj.(v) <- row);
   adj
 
 let generate ~n1 ~n2 ~g ~d =

@@ -9,6 +9,12 @@
     the binomial first step of the hypergraph generator, not from HiLo
     itself. *)
 
+val iter_rows : n1:int -> n2:int -> g:int -> d:int -> (int -> int array -> unit) -> unit
+(** [iter_rows ~n1 ~n2 ~g ~d f] streams the family row by row: [f v row]
+    receives each V1 vertex's sorted neighbour array in vertex order,
+    without the O(n1·d) adjacency ever being materialized — the edge-stream
+    generators ride on this. *)
+
 val adjacency : n1:int -> n2:int -> g:int -> d:int -> int array array
 (** [adjacency ~n1 ~n2 ~g ~d] gives, for each V1 vertex, the sorted array of
     its V2 neighbours.  [g] must be positive and at most [min n1 n2]; sizes

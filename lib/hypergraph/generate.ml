@@ -99,6 +99,106 @@ let generate_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights =
   in
   assemble ~n ~p ~degrees ~pins rng weights
 
+(* {2 Streaming emission}
+
+   The two-step construction streams: step 1's degree array is O(n), and
+   step 2's bipartite families yield their rows in row order (Hilo/
+   Fewg_manyg [iter_rows]), so each hyperedge can be handed to [emit] and
+   dropped.  Working memory is O(n + p) — degrees plus one group pool —
+   never O(edges).  The RNG draw order matches the in-core builders
+   (degrees, then pins in row order), so with [Unit] weights a streamed
+   instance is exactly the materialized one for the same seed.  [Random]
+   weights draw per record (the in-core path draws them in a separate final
+   sweep), giving a valid but differently-weighted instance; [Related]
+   needs the global min/max hyperedge size and cannot stream. *)
+
+let stream_weight_drawer rng = function
+  | Weights.Unit -> fun () -> 1.0
+  | Weights.Random { lo; hi } ->
+      if lo <= 0 || hi < lo then invalid_arg "Hyper.Generate.stream: need 0 < lo <= hi";
+      fun () -> float_of_int (Randkit.Prng.int_in_range rng ~lo ~hi)
+  | Weights.Related ->
+      invalid_arg "Hyper.Generate.stream: Related weights need the whole instance in core"
+
+(* Map bipartite row index -> owning task by walking the degree array in
+   step with the row stream (rows arrive in order). *)
+let task_cursor degrees =
+  let v = ref 0 and left = ref 0 in
+  fun () ->
+    while !left = 0 do
+      left := degrees.(!v);
+      if !left = 0 then incr v
+    done;
+    decr left;
+    let task = !v in
+    if !left = 0 then incr v;
+    task
+
+let stream rng ~family ~n ~p ~dv ~dh ~g ~weights ~emit =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  let draw_w = stream_weight_drawer rng weights in
+  let degrees = degrees_step rng ~n ~dv in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  let next_task = task_cursor degrees in
+  let row _i procs = emit ~task:(next_task ()) ~procs ~weight:(draw_w ()) in
+  (match family with
+  | Hilo -> Bipartite.Hilo.iter_rows ~n1:nh ~n2:p ~g ~d:dh row
+  | Fewg_manyg -> Bipartite.Fewg_manyg.iter_rows rng ~n1:nh ~n2:p ~g ~d:dh row);
+  nh
+
+let stream_uniform rng ~n ~p ~dv ~dh ~weights ~emit =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  let draw_w = stream_weight_drawer rng weights in
+  let degrees = degrees_step rng ~n ~dv in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  let next_task = task_cursor degrees in
+  for _i = 1 to nh do
+    let size = draw_size rng ~dh ~p in
+    let picks = Randkit.Prng.sample_without_replacement rng ~k:size ~n:p in
+    Array.sort compare picks;
+    emit ~task:(next_task ()) ~procs:picks ~weight:(draw_w ())
+  done;
+  nh
+
+let stream_powerlaw rng ~n ~p ~dv ~dh ~alpha ~weights ~emit =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  if dv <= 0 || dh <= 0 then invalid_arg "Hyper.Generate: dv and dh must be positive";
+  let draw_w = stream_weight_drawer rng weights in
+  let draw = zipf_sampler rng ~p ~alpha in
+  let degrees = degrees_step rng ~n ~dv in
+  let nh = Array.fold_left ( + ) 0 degrees in
+  let next_task = task_cursor degrees in
+  for _i = 1 to nh do
+    let size = draw_size rng ~dh ~p in
+    let seen = Hashtbl.create size in
+    while Hashtbl.length seen < size do
+      Hashtbl.replace seen (draw ()) ()
+    done;
+    let procs = Array.of_seq (Hashtbl.to_seq_keys seen) in
+    Array.sort compare procs;
+    emit ~task:(next_task ()) ~procs ~weight:(draw_w ())
+  done;
+  nh
+
+(* SINGLEPROC-UNIT edge streams: each bipartite edge becomes a singleton
+   unit-weight hyperedge — the shape the Konrad–Rosén solvers consume. *)
+let stream_sp rng ~family ~n ~p ~g ~d ~emit =
+  if n <= 0 || p <= 0 then invalid_arg "Hyper.Generate: n and p must be positive";
+  let edges = ref 0 in
+  let row v neighbors =
+    Array.iter
+      (fun u ->
+        incr edges;
+        emit ~task:v ~proc:u)
+      neighbors
+  in
+  (match family with
+  | Hilo -> Bipartite.Hilo.iter_rows ~n1:n ~n2:p ~g ~d row
+  | Fewg_manyg -> Bipartite.Fewg_manyg.iter_rows rng ~n1:n ~n2:p ~g ~d row);
+  !edges
+
 let fig2 () =
   Graph.create ~n1:4 ~n2:3
     ~hyperedges:

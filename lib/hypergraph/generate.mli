@@ -24,6 +24,63 @@ val generate :
 (** [generate rng ~family ~n ~p ~dv ~dh ~g ~weights] builds one MULTIPROC
     instance with [n] tasks and [p] processors. *)
 
+(** {2 Streaming emission}
+
+    The same families, emitted hyperedge by hyperedge through a callback in
+    O(n + p) working memory — never O(edges) — so 10^7+-edge instances can
+    be written straight to a {!Stream_io} file.  RNG draw order matches the
+    in-core builders, so with [Weights.Unit] the streamed instance is
+    byte-for-byte the materialized one for the same seed.  [Weights.Random]
+    draws per record instead of in a final sweep (valid, but a different
+    instance); [Weights.Related] raises [Invalid_argument] — it needs the
+    global min/max hyperedge size.  Each returns the hyperedge count. *)
+
+val stream :
+  Randkit.Prng.t ->
+  family:family ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  g:int ->
+  weights:Weights.t ->
+  emit:(task:int -> procs:int array -> weight:float -> unit) ->
+  int
+
+val stream_uniform :
+  Randkit.Prng.t ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  weights:Weights.t ->
+  emit:(task:int -> procs:int array -> weight:float -> unit) ->
+  int
+
+val stream_powerlaw :
+  Randkit.Prng.t ->
+  n:int ->
+  p:int ->
+  dv:int ->
+  dh:int ->
+  alpha:float ->
+  weights:Weights.t ->
+  emit:(task:int -> procs:int array -> weight:float -> unit) ->
+  int
+
+val stream_sp :
+  Randkit.Prng.t ->
+  family:family ->
+  n:int ->
+  p:int ->
+  g:int ->
+  d:int ->
+  emit:(task:int -> proc:int -> unit) ->
+  int
+(** SINGLEPROC-UNIT: each bipartite edge of the family becomes a singleton
+    unit-weight record — the shape the one-/few-pass streaming solvers
+    consume.  Returns the edge count. *)
+
 val fig2 : unit -> Graph.t
 (** The paper's Fig. 2 toy hypergraph: 4 tasks, 3 processors;
     S1 = {{P1},{P2,P3}}, S2 = {{P1,P2},{P2,P3}}, S3 = S4 = {{P3}}.

@@ -23,7 +23,10 @@ let () =
   Obs.Prom.describe "server.recovery.records" "Journal records replayed at startup.";
   Obs.Prom.describe "server.recovery.torn_bytes" "Torn journal bytes truncated at startup.";
   Obs.Prom.describe "server.recovery.sessions" "Sessions restored by crash recovery.";
-  Obs.Prom.describe "server.recovery.replay_us" "Crash-recovery replay time, microseconds."
+  Obs.Prom.describe "server.recovery.replay_us" "Crash-recovery replay time, microseconds.";
+  Obs.Prom.describe "server.spools" "Edge-stream uploads currently spooling to disk.";
+  Obs.Prom.describe "stream.peak_state_words"
+    "High-water working-state words across all bounded-memory streaming solves."
 
 (* Per-request phase latencies in microseconds: admission-time parse,
    queue residency, handler execution ("solve"), reply write.  Per-op
@@ -50,6 +53,12 @@ type item = {
   posted_ns : int64;  (* admission timestamp, for the queue-wait phase *)
 }
 
+(* One in-flight chunked edge-stream upload: edges are appended to a spool
+   file on disk ({!Hyper.Stream_io}), never buffered in RAM.  Spools are
+   transient by design — they are not journaled and do not survive a daemon
+   restart; a client that loses its connection mid-upload re-begins. *)
+type spool = { sp_writer : Hyper.Stream_io.writer; sp_path : string }
+
 type recovery_info = {
   rec_records : int;
   rec_torn_bytes : int;
@@ -61,6 +70,7 @@ type recovery_info = {
 
 type t = {
   registry : (string, Session.t) Hashtbl.t;
+  spools : (string, spool) Hashtbl.t;  (* session → open edge-stream upload *)
   queue : item Queue.t;
   max_pending : int;
   max_frame : int;
@@ -102,6 +112,7 @@ let create ?(jobs = 1) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
   if idem_cap < 1 then invalid_arg "Engine.create: idem_cap must be positive";
   {
     registry = Hashtbl.create 8;
+    spools = Hashtbl.create 4;
     queue = Queue.create ();
     max_pending;
     max_frame;
@@ -157,6 +168,15 @@ let find_session t ?id session k =
   | Some s -> k s
   | None -> P.error_reply ?id ~code:P.Unknown_session (Printf.sprintf "unknown session %S" session)
 
+(* Abort an upload: seal (so the channel flushes), close, delete. *)
+let drop_spool t session =
+  match Hashtbl.find_opt t.spools session with
+  | None -> ()
+  | Some sp ->
+      Hashtbl.remove t.spools session;
+      Hyper.Stream_io.close_writer sp.sp_writer;
+      (try Sys.remove sp.sp_path with Sys_error _ -> ())
+
 let load_source = function
   | `Inline text -> Ok text
   | `Path path -> (
@@ -193,6 +213,9 @@ let op_name = function
   | P.Dump _ -> "dump"
   | P.Checkpoint -> "checkpoint"
   | P.Shutdown -> "shutdown"
+  | P.Stream_begin _ -> "stream_begin"
+  | P.Stream_chunk _ -> "stream_chunk"
+  | P.Stream_end _ -> "stream_end"
 
 let session_of_req = function
   | P.Load { session; _ }
@@ -202,7 +225,10 @@ let session_of_req = function
   | P.Resolve { session; _ }
   | P.Solve { session }
   | P.Snapshot { session }
-  | P.Restore { session; _ } ->
+  | P.Restore { session; _ }
+  | P.Stream_begin { session; _ }
+  | P.Stream_chunk { session; _ }
+  | P.Stream_end { session; _ } ->
       Some session
   | P.Dump { session } -> session
   | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Health | P.Checkpoint | P.Shutdown -> None
@@ -211,10 +237,13 @@ let session_of_req = function
    capture and the idempotency cache must guard. *)
 let mutating = function
   | P.Load _ | P.Add_task _ | P.Remove_task _ | P.Kill_proc _ | P.Resolve _ | P.Solve _
-  | P.Restore _ ->
+  | P.Restore _ | P.Stream_end _ ->
       true
+  (* stream_begin/stream_chunk only touch the transient spool, never a
+     resident session — journaling them would be a lie (the spool file does
+     not survive a restart, so a replayed stream_end would find nothing). *)
   | P.Ping | P.Stats | P.Metrics | P.Sessions | P.Snapshot _ | P.Health | P.Dump _
-  | P.Checkpoint | P.Shutdown ->
+  | P.Checkpoint | P.Shutdown | P.Stream_begin _ | P.Stream_chunk _ ->
       false
 
 (* The Prometheus exposition: everything Obs holds (counters, phase and
@@ -237,6 +266,8 @@ let prom t =
   let gauges =
     [
       ("server.sessions", [], float_of_int (sessions t));
+      ("server.spools", [], float_of_int (Hashtbl.length t.spools));
+      ("stream.peak_state_words", [], float_of_int (Stream.Kr.peak_state_words ()));
       ("server.pending", [], float_of_int (pending t));
       ("server.max_pending", [], float_of_int t.max_pending);
       ("server.uptime_seconds", [], uptime_s t);
@@ -324,6 +355,11 @@ let journal_single t (parsed : P.parsed) ~raw ~reply =
                in-process retry). *)
             if reply_flag reply "replaced" then log_state session
         | P.Remove_task _ | P.Kill_proc _ | P.Restore _ -> log [ raw ]
+        (* A stream_end that fell back to the in-core tier created a
+           resident session from a spool file that is already gone: the
+           raw line can never replay, so journal the resulting state.  A
+           streamed-tier reply left no session — nothing to journal. *)
+        | P.Stream_end { session; _ } -> if reply_flag reply "resident" then log_state session
         | _ -> ())
   end
 
@@ -686,6 +722,110 @@ let handle_one t ({ req; id; _ } : P.parsed) =
             event op None;
             t.shutdown <- true;
             P.ok_reply ?id ~op [ ("shutting_down", J.Bool true) ]
+        | P.Stream_begin { session; n1; n2 } -> (
+            event op (Some session);
+            (* A re-begin replaces any half-built spool for the session —
+               the retry story for a client that lost its connection
+               mid-upload (spools are transient, never journaled). *)
+            drop_spool t session;
+            let path = Filename.temp_file "semimatch-stream-" ".sms" in
+            match Hyper.Stream_io.create_writer ~path ~n1 ~n2 () with
+            | w ->
+                Hashtbl.replace t.spools session { sp_writer = w; sp_path = path };
+                P.ok_reply ?id ~op [ ("session", J.Str session); ("spooling", J.Bool true) ]
+            | exception Invalid_argument msg ->
+                (try Sys.remove path with Sys_error _ -> ());
+                P.error_reply ?id ~code:P.Bad_request msg)
+        | P.Stream_chunk { session; edges } -> (
+            event op (Some session);
+            match Hashtbl.find_opt t.spools session with
+            | None ->
+                P.error_reply ?id ~code:P.Bad_request
+                  (Printf.sprintf "no open stream upload for session %S (send stream_begin first)"
+                     session)
+            | Some sp -> (
+                match
+                  List.iter
+                    (fun (task, (c : P.config)) ->
+                      Hyper.Stream_io.add sp.sp_writer ~task ~procs:c.P.procs ~weight:c.P.weight)
+                    edges
+                with
+                | () ->
+                    P.ok_reply ?id ~op
+                      [
+                        ("session", J.Str session);
+                        ("records", int_j (Hyper.Stream_io.writer_records sp.sp_writer));
+                      ]
+                | exception Invalid_argument msg ->
+                    (* The spool is poisoned mid-chunk: drop it so the
+                       client restarts cleanly instead of sealing a
+                       half-applied batch. *)
+                    drop_spool t session;
+                    P.error_reply ?id ~code:P.Bad_request msg))
+        | P.Stream_end { session; threshold_mb; solver } -> (
+            event op (Some session);
+            match Hashtbl.find_opt t.spools session with
+            | None ->
+                P.error_reply ?id ~code:P.Bad_request
+                  (Printf.sprintf "no open stream upload for session %S" session)
+            | Some sp -> (
+                Hashtbl.remove t.spools session;
+                Hyper.Stream_io.close_writer sp.sp_writer;
+                let cleanup () = try Sys.remove sp.sp_path with Sys_error _ -> () in
+                let bad msg =
+                  cleanup ();
+                  P.error_reply ?id ~code:P.Bad_request msg
+                in
+                match Option.map Stream.Ingest.stream_solver_of_string solver with
+                | Some None ->
+                    bad
+                      (Printf.sprintf "unknown stream solver %S (auto | one-pass | few-pass)"
+                         (Option.value solver ~default:""))
+                | (None | Some (Some _)) as picked -> (
+                    let stream_solver = Option.join picked in
+                    let threshold_words =
+                      Option.map (fun mb -> mb * (1024 * 1024 / (Sys.word_size / 8))) threshold_mb
+                    in
+                    match
+                      Stream.Ingest.solve ~jobs:t.jobs ?threshold_words ?stream_solver sp.sp_path
+                    with
+                    | exception Failure msg -> bad msg
+                    | exception Invalid_argument msg -> bad ("infeasible stream: " ^ msg)
+                    | o -> (
+                        cleanup ();
+                        let base =
+                          [
+                            ("session", J.Str session);
+                            ("tier", J.Str (Stream.Ingest.tier_name o.Stream.Ingest.tier));
+                            ("makespan", J.Num o.Stream.Ingest.makespan);
+                            ("lower_bound", J.Num o.Stream.Ingest.lower_bound);
+                            ("guarantee", J.Str o.Stream.Ingest.guarantee);
+                            ("passes", int_j o.Stream.Ingest.passes);
+                            ("edges", int_j o.Stream.Ingest.edges);
+                          ]
+                          @
+                          if Float.is_finite o.Stream.Ingest.factor then
+                            [ ("factor", J.Num o.Stream.Ingest.factor) ]
+                          else []
+                        in
+                        match o.Stream.Ingest.graph with
+                        | Some h ->
+                            (* In-core fallback: the instance becomes a
+                               resident session exactly as [load] would
+                               make it (greedy incumbent; the client can
+                               [solve]/[resolve] from here on). *)
+                            let s, r = Session.of_graph ~id:session h in
+                            Hashtbl.replace t.registry session s;
+                            P.ok_reply ?id ~op
+                              (base
+                              @ [
+                                  ("resident", J.Bool true);
+                                  ("tasks", int_j (Session.n_tasks s));
+                                  ("procs", int_j (Session.n_procs s));
+                                  ("session_makespan", J.Num (Session.makespan s));
+                                ]
+                              @ repair_fields r)
+                        | None -> P.ok_reply ?id ~op (base @ [ ("resident", J.Bool false) ])))))
       with exn ->
         Obs.Metrics.incr c_errors;
         P.error_reply ?id ~code:P.Internal (Printexc.to_string exn))

@@ -19,6 +19,9 @@ type request =
   | Dump of { session : string option }
   | Checkpoint
   | Shutdown
+  | Stream_begin of { session : string; n1 : int; n2 : int }
+  | Stream_chunk of { session : string; edges : (int * config) list }
+  | Stream_end of { session : string; threshold_mb : int option; solver : string option }
 
 type parsed = { req : request; id : J.t option; idem : string option }
 
@@ -130,6 +133,37 @@ let request_of obj =
       | Some (J.Str s) -> Dump { session = Some s }
       | Some _ -> reject Protocol "field \"session\" must be a string")
   | "shutdown" -> Shutdown
+  | "stream_begin" ->
+      let n1 = int_field obj "n1" and n2 = int_field obj "n2" in
+      if n1 < 0 || n2 < 0 then reject Bad_request "stream_begin sizes must be non-negative";
+      Stream_begin { session = session_of obj; n1; n2 }
+  | "stream_chunk" -> (
+      let session = session_of obj in
+      match J.member "edges" obj with
+      | Some (J.List l) ->
+          let edge_of = function
+            | J.Obj _ as o ->
+                let task = int_field o "task" in
+                (task, config_of_json o)
+            | _ -> reject Protocol "each edge must be an object"
+          in
+          Stream_chunk { session; edges = List.map edge_of l }
+      | Some _ -> reject Protocol "field \"edges\" must be a list"
+      | None -> reject Protocol "missing field \"edges\"")
+  | "stream_end" ->
+      let threshold_mb =
+        match J.member "threshold_mb" obj with
+        | None -> None
+        | Some (J.Num f) when Float.is_integer f && f >= 0.0 && f < 1e6 -> Some (int_of_float f)
+        | Some _ -> reject Protocol "field \"threshold_mb\" must be a small non-negative integer"
+      in
+      let solver =
+        match J.member "solver" obj with
+        | None -> None
+        | Some (J.Str s) -> Some s
+        | Some _ -> reject Protocol "field \"solver\" must be a string"
+      in
+      Stream_end { session = session_of obj; threshold_mb; solver }
   | op -> reject Protocol "unknown op %S" op
 
 let parse ?(max_frame = default_max_frame) line =

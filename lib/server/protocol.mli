@@ -9,9 +9,11 @@
 
     Ops: [ping], [load], [add_task], [remove_task], [kill_proc],
     [resolve], [solve], [stats], [metrics], [sessions], [snapshot],
-    [restore], [health], [dump], [checkpoint], [shutdown] — see the README
-    "Scheduler service" section for a transcript.  Any request may carry an
-    ["idem"] idempotency id (see {!parsed}).
+    [restore], [health], [dump], [checkpoint], [shutdown], plus the
+    chunked edge-stream ingest [stream_begin] / [stream_chunk] /
+    [stream_end] — see the README "Scheduler service" section for a
+    transcript.  Any request may carry an ["idem"] idempotency id (see
+    {!parsed}).
 
     Introspection ops come in two tiers.  [stats] always answers with the
     engine's own basics — ["uptime_s"], ["version"], ["requests"] posted /
@@ -54,6 +56,20 @@ type request =
       (** force an immediate checkpoint to the daemon's [--persist-dir];
           error when no persist dir is configured *)
   | Shutdown
+  | Stream_begin of { session : string; n1 : int; n2 : int }
+      (** open a chunked edge-stream upload: the daemon spools the edges to
+          a binary stream file ({!Hyper.Stream_io}) on disk, never in RAM *)
+  | Stream_chunk of { session : string; edges : (int * config) list }
+      (** append one batch of [(task, config)] edges to the spool; chunk
+          size is bounded by the frame cap, backpressure by the engine's
+          bounded queue ([busy] replies) *)
+  | Stream_end of { session : string; threshold_mb : int option; solver : string option }
+      (** seal the spool and solve it through the ingest tier: instances
+          whose CSR estimate fits [threshold_mb] (default 64) are
+          materialized into a resident session (reply tier [incore-*]);
+          larger ones are solved by the bounded-memory streaming solvers
+          ([solver] = ["auto"|"one-pass"|"few-pass"], reply tier
+          [stream-*]) without creating a session *)
 
 type parsed = { req : request; id : Obs.Json.t option; idem : string option }
 (** [idem] is the optional client-supplied {e idempotency id} (request

@@ -31,4 +31,5 @@ let () =
       ("server", Test_server.suite);
       ("recorder", Test_recorder.suite);
       ("durability", Test_durability.suite);
+      ("stream", Test_stream.suite);
     ]
